@@ -1,0 +1,61 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Workloads are the benchmark-scaled "576p25" tier (96x80) with a short
+I-P-B-B GOP so the whole suite completes in minutes; pass a larger scale
+through ``hdvb-bench`` for paper-sized campaigns (the harness is the same
+code these benchmarks drive).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.codecs import get_encoder
+from repro.sequences import generate_sequence
+
+#: Benchmark campaign configuration shared by every file here.
+BENCH = BenchConfig(
+    scale=Fraction(1, 8),
+    frames=5,
+    runs=1,
+    warmup=0,
+    sequences=("rush_hour",),
+    tier_names=("576p25",),
+)
+
+CODECS = ("mpeg2", "mpeg4", "h264")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def tier():
+    return BENCH.tiers()[0]
+
+
+@pytest.fixture(scope="session")
+def video(tier):
+    return generate_sequence("rush_hour", tier.name, frames=BENCH.frames,
+                             scale=BENCH.scale)
+
+
+@pytest.fixture(scope="session")
+def encoded_streams(video, tier):
+    """Pre-encoded streams per codec (decode benchmarks start from these)."""
+    streams = {}
+    for codec in CODECS:
+        encoder = get_encoder(codec, **BENCH.encoder_fields(codec, tier))
+        streams[codec] = encoder.encode_sequence(video)
+    return streams
+
+
+def run_once(benchmark, fn):
+    """Single-shot measurement: pure-Python encodes are seconds long, so
+    pytest-benchmark's auto-calibration is skipped."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

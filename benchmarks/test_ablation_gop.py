@@ -1,0 +1,41 @@
+"""Ablation: GOP structure (the paper's I-P-B-B vs I-P vs intra-only).
+
+B frames are the reason decode order differs from display order and a
+large part of the compression gain; this ablation quantifies both sides
+(bits saved vs extra encode work) for each codec.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.codecs import get_encoder
+from repro.common.gop import GopStructure
+
+GOPS = {
+    "ipbb": GopStructure(bframes=2),            # the paper's pattern
+    "ip": GopStructure(bframes=0),              # no B frames
+    "intra": GopStructure(bframes=0, intra_period=1),  # all-I
+}
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@pytest.mark.parametrize("gop_name", list(GOPS))
+def test_gop_structure(benchmark, codec, gop_name, video, tier):
+    fields = BENCH.encoder_fields(codec, tier)
+    fields["gop"] = GOPS[gop_name]
+    stream = run_once(
+        benchmark, lambda: get_encoder(codec, **fields).encode_sequence(video)
+    )
+    benchmark.extra_info["bytes"] = stream.total_bytes
+    benchmark.extra_info["kbps"] = round(stream.bitrate_kbps, 1)
+
+
+def test_bframes_save_bits(video, tier):
+    """The I-P-B-B pattern must not cost more bits than intra-only."""
+    for codec in CODECS:
+        fields = BENCH.encoder_fields(codec, tier)
+        sizes = {}
+        for name, gop in GOPS.items():
+            fields["gop"] = gop
+            sizes[name] = get_encoder(codec, **fields).encode_sequence(video).total_bytes
+        assert sizes["ipbb"] < sizes["intra"], codec

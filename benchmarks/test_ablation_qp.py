@@ -1,0 +1,54 @@
+"""Ablation: quantiser sweep (rate-distortion curves per codec).
+
+Sweeps the MPEG quantiser scale (H.264 QP via Equation 1) and records the
+RD points, verifying the constant-quality premise of Table V holds across
+the operating range, not just at qscale 5.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.codecs import get_decoder, get_encoder
+from repro.common.metrics import sequence_psnr
+from repro.transform.qp import h264_qp_from_mpeg
+
+QSCALES = (2, 5, 12)
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@pytest.mark.parametrize("qscale", QSCALES)
+def test_qp_sweep(benchmark, codec, qscale, video, tier):
+    fields = BENCH.encoder_fields(codec, tier)
+    if codec == "h264":
+        fields["qp"] = h264_qp_from_mpeg(qscale)
+    else:
+        fields["qscale"] = qscale
+
+    def measure():
+        stream = get_encoder(codec, **fields).encode_sequence(video)
+        decoded = get_decoder(codec).decode(stream)
+        return stream, sequence_psnr(video, decoded)
+
+    stream, psnr = run_once(benchmark, measure)
+    benchmark.extra_info["qscale"] = qscale
+    benchmark.extra_info["psnr_db"] = round(psnr.combined, 2)
+    benchmark.extra_info["kbps"] = round(stream.bitrate_kbps, 1)
+
+
+def test_rd_curves_monotone(video, tier):
+    """Within each codec: coarser quantiser -> fewer bits, lower PSNR."""
+    for codec in CODECS:
+        bitrates = []
+        psnrs = []
+        for qscale in QSCALES:
+            fields = BENCH.encoder_fields(codec, tier)
+            if codec == "h264":
+                fields["qp"] = h264_qp_from_mpeg(qscale)
+            else:
+                fields["qscale"] = qscale
+            stream = get_encoder(codec, **fields).encode_sequence(video)
+            decoded = get_decoder(codec).decode(stream)
+            bitrates.append(stream.total_bytes)
+            psnrs.append(sequence_psnr(video, decoded).combined)
+        assert bitrates == sorted(bitrates, reverse=True), codec
+        assert psnrs == sorted(psnrs, reverse=True), codec

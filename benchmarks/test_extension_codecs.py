@@ -1,0 +1,52 @@
+"""Extension-codec benchmarks: VC-1 adaptive transform and MJPEG baseline.
+
+The ablations behind the Section VII extensions: the VC-1 adaptive
+transform's bit savings, and the intra-only codec's position in the RD
+landscape.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, run_once
+from repro.codecs import get_decoder, get_encoder
+from repro.common.metrics import sequence_psnr
+
+
+@pytest.mark.parametrize("adaptive", [True, False])
+def test_vc1_adaptive_transform(benchmark, adaptive, video, tier):
+    fields = BENCH.encoder_fields("vc1", tier)
+    fields["adaptive_transform"] = adaptive
+    stream = run_once(
+        benchmark, lambda: get_encoder("vc1", **fields).encode_sequence(video)
+    )
+    benchmark.extra_info["adaptive_transform"] = adaptive
+    benchmark.extra_info["bytes"] = stream.total_bytes
+
+
+def test_vc1_adaptive_transform_saves_bits(video, tier):
+    sizes = {}
+    for adaptive in (True, False):
+        fields = BENCH.encoder_fields("vc1", tier)
+        fields["adaptive_transform"] = adaptive
+        sizes[adaptive] = get_encoder("vc1", **fields).encode_sequence(video).total_bytes
+    assert sizes[True] <= sizes[False]
+
+
+@pytest.mark.parametrize("codec", ["vc1", "mjpeg"])
+def test_extension_codec_rd(benchmark, codec, video, tier):
+    fields = BENCH.encoder_fields(codec, tier)
+
+    def measure():
+        stream = get_encoder(codec, **fields).encode_sequence(video)
+        decoded = get_decoder(codec).decode(stream)
+        return stream, sequence_psnr(video, decoded)
+
+    stream, psnr = run_once(benchmark, measure)
+    benchmark.extra_info["psnr_db"] = round(psnr.combined, 2)
+    benchmark.extra_info["kbps"] = round(stream.bitrate_kbps, 1)
+
+
+def test_intra_only_costs_more_than_hybrid(video, tier):
+    mjpeg = get_encoder("mjpeg", **BENCH.encoder_fields("mjpeg", tier)).encode_sequence(video)
+    mpeg2 = get_encoder("mpeg2", **BENCH.encoder_fields("mpeg2", tier)).encode_sequence(video)
+    assert mjpeg.total_bytes > mpeg2.total_bytes

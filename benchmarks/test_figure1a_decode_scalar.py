@@ -1,0 +1,20 @@
+"""Figure 1(a): decoding performance, scalar build.
+
+One benchmark per codec; ``extra_info["fps"]`` carries the bar value.
+Full regeneration: ``hdvb-bench figure1 --part a``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.codecs import get_decoder
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_decode_scalar(benchmark, codec, encoded_streams):
+    stream = encoded_streams[codec]
+    decoder = get_decoder(codec, backend="scalar")
+    run_once(benchmark, lambda: decoder.decode(stream))
+    fps = stream.frame_count / benchmark.stats["mean"]
+    benchmark.extra_info["fps"] = round(fps, 2)
+    benchmark.extra_info["real_time_25fps"] = fps >= 25.0

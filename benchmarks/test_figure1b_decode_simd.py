@@ -1,0 +1,21 @@
+"""Figure 1(b): decoding performance with SIMD optimisations.
+
+The paper reports SIMD decode speed-ups of 2.13x/1.88x/1.55x for
+MPEG-2/MPEG-4/H.264; compare against Figure 1(a)'s fps values.
+Full regeneration: ``hdvb-bench figure1 --part b``.
+"""
+
+import pytest
+
+from benchmarks.conftest import CODECS, run_once
+from repro.codecs import get_decoder
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_decode_simd(benchmark, codec, encoded_streams):
+    stream = encoded_streams[codec]
+    decoder = get_decoder(codec, backend="simd")
+    run_once(benchmark, lambda: decoder.decode(stream))
+    fps = stream.frame_count / benchmark.stats["mean"]
+    benchmark.extra_info["fps"] = round(fps, 2)
+    benchmark.extra_info["real_time_25fps"] = fps >= 25.0

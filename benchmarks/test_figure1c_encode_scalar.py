@@ -1,0 +1,20 @@
+"""Figure 1(c): encoding performance, scalar build.
+
+In the paper no scalar encoder reaches 25 fps at any resolution; the same
+holds (by a wide margin) for the pure-Python scalar backend.
+Full regeneration: ``hdvb-bench figure1 --part c``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.codecs import get_encoder
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_encode_scalar(benchmark, codec, video, tier):
+    fields = BENCH.encoder_fields(codec, tier, backend="scalar")
+    run_once(benchmark, lambda: get_encoder(codec, **fields).encode_sequence(video))
+    fps = len(video) / benchmark.stats["mean"]
+    benchmark.extra_info["fps"] = round(fps, 2)
+    benchmark.extra_info["real_time_25fps"] = fps >= 25.0

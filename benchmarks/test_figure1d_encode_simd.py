@@ -1,0 +1,20 @@
+"""Figure 1(d): encoding performance with SIMD optimisations.
+
+The paper reports SIMD encode speed-ups of 2.46x/2.42x/2.31x for
+MPEG-2/MPEG-4/H.264; compare against Figure 1(c)'s fps values.
+Full regeneration: ``hdvb-bench figure1 --part d``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.codecs import get_encoder
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_encode_simd(benchmark, codec, video, tier):
+    fields = BENCH.encoder_fields(codec, tier, backend="simd")
+    run_once(benchmark, lambda: get_encoder(codec, **fields).encode_sequence(video))
+    fps = len(video) / benchmark.stats["mean"]
+    benchmark.extra_info["fps"] = round(fps, 2)
+    benchmark.extra_info["real_time_25fps"] = fps >= 25.0

@@ -1,0 +1,84 @@
+"""Kernel-level scalar-vs-SIMD microbenchmarks (ablation).
+
+Figure 1's whole-application speed-ups are bounded by Amdahl's law; these
+microbenchmarks expose the raw per-kernel gap that drives them — the
+analogue of benchmarking individual SIMD routines in the paper's codecs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernels
+from repro.kernels.tables import MPEG_INTRA_MATRIX
+
+BACKENDS = ("scalar", "simd")
+RNG = np.random.default_rng(42)
+
+BLOCK8_A = RNG.integers(0, 256, (8, 8)).astype(np.int64)
+BLOCK8_B = RNG.integers(0, 256, (8, 8)).astype(np.int64)
+BLOCK16_A = RNG.integers(0, 256, (16, 16)).astype(np.int64)
+BLOCK16_B = RNG.integers(0, 256, (16, 16)).astype(np.int64)
+RESIDUAL8 = RNG.integers(-128, 128, (8, 8)).astype(np.int64)
+RESIDUAL4 = RNG.integers(-128, 128, (4, 4)).astype(np.int64)
+PLANE = RNG.integers(0, 256, (64, 64)).astype(np.int64)
+
+REPEAT = 50
+
+
+def loop(fn):
+    def run():
+        for _ in range(REPEAT):
+            fn()
+    return run
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sad_16x16(benchmark, backend):
+    kernels = get_kernels(backend)
+    benchmark(loop(lambda: kernels.sad(BLOCK16_A, BLOCK16_B)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fdct8(benchmark, backend):
+    kernels = get_kernels(backend)
+    benchmark(loop(lambda: kernels.fdct8(RESIDUAL8)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_idct8(benchmark, backend):
+    kernels = get_kernels(backend)
+    coeffs = get_kernels("simd").fdct8(RESIDUAL8)
+    benchmark(loop(lambda: kernels.idct8(coeffs)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_quant_mpeg(benchmark, backend):
+    kernels = get_kernels(backend)
+    coeffs = get_kernels("simd").fdct8(RESIDUAL8)
+    benchmark(loop(lambda: kernels.quant_mpeg(coeffs, MPEG_INTRA_MATRIX, 5, True)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fwd_transform4(benchmark, backend):
+    kernels = get_kernels(backend)
+    benchmark(loop(lambda: kernels.fwd_transform4(RESIDUAL4)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mc_halfpel(benchmark, backend):
+    kernels = get_kernels(backend)
+    benchmark(loop(lambda: kernels.mc_halfpel(PLANE, 16, 16, 16, 16, 3, 1)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mc_qpel_h264_centre(benchmark, backend):
+    kernels = get_kernels(backend)
+    benchmark(loop(lambda: kernels.mc_qpel_h264(PLANE, 16, 16, 16, 16, 2, 2)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_deblock_normal_edge(benchmark, backend):
+    kernels = get_kernels(backend)
+    lines = [RNG.integers(0, 256, 64).astype(np.int64) for _ in range(6)]
+    c0 = np.full(64, 2, dtype=np.int64)
+    benchmark(loop(lambda: kernels.deblock_normal(*lines, 25, 8, c0, False)))

@@ -1,0 +1,63 @@
+"""Extension benchmarks: GOP-parallel scaling and workload characterisation.
+
+These cover the two analyses the paper leaves as future work (Section VII
+parallel codecs; the companion-paper-style kernel breakdown).  Speed-up is
+bounded by the machine's core count — the chunking *overhead* (extra I
+frames, extra bits) is measured regardless.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, run_once
+from repro.bench.characterize import characterize_decode, characterize_encode
+from repro.codecs import get_encoder
+from repro.parallel import parallel_encode
+
+
+@pytest.mark.parametrize("chunks", [1, 2, 4])
+def test_parallel_chunking(benchmark, chunks, video, tier):
+    fields = BENCH.encoder_fields("mpeg4", tier)
+    stream = run_once(
+        benchmark,
+        lambda: parallel_encode("mpeg4", video, workers=chunks, chunks=chunks, **fields),
+    )
+    benchmark.extra_info["chunks"] = chunks
+    benchmark.extra_info["bytes"] = stream.total_bytes
+
+
+def test_parallel_overhead_grows_with_chunks(video, tier):
+    fields = BENCH.encoder_fields("mpeg4", tier)
+    sizes = [
+        parallel_encode("mpeg4", video, workers=1, chunks=chunks, **fields).total_bytes
+        for chunks in (1, 2)
+    ]
+    assert sizes[1] >= sizes[0]
+
+
+@pytest.mark.parametrize("codec", ("mpeg2", "mpeg4", "h264"))
+def test_characterize_encode(benchmark, codec, video, tier):
+    fields = BENCH.encoder_fields(codec, tier)
+
+    def measure():
+        profile, _ = characterize_encode(codec, video, **fields)
+        return profile
+
+    profile = run_once(benchmark, measure)
+    top = profile.top(3)
+    benchmark.extra_info["top_kernels"] = {
+        name: stats.samples for name, stats in top
+    }
+    assert profile.total_calls > 0
+
+
+@pytest.mark.parametrize("codec", ("mpeg2", "mpeg4", "h264"))
+def test_characterize_decode(benchmark, codec, video, tier, encoded_streams):
+    def measure():
+        profile, _ = characterize_decode(codec, encoded_streams[codec])
+        return profile
+
+    profile = run_once(benchmark, measure)
+    benchmark.extra_info["top_kernels"] = {
+        name: stats.samples for name, stats in profile.top(3)
+    }
+    assert profile.kernels["sad"].calls == 0  # no motion search in decode

@@ -1,0 +1,41 @@
+"""Table V: rate-distortion of the three codecs at constant QP.
+
+Each benchmark times one codec's full encode+decode measurement and
+records the Table V columns (PSNR, bitrate) in ``extra_info``; the
+ordering assertions mirror the paper's findings (MPEG-2 needs the most
+bits, H.264 the fewest, at comparable PSNR).
+
+Full regeneration of the table: ``hdvb-bench table5``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH, CODECS, run_once
+from repro.bench.ratedistortion import run_rate_distortion
+from repro.common.metrics import sequence_psnr
+from repro.codecs import get_decoder, get_encoder
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_table5_codec(benchmark, codec, video, tier):
+    def measure():
+        encoder = get_encoder(codec, **BENCH.encoder_fields(codec, tier))
+        stream = encoder.encode_sequence(video)
+        decoded = get_decoder(codec).decode(stream)
+        return stream, sequence_psnr(video, decoded)
+
+    stream, psnr = run_once(benchmark, measure)
+    benchmark.extra_info["psnr_db"] = round(psnr.combined, 2)
+    benchmark.extra_info["bitrate_kbps"] = round(stream.bitrate_kbps, 1)
+    benchmark.extra_info["bytes"] = stream.total_bytes
+    assert psnr.combined > 33.0
+
+
+def test_table5_orderings(benchmark):
+    rows = run_once(benchmark, lambda: run_rate_distortion(BENCH))
+    by_codec = {row.codec: row for row in rows}
+    benchmark.extra_info["bitrates"] = {
+        codec: round(row.bitrate_kbps, 1) for codec, row in by_codec.items()
+    }
+    assert by_codec["mpeg2"].bitrate_kbps > by_codec["mpeg4"].bitrate_kbps
+    assert by_codec["mpeg4"].bitrate_kbps > by_codec["h264"].bitrate_kbps

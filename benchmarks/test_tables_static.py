@@ -1,0 +1,29 @@
+"""Tables I-IV: the descriptive tables of the paper.
+
+These render instantly; the benchmarks exist so that ``pytest benchmarks/``
+regenerates *every* table and figure of the paper in one run.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.commands import render_table4
+from repro.bench.registry_tables import render_table1, render_table2, render_table3
+
+
+def test_table1_existing_benchmarks(benchmark):
+    text = run_once(benchmark, render_table1)
+    assert "Mediabench" in text
+
+
+def test_table2_applications(benchmark):
+    text = run_once(benchmark, render_table2)
+    assert "x264" in text
+
+
+def test_table3_input_sequences(benchmark):
+    text = run_once(benchmark, render_table3)
+    assert "riverbed" in text
+
+
+def test_table4_commands(benchmark):
+    text = run_once(benchmark, render_table4)
+    assert "hdvb-mencoder" in text

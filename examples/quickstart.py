@@ -1,0 +1,38 @@
+"""Quickstart: generate a clip, encode it with H.264, decode, measure quality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import generate_sequence, get_decoder, get_encoder, sequence_psnr
+from repro.codecs import container
+
+
+def main() -> None:
+    # 1. One of the four HD-VideoBench sequences, at a benchmark-scaled
+    #    "576p25" tier (96x80) so the example runs in seconds.
+    video = generate_sequence("blue_sky", "576p25", frames=9, scale=(1, 8))
+    print(f"generated {video.name}: {video.width}x{video.height}, "
+          f"{len(video)} frames at {video.fps} fps")
+
+    # 2. Encode with the H.264-class codec at the paper's settings
+    #    (QP 26 = Equation 1 applied to qscale 5, hexagon search, I-P-B-B).
+    encoder = get_encoder("h264", width=video.width, height=video.height, qp=26)
+    stream = encoder.encode_sequence(video)
+    print(f"encoded: {stream.total_bytes} bytes "
+          f"({stream.bitrate_kbps:.1f} kbit/s), "
+          f"frame types {dict((str(k), v) for k, v in stream.frame_types().items())}")
+
+    # 3. Containers round-trip through bytes/files like any codec stream.
+    packed = container.pack(stream)
+    stream = container.unpack(packed)
+
+    # 4. Decode and measure PSNR against the source.
+    decoded = get_decoder("h264").decode(stream)
+    psnr = sequence_psnr(video, decoded)
+    print(f"decoded {len(decoded)} frames; "
+          f"PSNR Y={psnr.y:.2f} U={psnr.u:.2f} V={psnr.v:.2f} dB "
+          f"(combined {psnr.combined:.2f} dB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Run the full benchmark campaign and dump results for EXPERIMENTS.md.
+
+Regenerates Table V and all four Figure 1 panels at the default benchmark
+scale (1/8 linear, 9 frames, constant QP per Equation 1), plus the SIMD
+speed-up and real-time aggregates the paper quotes in Section VI.
+
+    python scripts/run_experiments.py [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.config import BenchConfig
+from repro.bench.performance import (
+    FIGURE1_PARTS,
+    average_fps,
+    render_performance,
+    run_figure1_part,
+    simd_speedups,
+)
+from repro.bench.ratedistortion import render_rate_distortion, run_rate_distortion
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
+    config = BenchConfig(frames=9, runs=1, warmup=0)
+    sections = []
+    started = time.time()
+
+    print("running Table V ...", flush=True)
+    rd_rows = run_rate_distortion(config, progress=lambda m: print("  " + m, flush=True))
+    sections.append(render_rate_distortion(rd_rows))
+
+    figure_rows = {}
+    for part in ("a", "b", "c", "d"):
+        operation, backend = FIGURE1_PARTS[part]
+        print(f"running Figure 1({part}) [{operation}/{backend}] ...", flush=True)
+        rows = run_figure1_part(config, part,
+                                progress=lambda m: print("  " + m, flush=True))
+        figure_rows[part] = rows
+        sections.append(render_performance(
+            rows, f"Figure 1({part}): {operation} performance, {backend} backend"
+        ))
+
+    lines = ["SIMD speed-ups (average over sequences and resolutions):"]
+    for operation, scalar_part, simd_part in (("decode", "a", "b"), ("encode", "c", "d")):
+        speedups = simd_speedups(figure_rows[scalar_part], figure_rows[simd_part])
+        for codec, value in speedups.items():
+            lines.append(f"  {operation} {codec}: {value:.2f}x")
+    sections.append("\n".join(lines))
+
+    lines = ["Average fps per (codec, resolution):"]
+    for part in ("a", "b", "c", "d"):
+        operation, backend = FIGURE1_PARTS[part]
+        lines.append(f"  Figure 1({part}) {operation}/{backend}:")
+        for (codec, resolution), fps in average_fps(figure_rows[part]).items():
+            marker = "real-time" if fps >= 25.0 else "below-25fps"
+            lines.append(f"    {codec:6s} {resolution:8s} {fps:8.2f} fps  {marker}")
+    sections.append("\n".join(lines))
+
+    elapsed = time.time() - started
+    sections.append(f"campaign wall time: {elapsed:.0f}s "
+                    f"(scale {config.scale}, {config.frames} frames, {config.runs} run)")
+    with open(output_path, "w") as handle:
+        handle.write("\n\n".join(sections) + "\n")
+    print(f"wrote {output_path} in {elapsed:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the PEP 660 path is
+unavailable (offline environments without the ``wheel`` package)."""
+
+from setuptools import setup
+
+setup()

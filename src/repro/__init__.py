@@ -1,0 +1,59 @@
+"""HD-VideoBench reproduction.
+
+A pure-Python (+NumPy) reimplementation of the benchmark described in
+"HD-VideoBench: A Benchmark for Evaluating High Definition Digital Video
+Applications" (Alvarez et al., IISWC 2007): MPEG-2, MPEG-4 ASP and
+H.264-class video codecs with scalar and SIMD kernel backends, the four
+HD-VideoBench input sequences as procedural generators, and the harness
+that regenerates the paper's Table V and Figure 1.
+
+Quickstart::
+
+    from repro import generate_sequence, get_encoder, get_decoder
+
+    video = generate_sequence("blue_sky", "576p25", frames=9, scale=(1, 8))
+    encoder = get_encoder("h264", width=video.width, height=video.height)
+    stream = encoder.encode_sequence(video)
+    decoded = get_decoder("h264").decode(stream)
+"""
+
+__version__ = "1.0.0"
+
+from repro.codecs import (
+    CODEC_NAMES,
+    EXTENSION_CODEC_NAMES,
+    get_decoder,
+    get_encoder,
+)
+from repro.common import (
+    FrameType,
+    GopStructure,
+    Resolution,
+    YuvFrame,
+    YuvSequence,
+    frame_psnr,
+    sequence_psnr,
+)
+from repro.kernels import BACKEND_NAMES, get_kernels
+from repro.sequences import SEQUENCE_NAMES, generate_sequence
+from repro.transform import h264_qp_from_mpeg
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CODEC_NAMES",
+    "EXTENSION_CODEC_NAMES",
+    "FrameType",
+    "GopStructure",
+    "Resolution",
+    "SEQUENCE_NAMES",
+    "YuvFrame",
+    "YuvSequence",
+    "__version__",
+    "frame_psnr",
+    "generate_sequence",
+    "get_decoder",
+    "get_encoder",
+    "get_kernels",
+    "h264_qp_from_mpeg",
+    "sequence_psnr",
+]

@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.config import BenchConfig, quick_config
+from repro.bench.harness import REAL_TIME_FPS, Timing, time_callable
+from repro.bench.performance import (
+    FIGURE1_PARTS,
+    FpsRow,
+    average_fps,
+    real_time_summary,
+    run_figure1_part,
+    run_performance,
+    simd_speedups,
+)
+from repro.bench.ratedistortion import (
+    RdRow,
+    compression_gains,
+    render_rate_distortion,
+    run_rate_distortion,
+)
+
+__all__ = [
+    "BenchConfig",
+    "FIGURE1_PARTS",
+    "FpsRow",
+    "REAL_TIME_FPS",
+    "RdRow",
+    "Timing",
+    "average_fps",
+    "compression_gains",
+    "quick_config",
+    "real_time_summary",
+    "render_rate_distortion",
+    "run_figure1_part",
+    "run_performance",
+    "run_rate_distortion",
+    "simd_speedups",
+    "time_callable",
+]

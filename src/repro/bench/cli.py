@@ -1,0 +1,202 @@
+"""``hdvb-bench``: regenerate every table and figure of the paper.
+
+    hdvb-bench table1|table2|table3|table4   # descriptive tables
+    hdvb-bench table5 [--scale 1/8 --frames 9]
+    hdvb-bench figure1 [--part a|b|c|d|all] [--realtime]
+    hdvb-bench speedups                      # SIMD speed-up aggregate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.bench import commands as commands_module
+from repro.bench import registry_tables
+from repro.bench.config import BenchConfig
+from repro.bench.performance import (
+    FIGURE1_PARTS,
+    render_performance,
+    run_figure1_part,
+    run_performance,
+    simd_speedups,
+)
+from repro.bench.ratedistortion import render_rate_distortion, run_rate_distortion
+from repro.errors import ReproError
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="1/8",
+                        help="linear tier scale, e.g. 1/8 or 1 (full size)")
+    parser.add_argument("--frames", type=int, default=9,
+                        help="frames per sequence (paper: 100)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timed runs per measurement (paper: 5)")
+    parser.add_argument("--qscale", type=int, default=5,
+                        help="MPEG quantiser scale (H.264 QP follows Eq. 1)")
+    parser.add_argument("--sequences", default="",
+                        help="comma-separated subset of sequences")
+    parser.add_argument("--tiers", default="",
+                        help="comma-separated subset of resolution tiers")
+    parser.add_argument("--codecs", default="",
+                        help="comma-separated codecs (paper trio by default; "
+                             "extensions: mjpeg, vc1)")
+
+
+def _config_from_args(args) -> BenchConfig:
+    fields = dict(
+        scale=Fraction(args.scale),
+        frames=args.frames,
+        runs=args.runs,
+        qscale=args.qscale,
+    )
+    if args.sequences:
+        fields["sequences"] = tuple(args.sequences.split(","))
+    if args.tiers:
+        fields["tier_names"] = tuple(args.tiers.split(","))
+    if getattr(args, "codecs", ""):
+        fields["codecs"] = tuple(args.codecs.split(","))
+    return BenchConfig(**fields)
+
+
+def _progress(message: str) -> None:
+    print(f"  .. {message}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-bench",
+        description="Regenerate the tables and figures of the HD-VideoBench paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="survey of existing multimedia benchmarks")
+    sub.add_parser("table2", help="the HD-VideoBench applications")
+    sub.add_parser("table3", help="the input sequences")
+    sub.add_parser("table4", help="execution command lines")
+
+    t5 = sub.add_parser("table5", help="rate-distortion comparison")
+    _add_config_arguments(t5)
+
+    f1 = sub.add_parser("figure1", help="decode/encode throughput, scalar vs SIMD")
+    _add_config_arguments(f1)
+    f1.add_argument("--part", default="all", choices=tuple(FIGURE1_PARTS) + ("all",),
+                    help="panel: a=decode scalar, b=decode simd, "
+                         "c=encode scalar, d=encode simd")
+
+    sp = sub.add_parser("speedups", help="per-codec SIMD speed-ups (decode + encode)")
+    _add_config_arguments(sp)
+
+    ch = sub.add_parser("characterize",
+                        help="per-kernel workload breakdown (encode + decode)")
+    _add_config_arguments(ch)
+    ch.add_argument("--codec", default="",
+                    help="restrict to one codec (default: all three)")
+
+    bd = sub.add_parser("bdrate",
+                        help="Bjøntegaard deltas vs the MPEG-2 anchor "
+                             "(quantiser sweep RD curves)")
+    _add_config_arguments(bd)
+    bd.add_argument("--qscales", default="2,4,8,16",
+                    help="comma-separated quantiser sweep points (>= 4)")
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"hdvb-bench: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "table1":
+        print(registry_tables.render_table1())
+    elif args.command == "table2":
+        print(registry_tables.render_table2())
+    elif args.command == "table3":
+        print(registry_tables.render_table3())
+    elif args.command == "table4":
+        print(commands_module.render_table4())
+    elif args.command == "table5":
+        config = _config_from_args(args)
+        rows = run_rate_distortion(config, progress=_progress)
+        print(render_rate_distortion(rows))
+    elif args.command == "figure1":
+        config = _config_from_args(args)
+        parts = list(FIGURE1_PARTS) if args.part == "all" else [args.part]
+        for part in parts:
+            operation, backend = FIGURE1_PARTS[part]
+            rows = run_figure1_part(config, part, progress=_progress)
+            title = f"Figure 1({part}): {operation} performance, {backend} backend"
+            print(render_performance(rows, title))
+            print()
+    elif args.command == "speedups":
+        config = _config_from_args(args)
+        for operation in ("decode", "encode"):
+            scalar = run_performance(config, operation, "scalar", progress=_progress)
+            simd = run_performance(config, operation, "simd", progress=_progress)
+            print(f"{operation} SIMD speed-ups:")
+            for codec, value in simd_speedups(scalar, simd).items():
+                print(f"  {codec}: {value:.2f}x")
+    elif args.command == "characterize":
+        _run_characterize(args)
+    elif args.command == "bdrate":
+        _run_bdrate(args)
+    return 0
+
+
+def _run_bdrate(args) -> None:
+    from dataclasses import replace
+
+    from repro.bench.ratedistortion import run_rate_distortion
+    from repro.common.bdrate import bd_psnr, bd_rate, rd_points_from_rows
+
+    base = _config_from_args(args)
+    qscales = sorted(int(value) for value in args.qscales.split(","))
+    all_rows = []
+    for qscale in qscales:
+        config = replace(base, qscale=qscale)
+        all_rows.extend(run_rate_distortion(config, progress=_progress))
+
+    anchor = "mpeg2"
+    sequence = base.sequences[0]
+    resolution = base.tier_names[0]
+    anchor_points = rd_points_from_rows(all_rows, anchor, sequence, resolution)
+    print(f"Bjøntegaard deltas vs {anchor} "
+          f"({sequence}, {resolution}, qscales {qscales}):")
+    for codec in base.codecs:
+        if codec == anchor:
+            continue
+        points = rd_points_from_rows(all_rows, codec, sequence, resolution)
+        print(f"  {codec}: BD-rate {bd_rate(anchor_points, points):+.1f}%  "
+              f"BD-PSNR {bd_psnr(anchor_points, points):+.2f} dB")
+
+
+def _run_characterize(args) -> None:
+    from repro.bench.characterize import (
+        characterize_decode,
+        characterize_encode,
+        render_profile,
+    )
+    from repro.sequences import generate_sequence
+
+    config = _config_from_args(args)
+    codecs = (args.codec,) if args.codec else config.codecs
+    tier = config.tiers()[0]
+    video = generate_sequence(
+        config.sequences[0], tier.name, frames=config.frames, scale=config.scale
+    )
+    for codec in codecs:
+        _progress(f"characterize {codec}")
+        fields = config.encoder_fields(codec, tier)
+        encode_profile, stream = characterize_encode(codec, video, **fields)
+        decode_profile, _ = characterize_decode(codec, stream)
+        print(render_profile(encode_profile))
+        print()
+        print(render_profile(decode_profile))
+        print()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Table IV: the execution command lines of the benchmark.
+
+The paper's Table IV lists one MPlayer/MEncoder/x264 command per
+application; this module generates the equivalents for this library's
+front end, so ``hdvb-bench table4`` documents exactly how to run each
+benchmark application by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bench.report import render_table
+from repro.transform.qp import h264_qp_from_mpeg
+
+
+@dataclass(frozen=True)
+class CommandEntry:
+    codec: str
+    application: str
+    command: str
+
+
+def command_table(sequence: str = "blue_sky", tier: str = "576p25",
+                  width: int = 720, height: int = 576,
+                  qscale: int = 5) -> Tuple[CommandEntry, ...]:
+    """The six benchmark commands for one (sequence, resolution) pair."""
+    yuv = f"yuv/{tier}_{sequence}.yuv"
+    qp = h264_qp_from_mpeg(qscale)
+    raw = f"fps=25:w={width}:h={height}"
+    return (
+        CommandEntry(
+            "MPEG-2 decoder", "libmpeg2",
+            f"hdvb-player mpeg2/{tier}_{sequence}.hdvb -vc mpeg12 -nosound "
+            f"-vo null -benchmark",
+        ),
+        CommandEntry(
+            "MPEG-2 encoder", "FFmpeg-mpeg2",
+            f"hdvb-mencoder {yuv} -demuxer rawvideo -rawvideo {raw} "
+            f"-o out/{tier}_{sequence}_mpeg2.hdvb -ofps 25 -ovc lavc "
+            f"-lavcopts vcodec=mpeg2video:vqscale={qscale}:psnr",
+        ),
+        CommandEntry(
+            "MPEG-4 decoder", "Xvid",
+            f"hdvb-player mpeg4/{tier}_{sequence}.hdvb -vc xvid -nosound "
+            f"-vo null -benchmark",
+        ),
+        CommandEntry(
+            "MPEG-4 encoder", "Xvid",
+            f"hdvb-mencoder {yuv} -demuxer rawvideo -rawvideo {raw} "
+            f"-o out/{tier}_{sequence}_mpeg4.hdvb -ofps 25 -ovc xvid "
+            f"-xvidencopts fixed_quant={qscale}:qpel:psnr",
+        ),
+        CommandEntry(
+            "H.264 decoder", "FFmpeg-h264",
+            f"hdvb-player h264/{tier}_{sequence}.hdvb -vc ffh264 -nosound "
+            f"-vo null -benchmark",
+        ),
+        CommandEntry(
+            "H.264 encoder", "x264",
+            f"hdvb-mencoder {yuv} -demuxer rawvideo -rawvideo {raw} "
+            f"-o out/{tier}_{sequence}_h264.hdvb -ofps 25 -ovc x264 "
+            f"-x264encopts qp={qp}:me=hex:merange=24:ref=2:psnr",
+        ),
+    )
+
+
+def render_table4(**kwargs) -> str:
+    rows: List[Tuple[str, str, str]] = [
+        (entry.codec, entry.application, entry.command)
+        for entry in command_table(**kwargs)
+    ]
+    return render_table(
+        ["Codec", "Application", "Execution command"],
+        rows,
+        title="Table IV: HD-VideoBench execution commands",
+    )

@@ -1,0 +1,169 @@
+"""Figure 1 driver: decode/encode throughput, scalar vs SIMD.
+
+Measures frames-per-second for every (codec, sequence, resolution tier)
+combination — the bar groups of Figure 1(a-d) — for both kernel backends,
+and derives the aggregates the paper quotes: per-codec SIMD speed-ups and
+real-time (25 fps) feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.config import BenchConfig
+from repro.bench.harness import REAL_TIME_FPS, Timing, time_callable
+from repro.bench.report import render_bars, render_table
+from repro.codecs import get_decoder, get_encoder
+from repro.common.metrics import mean
+from repro.errors import ConfigError
+from repro.sequences import generate_sequence
+
+OPERATIONS = ("decode", "encode")
+BACKENDS = ("scalar", "simd")
+
+#: Figure 1 panel ids -> (operation, backend).
+FIGURE1_PARTS = {
+    "a": ("decode", "scalar"),
+    "b": ("decode", "simd"),
+    "c": ("encode", "scalar"),
+    "d": ("encode", "simd"),
+}
+
+
+@dataclass(frozen=True)
+class FpsRow:
+    """One bar of Figure 1."""
+
+    operation: str
+    backend: str
+    codec: str
+    sequence: str
+    resolution: str
+    fps: float
+    real_time: bool
+
+
+def _measure(config: BenchConfig, operation: str, backend: str, codec: str,
+             sequence_name: str, tier) -> Timing:
+    video = generate_sequence(
+        sequence_name, tier.name, frames=config.frames, scale=config.scale
+    )
+    fields = config.encoder_fields(codec, tier, backend=backend)
+    if operation == "encode":
+        def run():
+            get_encoder(codec, **fields).encode_sequence(video)
+
+        return time_callable(run, len(video), runs=config.runs, warmup=config.warmup)
+    # Decode: pre-encode once (stream is backend independent — the
+    # backends are bit-exact), then time the decoder.
+    stream = get_encoder(codec, **config.encoder_fields(codec, tier)).encode_sequence(video)
+
+    def run():
+        get_decoder(codec, backend=backend).decode(stream)
+
+    return time_callable(run, len(video), runs=config.runs, warmup=config.warmup)
+
+
+def run_performance(config: BenchConfig, operation: str, backend: str,
+                    progress=None) -> List[FpsRow]:
+    """Measure one Figure 1 panel (one operation x backend)."""
+    if operation not in OPERATIONS:
+        raise ConfigError(f"operation must be one of {OPERATIONS}, got {operation!r}")
+    if backend not in BACKENDS:
+        raise ConfigError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    rows: List[FpsRow] = []
+    for codec in config.codecs:
+        for tier in config.tiers():
+            for sequence_name in config.sequences:
+                if progress:
+                    progress(f"{operation}/{backend} {codec} {tier.name} {sequence_name}")
+                timing = _measure(config, operation, backend, codec, sequence_name, tier)
+                rows.append(
+                    FpsRow(
+                        operation=operation,
+                        backend=backend,
+                        codec=codec,
+                        sequence=sequence_name,
+                        resolution=tier.name,
+                        fps=timing.fps,
+                        real_time=timing.real_time,
+                    )
+                )
+    return rows
+
+
+def run_figure1_part(config: BenchConfig, part: str, progress=None) -> List[FpsRow]:
+    """Measure Figure 1(a), (b), (c) or (d)."""
+    try:
+        operation, backend = FIGURE1_PARTS[part]
+    except KeyError:
+        raise ConfigError(f"figure 1 part must be one of a, b, c, d; got {part!r}") from None
+    return run_performance(config, operation, backend, progress=progress)
+
+
+def average_fps(rows: List[FpsRow]) -> Dict[Tuple[str, str], float]:
+    """Mean fps per (codec, resolution), averaging over sequences."""
+    keys = sorted({(row.codec, row.resolution) for row in rows})
+    return {
+        key: mean(row.fps for row in rows if (row.codec, row.resolution) == key)
+        for key in keys
+    }
+
+
+def simd_speedups(scalar_rows: List[FpsRow], simd_rows: List[FpsRow]) -> Dict[str, float]:
+    """Per-codec SIMD speed-up averaged over sequences and resolutions.
+
+    The aggregate the paper quotes: decode 2.13x/1.88x/1.55x and encode
+    2.46x/2.42x/2.31x for MPEG-2/MPEG-4/H.264.
+    """
+    speedups: Dict[str, float] = {}
+    codecs = sorted({row.codec for row in scalar_rows})
+    for codec in codecs:
+        ratios = []
+        for scalar_row in scalar_rows:
+            if scalar_row.codec != codec:
+                continue
+            match = _find(simd_rows, codec, scalar_row.sequence, scalar_row.resolution)
+            if match and scalar_row.fps > 0:
+                ratios.append(match.fps / scalar_row.fps)
+        if ratios:
+            speedups[codec] = mean(ratios)
+    return speedups
+
+
+def _find(rows: List[FpsRow], codec: str, sequence: str,
+          resolution: str) -> Optional[FpsRow]:
+    for row in rows:
+        if (row.codec, row.sequence, row.resolution) == (codec, sequence, resolution):
+            return row
+    return None
+
+
+def real_time_summary(rows: List[FpsRow]) -> Dict[Tuple[str, str], bool]:
+    """Is (codec, resolution) real-time on average, per the 25 fps line?"""
+    return {
+        key: value >= REAL_TIME_FPS for key, value in average_fps(rows).items()
+    }
+
+
+def render_performance(rows: List[FpsRow], title: str) -> str:
+    """Render one Figure 1 panel as a table plus a bar chart of averages."""
+    table = render_table(
+        ["Codec", "Resolution", "Sequence", "fps", "real-time"],
+        [
+            (row.codec, row.resolution, row.sequence, f"{row.fps:.2f}",
+             "yes" if row.real_time else "no")
+            for row in rows
+        ],
+        title=title,
+    )
+    averages = average_fps(rows)
+    labels = [f"{codec} {resolution}" for codec, resolution in averages]
+    chart = render_bars(
+        labels,
+        list(averages.values()),
+        reference=REAL_TIME_FPS,
+        reference_label="25 fps real time",
+    )
+    return table + "\n\nAverage fps over sequences:\n" + chart

@@ -1,0 +1,128 @@
+"""Table V driver: rate-distortion comparison of the three codecs.
+
+Encodes every (sequence, resolution tier) pair with each codec at the
+constant-QP settings (qscale 5 / QP 26 via Equation 1), decodes, and
+reports PSNR and bitrate — the two columns of Table V — plus the derived
+compression gains quoted in Section VI of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.config import BenchConfig
+from repro.bench.report import render_table
+from repro.codecs import get_decoder, get_encoder
+from repro.common.metrics import FramePsnr, compression_gain, mean, sequence_psnr
+from repro.common.resolution import Resolution
+from repro.sequences import generate_sequence
+
+
+@dataclass(frozen=True)
+class RdRow:
+    """One cell group of Table V."""
+
+    resolution: str
+    sequence: str
+    codec: str
+    psnr: FramePsnr
+    bitrate_kbps: float
+    total_bytes: int
+
+
+def run_rate_distortion(config: BenchConfig,
+                        progress=None) -> List[RdRow]:
+    """Run the full Table V campaign under ``config``."""
+    rows: List[RdRow] = []
+    for tier in config.tiers():
+        for sequence_name in config.sequences:
+            video = generate_sequence(
+                sequence_name, tier.name, frames=config.frames, scale=config.scale
+            )
+            for codec in config.codecs:
+                if progress:
+                    progress(f"{tier.name} {sequence_name} {codec}")
+                encoder = get_encoder(codec, **config.encoder_fields(codec, tier))
+                stream = encoder.encode_sequence(video)
+                decoded = get_decoder(codec).decode(stream)
+                rows.append(
+                    RdRow(
+                        resolution=tier.name,
+                        sequence=sequence_name,
+                        codec=codec,
+                        psnr=sequence_psnr(video, decoded),
+                        bitrate_kbps=stream.bitrate_kbps,
+                        total_bytes=stream.total_bytes,
+                    )
+                )
+    return rows
+
+
+def _lookup(rows: Iterable[RdRow], resolution: str, sequence: str,
+            codec: str) -> Optional[RdRow]:
+    for row in rows:
+        if (row.resolution, row.sequence, row.codec) == (resolution, sequence, codec):
+            return row
+    return None
+
+
+def compression_gains(rows: List[RdRow]) -> Dict[Tuple[str, str], float]:
+    """Average per-resolution gains, as quoted in Section VI.
+
+    Keys are (resolution, comparison) with comparisons ``"mpeg4_vs_mpeg2"``,
+    ``"h264_vs_mpeg2"`` and ``"h264_vs_mpeg4"``.
+    """
+    comparisons = (
+        ("mpeg4_vs_mpeg2", "mpeg4", "mpeg2"),
+        ("h264_vs_mpeg2", "h264", "mpeg2"),
+        ("h264_vs_mpeg4", "h264", "mpeg4"),
+    )
+    resolutions = sorted({row.resolution for row in rows})
+    sequences = sorted({row.sequence for row in rows})
+    gains: Dict[Tuple[str, str], float] = {}
+    for resolution in resolutions:
+        for name, test, baseline in comparisons:
+            values = []
+            for sequence in sequences:
+                test_row = _lookup(rows, resolution, sequence, test)
+                base_row = _lookup(rows, resolution, sequence, baseline)
+                if test_row and base_row:
+                    values.append(
+                        compression_gain(base_row.bitrate_kbps, test_row.bitrate_kbps)
+                    )
+            if values:
+                gains[(resolution, name)] = mean(values)
+    return gains
+
+
+def render_rate_distortion(rows: List[RdRow]) -> str:
+    """Render the Table V layout: one line per (resolution, sequence)."""
+    codecs = []
+    for row in rows:
+        if row.codec not in codecs:
+            codecs.append(row.codec)
+    headers = ["Resolution", "Input"]
+    for codec in codecs:
+        headers.extend([f"{codec} PSNR", f"{codec} kbit/s"])
+    table_rows = []
+    seen = []
+    for row in rows:
+        key = (row.resolution, row.sequence)
+        if key in seen:
+            continue
+        seen.append(key)
+        line: List[object] = [row.resolution, row.sequence]
+        for codec in codecs:
+            cell = _lookup(rows, row.resolution, row.sequence, codec)
+            if cell is None:
+                line.extend(["-", "-"])
+            else:
+                line.extend([f"{cell.psnr.combined:.2f}", f"{cell.bitrate_kbps:.0f}"])
+        table_rows.append(line)
+    body = render_table(headers, table_rows,
+                        title="Table V: rate-distortion comparison (constant QP)")
+    gain_lines = ["", "Compression gains (average over sequences):"]
+    for (resolution, name), value in sorted(compression_gains(rows).items()):
+        gain_lines.append(f"  {resolution} {name.replace('_', ' ')}: {value:.1f}%")
+    return body + "\n" + "\n".join(gain_lines)

@@ -1,0 +1,124 @@
+"""The paper's descriptive tables (I, II, III) as structured data.
+
+Table I surveys prior multimedia benchmarks, Table II lists the
+HD-VideoBench applications, Table III the input sequences.  The data is
+reproduced verbatim from the paper so the CLI can regenerate the tables;
+Table III descriptions double as the specification the procedural sequence
+generators implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bench.report import render_table
+from repro.common.resolution import PAPER_FRAME_COUNT, PAPER_TIERS
+from repro.sequences import SEQUENCE_NAMES, get_generator
+
+
+@dataclass(frozen=True)
+class BenchmarkSurveyEntry:
+    """One row of Table I."""
+
+    name: str
+    release: str
+    license: str
+    video_applications: Tuple[str, ...]
+    input_sequences: str
+
+
+TABLE_I: Tuple[BenchmarkSurveyEntry, ...] = (
+    BenchmarkSurveyEntry(
+        "Mediabench I", "1997", "Free",
+        ("MPEG-2 decoder (MSSG)", "MPEG-2 encoder (MSSG)"),
+        "352x240, 30 fps, 4 frames",
+    ),
+    BenchmarkSurveyEntry(
+        "Mediabench+", "1999", "Free",
+        ("MPEG-2 decoder (MSSG)", "MPEG-2 encoder (MSSG)",
+         "H.263 encoder (Telenor)", "H.263 decoder (Telenor)"),
+        "n.a.",
+    ),
+    BenchmarkSurveyEntry(
+        "Mediabench II", "2006", "Free",
+        ("MPEG-2 codec (MSSG)", "MPEG-4 codec (FFmpeg)",
+         "H.263 codec (Telenor)", "H.264 codec (JM 10.2)"),
+        "704x576, 10 frames, 25 fps",
+    ),
+    BenchmarkSurveyEntry(
+        "Berkeley Multimedia Workload", "2000", "Free",
+        ("MPEG-2 encoder (MSSG)", "MPEG-2 decoder (MSSG)"),
+        "720x576p, 1280x720p, 1920x1080p (16 frames)",
+    ),
+    BenchmarkSurveyEntry(
+        "EEMBC Digital Entertainment", "2005", "Closed",
+        ("MPEG-2 codec (MSSG)", "MPEG-4 codec (Xvid)"),
+        "192x192 .. 720x480, 30-50 frames",
+    ),
+    BenchmarkSurveyEntry(
+        "BDTI Video Benchmarks", "2006", "Closed",
+        ("H.264-like decoder", "H.264-like encoder"),
+        "n.a.",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ApplicationEntry:
+    """One row of Table II."""
+
+    application: str
+    description: str
+    codec: str
+    role: str
+
+
+TABLE_II: Tuple[ApplicationEntry, ...] = (
+    ApplicationEntry("libmpeg2", "MPEG-2 video decoding", "mpeg2", "decoder"),
+    ApplicationEntry("ffmpeg-mpeg2", "MPEG-2 video encoding", "mpeg2", "encoder"),
+    ApplicationEntry("Xvid", "MPEG-4 video decoding", "mpeg4", "decoder"),
+    ApplicationEntry("Xvid", "MPEG-4 video encoding", "mpeg4", "encoder"),
+    ApplicationEntry("ffmpeg-h264", "H.264 video decoding", "h264", "decoder"),
+    ApplicationEntry("x264", "H.264 video encoding", "h264", "encoder"),
+)
+
+
+def render_table1() -> str:
+    rows = [
+        (entry.name, entry.release, entry.license,
+         "; ".join(entry.video_applications), entry.input_sequences)
+        for entry in TABLE_I
+    ]
+    return render_table(
+        ["Benchmark", "Release", "License", "Video applications", "Input sequences"],
+        rows,
+        title="Table I: existing multimedia benchmarks",
+    )
+
+
+def render_table2() -> str:
+    rows = [
+        (entry.application, entry.description, f"repro codec: {entry.codec} {entry.role}")
+        for entry in TABLE_II
+    ]
+    return render_table(
+        ["Application", "Description", "Reproduced by"],
+        rows,
+        title="Table II: HD-VideoBench applications",
+    )
+
+
+def render_table3() -> str:
+    rows: List[Tuple[str, str, str, str, str]] = []
+    resolutions = ", ".join(f"{t.width}x{t.height}" for t in PAPER_TIERS)
+    for name in SEQUENCE_NAMES:
+        generator = get_generator(name)
+        rows.append(
+            (name, resolutions, "25", str(PAPER_FRAME_COUNT), generator.description)
+        )
+    return render_table(
+        ["Test sequence", "Resolutions", "fps", "Frames", "Comments"],
+        rows,
+        title="Table III: HD-VideoBench input sequences",
+    )

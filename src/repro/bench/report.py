@@ -1,0 +1,52 @@
+"""Plain-text rendering of benchmark tables and bar charts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                unit: str = "fps", width: int = 46,
+                reference: float = 0.0, reference_label: str = "") -> str:
+    """Render a horizontal ASCII bar chart (Figure 1 style).
+
+    ``reference`` draws a marker column (the 25 fps real-time line in the
+    paper's plots).
+    """
+    if not labels:
+        return "(no data)"
+    peak = max(list(values) + [reference if reference else 0.0])
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        length = int(round(width * value / peak))
+        bar = "#" * length
+        if reference:
+            marker = int(round(width * reference / peak))
+            if marker >= len(bar):
+                bar = bar.ljust(marker) + "|"
+        lines.append(f"{label.ljust(label_width)} {bar} {value:.2f} {unit}")
+    if reference and reference_label:
+        lines.append(f"{'':{label_width}} ('|' marks {reference_label})")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Codec registry: the HD-VideoBench applications (Table II of the paper).
+
+Maps benchmark codec names to encoder/decoder implementations:
+
+========  =============================  ==============================
+name      paper encode application        paper decode application
+========  =============================  ==============================
+mpeg2     FFmpeg MPEG-2 encoder           libmpeg2
+mpeg4     Xvid (MPEG-4 ASP)               Xvid
+h264      x264                            FFmpeg H.264 decoder
+========  =============================  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.codecs.base import (
+    CodecConfig,
+    EncodedPicture,
+    EncodedVideo,
+    EncoderStats,
+    VideoDecoder,
+    VideoEncoder,
+)
+from repro.errors import ConfigError
+
+#: Codec names in the order the paper reports them.
+CODEC_NAMES: Tuple[str, ...] = ("mpeg2", "mpeg4", "h264")
+
+#: Extension codecs (Section VII future work: VC-1, Motion-JPEG-2000);
+#: not part of the paper's tables, available through the same registry.
+EXTENSION_CODEC_NAMES: Tuple[str, ...] = ("mjpeg", "vc1")
+
+
+def _entry(codec: str):
+    if codec == "mpeg2":
+        from repro.codecs.mpeg2 import Mpeg2Config, Mpeg2Decoder, Mpeg2Encoder
+
+        return Mpeg2Config, Mpeg2Encoder, Mpeg2Decoder
+    if codec == "mpeg4":
+        from repro.codecs.mpeg4 import Mpeg4Config, Mpeg4Decoder, Mpeg4Encoder
+
+        return Mpeg4Config, Mpeg4Encoder, Mpeg4Decoder
+    if codec == "h264":
+        from repro.codecs.h264 import H264Config, H264Decoder, H264Encoder
+
+        return H264Config, H264Encoder, H264Decoder
+    if codec == "mjpeg":
+        from repro.codecs.mjpeg import MjpegConfig, MjpegDecoder, MjpegEncoder
+
+        return MjpegConfig, MjpegEncoder, MjpegDecoder
+    if codec == "vc1":
+        from repro.codecs.vc1 import Vc1Config, Vc1Decoder, Vc1Encoder
+
+        return Vc1Config, Vc1Encoder, Vc1Decoder
+    known = ", ".join(CODEC_NAMES + EXTENSION_CODEC_NAMES)
+    raise ConfigError(f"unknown codec {codec!r} (known: {known})")
+
+
+def get_config_class(codec: str):
+    """The configuration dataclass for ``codec``."""
+    return _entry(codec)[0]
+
+
+def get_encoder(codec: str, **config_fields) -> VideoEncoder:
+    """Build an encoder for ``codec``.
+
+    ``config_fields`` are passed to the codec's configuration dataclass
+    (``width`` and ``height`` are required)::
+
+        encoder = get_encoder("h264", width=160, height=96, qp=26)
+    """
+    config_cls, encoder_cls, _ = _entry(codec)
+    return encoder_cls(config_cls(**config_fields))
+
+
+def get_decoder(codec: str, backend: str = "simd") -> VideoDecoder:
+    """Build a decoder for ``codec`` using the given kernel backend."""
+    _, _, decoder_cls = _entry(codec)
+    return decoder_cls(backend=backend)
+
+
+__all__ = [
+    "CODEC_NAMES",
+    "CodecConfig",
+    "EncodedPicture",
+    "EncodedVideo",
+    "EncoderStats",
+    "VideoDecoder",
+    "VideoEncoder",
+    "get_config_class",
+    "get_decoder",
+    "get_encoder",
+]

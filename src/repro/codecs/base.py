@@ -1,0 +1,145 @@
+"""Encoder/decoder base classes and the encoded-stream container types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.gop import FrameType, GopStructure, PAPER_GOP
+from repro.common.metrics import bitrate_kbps
+from repro.common.resolution import FRAME_RATE
+from repro.common.yuv import YuvSequence
+from repro.errors import CodecError, ConfigError
+
+
+@dataclass(frozen=True)
+class EncodedPicture:
+    """One coded picture: payload bytes plus scheduling metadata."""
+
+    payload: bytes
+    display_index: int
+    frame_type: FrameType
+
+
+@dataclass
+class EncodedVideo:
+    """A coded sequence: per-picture payloads in coding order."""
+
+    codec: str
+    width: int
+    height: int
+    fps: int
+    pictures: List[EncodedPicture] = field(default_factory=list)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.pictures)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(picture.payload) for picture in self.pictures)
+
+    @property
+    def bitrate_kbps(self) -> float:
+        return bitrate_kbps(self.total_bytes, self.frame_count, self.fps)
+
+    def frame_types(self) -> Dict[FrameType, int]:
+        counts = {FrameType.I: 0, FrameType.P: 0, FrameType.B: 0}
+        for picture in self.pictures:
+            counts[picture.frame_type] += 1
+        return counts
+
+
+@dataclass
+class EncoderStats:
+    """Aggregate statistics collected during an encode."""
+
+    frame_bits: List[int] = field(default_factory=list)
+    intra_macroblocks: int = 0
+    inter_macroblocks: int = 0
+    skipped_macroblocks: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.frame_bits)
+
+    @property
+    def macroblocks(self) -> int:
+        return self.intra_macroblocks + self.inter_macroblocks + self.skipped_macroblocks
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Configuration fields shared by all three codec families."""
+
+    width: int
+    height: int
+    fps: int = FRAME_RATE
+    backend: str = "simd"
+    gop: GopStructure = PAPER_GOP
+    search_range: int = 16
+    me_algorithm: str = "epzs"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigError(f"invalid dimensions {self.width}x{self.height}")
+        if self.width % 16 or self.height % 16:
+            raise ConfigError(
+                f"dimensions must be macroblock aligned, got {self.width}x{self.height}"
+            )
+        if self.fps <= 0:
+            raise ConfigError(f"fps must be positive, got {self.fps}")
+        if self.search_range < 1:
+            raise ConfigError(f"search_range must be >= 1, got {self.search_range}")
+
+    @property
+    def mb_width(self) -> int:
+        return self.width // 16
+
+    @property
+    def mb_height(self) -> int:
+        return self.height // 16
+
+
+class VideoEncoder(abc.ABC):
+    """Base class of the three encoders."""
+
+    #: codec registry name, e.g. ``"mpeg2"``; set by subclasses.
+    codec_name = ""
+
+    def __init__(self, config: CodecConfig) -> None:
+        self.config = config
+        self.stats = EncoderStats()
+
+    @abc.abstractmethod
+    def encode_sequence(self, video: YuvSequence) -> EncodedVideo:
+        """Encode ``video`` and return the coded stream (coding order)."""
+
+    def _check_input(self, video: YuvSequence) -> None:
+        if len(video) == 0:
+            raise CodecError("cannot encode an empty sequence")
+        if (video.width, video.height) != (self.config.width, self.config.height):
+            raise CodecError(
+                f"input is {video.width}x{video.height}, encoder configured for "
+                f"{self.config.width}x{self.config.height}"
+            )
+
+
+class VideoDecoder(abc.ABC):
+    """Base class of the three decoders."""
+
+    codec_name = ""
+
+    @abc.abstractmethod
+    def decode(self, stream: EncodedVideo) -> YuvSequence:
+        """Decode ``stream`` and return frames in display order."""
+
+    def _check_stream(self, stream: EncodedVideo, expect_codec: Optional[str] = None) -> None:
+        expected = expect_codec or self.codec_name
+        if stream.codec != expected:
+            raise CodecError(
+                f"stream is {stream.codec!r}, this decoder handles {expected!r}"
+            )
+        if stream.frame_count == 0:
+            raise CodecError("stream contains no pictures")

@@ -1,0 +1,81 @@
+"""Working frame representation shared by the encoders and decoders.
+
+Codecs operate on ``int64`` planes (the kernel backends are integer-only);
+``WorkingFrame`` converts from/to the public ``uint8`` :class:`YuvFrame`
+and caches edge-padded copies of its planes for motion search/compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.common.yuv import YuvFrame
+from repro.mc.pad import PaddedPlane, pad_plane
+
+PLANE_NAMES = ("y", "u", "v")
+
+
+@dataclass
+class WorkingFrame:
+    """Integer planes plus cached padded versions keyed by search range."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    _padded: Dict[Tuple[str, int], PaddedPlane] = field(default_factory=dict)
+
+    @classmethod
+    def from_yuv(cls, frame: YuvFrame) -> "WorkingFrame":
+        return cls(
+            frame.y.astype(np.int64),
+            frame.u.astype(np.int64),
+            frame.v.astype(np.int64),
+        )
+
+    @classmethod
+    def blank(cls, width: int, height: int) -> "WorkingFrame":
+        return cls(
+            np.zeros((height, width), dtype=np.int64),
+            np.zeros((height // 2, width // 2), dtype=np.int64),
+            np.zeros((height // 2, width // 2), dtype=np.int64),
+        )
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    def plane(self, name: str) -> np.ndarray:
+        return getattr(self, name)
+
+    def to_yuv(self) -> YuvFrame:
+        return YuvFrame(
+            np.clip(self.y, 0, 255).astype(np.uint8),
+            np.clip(self.u, 0, 255).astype(np.uint8),
+            np.clip(self.v, 0, 255).astype(np.uint8),
+        )
+
+    def padded(self, name: str, search_range: int) -> PaddedPlane:
+        """Edge-padded copy of plane ``name``, cached per search range."""
+        key = (name, search_range)
+        cached = self._padded.get(key)
+        if cached is None:
+            cached = pad_plane(self.plane(name), search_range)
+            self._padded[key] = cached
+        return cached
+
+    def invalidate_padding(self) -> None:
+        """Drop padded caches (call after mutating planes, e.g. deblocking)."""
+        self._padded.clear()
+
+    def store_block(self, name: str, x: int, y: int, block: np.ndarray) -> None:
+        """Write a reconstructed block into plane ``name`` at (x, y)."""
+        plane = self.plane(name)
+        height, width = block.shape
+        plane[y : y + height, x : x + width] = block

@@ -1,0 +1,7 @@
+"""H.264 class codec (paper applications: x264 encoder, FFmpeg decoder)."""
+
+from repro.codecs.h264.config import H264Config
+from repro.codecs.h264.decoder import H264Decoder
+from repro.codecs.h264.encoder import H264Encoder
+
+__all__ = ["H264Config", "H264Decoder", "H264Encoder"]

@@ -1,0 +1,57 @@
+"""Shared helpers of the H.264 encoder/decoder pair."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.codecs.h264.cavlc import nc_context
+
+#: Offsets of the sixteen 4x4 luma blocks inside a macroblock, raster order.
+LUMA_OFFSETS: Tuple[Tuple[int, int], ...] = tuple(
+    (4 * (index % 4), 4 * (index // 4)) for index in range(16)
+)
+
+#: Offsets of the four 4x4 chroma blocks inside an 8x8 chroma macroblock.
+CHROMA_OFFSETS: Tuple[Tuple[int, int], ...] = ((0, 0), (4, 0), (0, 4), (4, 4))
+
+
+def luma_quadrant(block_index: int) -> int:
+    """8x8 quadrant (0..3) of the 4x4 luma block ``block_index``."""
+    row = block_index // 4
+    col = block_index % 4
+    return (row // 2) * 2 + (col // 2)
+
+
+class TcGrid:
+    """Per-picture TotalCoeff grid: the CAVLC nC context state."""
+
+    def __init__(self, width_blocks: int, height_blocks: int) -> None:
+        self.width = width_blocks
+        self.height = height_blocks
+        self._tc: List[List[Optional[int]]] = [
+            [None] * width_blocks for _ in range(height_blocks)
+        ]
+
+    def get(self, bx: int, by: int) -> Optional[int]:
+        if 0 <= bx < self.width and 0 <= by < self.height:
+            return self._tc[by][bx]
+        return None
+
+    def set(self, bx: int, by: int, total_coeff: int) -> None:
+        self._tc[by][bx] = total_coeff
+
+    def nc(self, bx: int, by: int) -> int:
+        """The nC context for the block at (bx, by)."""
+        return nc_context(self.get(bx - 1, by), self.get(bx, by - 1))
+
+
+#: P macroblock mode code numbers (ue-coded).
+P_SKIP, P_16X16, P_16X8, P_8X16, P_8X8, P_I4, P_I16 = range(7)
+P_MODE_FOR_SHAPE = {"16x16": P_16X16, "16x8": P_16X8, "8x16": P_8X16, "8x8": P_8X8}
+SHAPE_FOR_P_MODE = {code: shape for shape, code in P_MODE_FOR_SHAPE.items()}
+
+#: B macroblock mode code numbers (ue-coded).
+B_SKIP, B_BI, B_FWD, B_BWD, B_I4, B_I16 = range(6)
+
+#: I-picture macroblock mode code numbers.
+I_4X4, I_16X16 = range(2)

@@ -1,0 +1,46 @@
+"""Configuration of the H.264 class codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.codecs.base import CodecConfig
+from repro.errors import ConfigError
+from repro.transform.qp import validate_h264_qp
+
+#: Inter partition shapes the encoder may use (P macroblocks).
+ALL_PARTITIONS: Tuple[str, ...] = ("16x16", "16x8", "8x16", "8x8")
+
+
+def _default_partitions() -> Tuple[str, ...]:
+    return ALL_PARTITIONS
+
+
+@dataclass(frozen=True)
+class H264Config(CodecConfig):
+    """H.264 encoder settings.
+
+    Defaults follow the paper's x264 command line (Table IV): ``--qp 26``
+    (the Equation-1 equivalent of qscale 5), ``--me hex``, two B frames
+    without adaptive placement, multiple reference frames (``--ref 16`` in
+    the paper; bounded here by default for tractable pure-Python encodes),
+    and the in-loop deblocking filter enabled.
+    """
+
+    qp: int = 26
+    me_algorithm: str = "hex"
+    ref_frames: int = 2
+    deblock: bool = True
+    partitions: Tuple[str, ...] = field(default_factory=_default_partitions)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_h264_qp(self.qp)
+        if not 1 <= self.ref_frames <= 8:
+            raise ConfigError(f"ref_frames must be in [1, 8], got {self.ref_frames}")
+        if "16x16" not in self.partitions:
+            raise ConfigError("the 16x16 partition cannot be disabled")
+        for shape in self.partitions:
+            if shape not in ALL_PARTITIONS:
+                raise ConfigError(f"unknown partition shape {shape!r}")

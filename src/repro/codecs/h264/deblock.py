@@ -1,0 +1,207 @@
+"""H.264 in-loop deblocking filter.
+
+Runs over a reconstructed frame after the macroblock loop, smoothing block
+edges with a strength (bS) derived from coding decisions: 4 across intra
+macroblock boundaries (strong filter), 3 inside intra macroblocks, 2 where
+either side has coded residual, 1 where motion differs by a pixel or more
+or references differ, 0 (no filtering) otherwise.  Both encoder and decoder
+apply the filter identically before a frame is used as a reference, so
+prediction never drifts.
+
+Edge-processing order: all vertical edges of the frame left-to-right (each
+the full picture height), then all horizontal edges top-to-bottom (each
+the full picture width).  This differs from the spec's per-macroblock
+order but is self-consistent between encoder and decoder, and it exposes
+whole-edge vectors to the kernels — exactly the data-parallel layout the
+paper's SIMD deblocking kernels exploit.  The per-line sample arithmetic
+lives in the kernel backends (``deblock_normal`` / ``deblock_strong``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.codecs.frames import WorkingFrame
+from repro.kernels.tables import DEBLOCK_ALPHA, DEBLOCK_BETA, DEBLOCK_TC0
+from repro.me.types import MotionVector
+
+
+@dataclass(frozen=True)
+class CellState:
+    """Deblocking-relevant state of one 4x4 luma cell."""
+
+    intra: bool
+    nonzero: bool
+    mv: MotionVector = MotionVector(0, 0)
+    ref: int = 0
+
+
+class DeblockMeta:
+    """Per-picture 4x4-cell grid of deblocking state."""
+
+    def __init__(self, mb_width: int, mb_height: int) -> None:
+        self.mb_width = mb_width
+        self.mb_height = mb_height
+        self.width = 4 * mb_width
+        self.height = 4 * mb_height
+        default = CellState(intra=True, nonzero=True)
+        self._cells: List[List[CellState]] = [
+            [default] * self.width for _ in range(self.height)
+        ]
+
+    def cell(self, bx: int, by: int) -> CellState:
+        return self._cells[by][bx]
+
+    def set_rect(self, bx: int, by: int, cells_x: int, cells_y: int,
+                 state: CellState) -> None:
+        for row in range(by, min(by + cells_y, self.height)):
+            for col in range(bx, min(bx + cells_x, self.width)):
+                self._cells[row][col] = state
+
+    def mark_intra_mb(self, mbx: int, mby: int) -> None:
+        self.set_rect(4 * mbx, 4 * mby, 4, 4, CellState(intra=True, nonzero=True))
+
+    def set_nonzero(self, bx: int, by: int, nonzero: bool) -> None:
+        old = self._cells[by][bx]
+        self._cells[by][bx] = CellState(old.intra, nonzero, old.mv, old.ref)
+
+    def mark_inter(self, bx: int, by: int, cells_x: int, cells_y: int,
+                   mv: MotionVector, ref: int) -> None:
+        self.set_rect(bx, by, cells_x, cells_y,
+                      CellState(intra=False, nonzero=False, mv=mv, ref=ref))
+
+
+def boundary_strength(p: CellState, q: CellState, mb_edge: bool) -> int:
+    """The bS of the edge between cells ``p`` and ``q``."""
+    if p.intra or q.intra:
+        return 4 if mb_edge else 3
+    if p.nonzero or q.nonzero:
+        return 2
+    if p.ref != q.ref:
+        return 1
+    if abs(p.mv.x - q.mv.x) >= 4 or abs(p.mv.y - q.mv.y) >= 4:
+        return 1
+    return 0
+
+
+class DeblockFilter:
+    """Applies the loop filter to one reconstructed frame."""
+
+    def __init__(self, kernels, qp: int) -> None:
+        self.kernels = kernels
+        self.alpha = int(DEBLOCK_ALPHA[qp])
+        self.beta = int(DEBLOCK_BETA[qp])
+        self.tc0_row = DEBLOCK_TC0[qp]
+
+    def apply(self, frame: WorkingFrame, meta: DeblockMeta) -> None:
+        """Filter ``frame`` in place (then invalidates its padding caches)."""
+        if self.alpha == 0 or self.beta == 0:
+            return
+        self._filter_plane(frame.y, meta, chroma=False)
+        for plane_name in ("u", "v"):
+            self._filter_plane(frame.plane(plane_name), meta, chroma=True)
+        frame.invalidate_padding()
+
+    # ------------------------------------------------------------------
+
+    def _filter_plane(self, plane: np.ndarray, meta: DeblockMeta, chroma: bool) -> None:
+        size = plane.shape[1]
+        mb_stride = 8 if chroma else 16
+        for x in range(4, size, 4):
+            self._filter_edge(plane, meta, x, vertical=True,
+                              mb_edge=(x % mb_stride == 0), chroma=chroma)
+        size = plane.shape[0]
+        for y in range(4, size, 4):
+            self._filter_edge(plane, meta, y, vertical=False,
+                              mb_edge=(y % mb_stride == 0), chroma=chroma)
+
+    def _edge_strengths(self, meta: DeblockMeta, position: int, count: int,
+                        vertical: bool, mb_edge: bool, chroma: bool) -> List[int]:
+        """bS per 4-sample segment along a full-length edge."""
+        scale = 2 if chroma else 1  # chroma samples -> luma cell coordinates
+        edge_cell = (position * scale) // 4
+        strengths = []
+        for segment in range(count // 4):
+            along_cell = (segment * 4 * scale) // 4
+            if vertical:
+                p = meta.cell(edge_cell - 1, along_cell)
+                q = meta.cell(edge_cell, along_cell)
+            else:
+                p = meta.cell(along_cell, edge_cell - 1)
+                q = meta.cell(along_cell, edge_cell)
+            strengths.append(boundary_strength(p, q, mb_edge))
+        return strengths
+
+    def _filter_edge(self, plane: np.ndarray, meta: DeblockMeta, position: int,
+                     vertical: bool, mb_edge: bool, chroma: bool) -> None:
+        count = plane.shape[0] if vertical else plane.shape[1]
+        strengths = self._edge_strengths(meta, position, count, vertical,
+                                         mb_edge, chroma)
+        if not any(strengths):
+            return
+        c0, strong_mask = self._per_position(strengths)
+        if np.any(c0 >= 0):
+            self._normal_edge(plane, position, count, vertical, c0, chroma)
+        if strong_mask is not None:
+            self._strong_edge(plane, position, count, vertical, strong_mask, chroma)
+
+    def _per_position(self, strengths: List[int]) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Per-position c0 (bS 1..3; -1 elsewhere) and bS-4 mask (or None)."""
+        c0_values = []
+        mask_values = []
+        any_strong = False
+        for bs in strengths:
+            if bs == 4:
+                c0_values.extend([-1] * 4)
+                mask_values.extend([1] * 4)
+                any_strong = True
+            elif bs > 0:
+                c0_values.extend([int(self.tc0_row[bs])] * 4)
+                mask_values.extend([0] * 4)
+            else:
+                c0_values.extend([-1] * 4)
+                mask_values.extend([0] * 4)
+        c0 = np.array(c0_values, dtype=np.int64)
+        mask = np.array(mask_values, dtype=np.int64) if any_strong else None
+        return c0, mask
+
+    # ------------------------------------------------------------------
+
+    def _gather(self, plane: np.ndarray, position: int, vertical: bool,
+                depth: int) -> List[np.ndarray]:
+        """Sample lines p{depth-1}..p0, q0..q{depth-1} across the edge."""
+        lines = []
+        for offset in range(-depth, depth):
+            if vertical:
+                lines.append(plane[:, position + offset].copy())
+            else:
+                lines.append(plane[position + offset, :].copy())
+        return lines
+
+    def _scatter(self, plane: np.ndarray, position: int, vertical: bool,
+                 offsets: Tuple[int, ...], lines) -> None:
+        for offset, line in zip(offsets, lines):
+            if vertical:
+                plane[:, position + offset] = line
+            else:
+                plane[position + offset, :] = line
+
+    def _normal_edge(self, plane: np.ndarray, position: int, count: int,
+                     vertical: bool, c0: np.ndarray, chroma: bool) -> None:
+        p2, p1, p0, q0, q1, q2 = self._gather(plane, position, vertical, 3)
+        out_p1, out_p0, out_q0, out_q1 = self.kernels.deblock_normal(
+            p2, p1, p0, q0, q1, q2, self.alpha, self.beta, c0, chroma
+        )
+        self._scatter(plane, position, vertical, (-2, -1, 0, 1),
+                      (out_p1, out_p0, out_q0, out_q1))
+
+    def _strong_edge(self, plane: np.ndarray, position: int, count: int,
+                     vertical: bool, mask: np.ndarray, chroma: bool) -> None:
+        p3, p2, p1, p0, q0, q1, q2, q3 = self._gather(plane, position, vertical, 4)
+        out = self.kernels.deblock_strong(
+            p3, p2, p1, p0, q0, q1, q2, q3, self.alpha, self.beta, mask, chroma
+        )
+        self._scatter(plane, position, vertical, (-3, -2, -1, 0, 1, 2), out)

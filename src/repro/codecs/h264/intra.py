@@ -1,0 +1,167 @@
+"""H.264 intra prediction.
+
+Implements the Intra_4x4 directional modes (vertical, horizontal, DC,
+diagonal-down-left, diagonal-down-right), the Intra_16x16 modes (vertical,
+horizontal, DC, plane) and the chroma 8x8 modes (DC, horizontal, vertical,
+plane).  Prediction reads *unfiltered* reconstructed neighbour samples, as
+in the standard (the deblocking filter runs after the macroblock loop).
+
+One simplification versus the spec: the top-right extension used by the
+diagonal-down-left mode is always padded by replicating the last top
+sample (the spec does this only when the top-right block is unavailable).
+Both encoder and decoder share these functions, so prediction is always
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+#: Intra_4x4 mode names in code order.
+LUMA4_MODES: Tuple[str, ...] = ("V", "H", "DC", "DDL", "DDR")
+#: Intra_16x16 / chroma mode names in code order.
+BLOCK_MODES: Tuple[str, ...] = ("V", "H", "DC", "PLANE")
+
+#: Mode index used as the "most probable" default (DC), as in the spec.
+DC_MODE_INDEX = LUMA4_MODES.index("DC")
+
+
+def available_luma4_modes(has_top: bool, has_left: bool) -> List[str]:
+    """Intra_4x4 modes usable given neighbour availability."""
+    modes = ["DC"]
+    if has_top:
+        modes.append("V")
+        modes.append("DDL")
+    if has_left:
+        modes.append("H")
+    if has_top and has_left:
+        modes.append("DDR")
+    return modes
+
+
+def available_block_modes(has_top: bool, has_left: bool) -> List[str]:
+    """Intra_16x16 / chroma modes usable given neighbour availability."""
+    modes = ["DC"]
+    if has_top:
+        modes.append("V")
+    if has_left:
+        modes.append("H")
+    if has_top and has_left:
+        modes.append("PLANE")
+    return modes
+
+
+def _top_row(plane: np.ndarray, x: int, y: int, count: int) -> np.ndarray:
+    return plane[y - 1, x : x + count]
+
+
+def _left_col(plane: np.ndarray, x: int, y: int, count: int) -> np.ndarray:
+    return plane[y : y + count, x - 1]
+
+
+def predict_luma4(plane: np.ndarray, x: int, y: int, mode: str) -> np.ndarray:
+    """Predict one 4x4 luma block at (x, y) from its decoded neighbours."""
+    if mode == "DC":
+        return _predict_dc(plane, x, y, 4)
+    if mode == "V":
+        return np.tile(_top_row(plane, x, y, 4).astype(np.int64), (4, 1))
+    if mode == "H":
+        return np.tile(
+            _left_col(plane, x, y, 4).astype(np.int64).reshape(4, 1), (1, 4)
+        )
+    if mode == "DDL":
+        return _predict_ddl(plane, x, y)
+    if mode == "DDR":
+        return _predict_ddr(plane, x, y)
+    raise CodecError(f"unknown Intra_4x4 mode {mode!r}")
+
+
+def _predict_dc(plane: np.ndarray, x: int, y: int, size: int) -> np.ndarray:
+    has_top = y > 0
+    has_left = x > 0
+    if has_top and has_left:
+        total = int(np.sum(_top_row(plane, x, y, size))) + int(
+            np.sum(_left_col(plane, x, y, size))
+        )
+        dc = (total + size) // (2 * size)
+    elif has_top:
+        dc = (int(np.sum(_top_row(plane, x, y, size))) + size // 2) // size
+    elif has_left:
+        dc = (int(np.sum(_left_col(plane, x, y, size))) + size // 2) // size
+    else:
+        dc = 128
+    return np.full((size, size), dc, dtype=np.int64)
+
+
+def _predict_ddl(plane: np.ndarray, x: int, y: int) -> np.ndarray:
+    # Top samples t[0..7]; t[4..7] replicated from t[3] (see module note).
+    top = _top_row(plane, x, y, 4).astype(np.int64)
+    t = np.concatenate([top, np.full(5, top[3], dtype=np.int64)])
+    out = np.zeros((4, 4), dtype=np.int64)
+    for i in range(4):
+        for j in range(4):
+            k = i + j
+            if i == 3 and j == 3:
+                out[i, j] = (t[6] + 3 * t[7] + 2) >> 2
+            else:
+                out[i, j] = (t[k] + 2 * t[k + 1] + t[k + 2] + 2) >> 2
+    return out
+
+
+def _predict_ddr(plane: np.ndarray, x: int, y: int) -> np.ndarray:
+    top = _top_row(plane, x, y, 4).astype(np.int64)
+    left = _left_col(plane, x, y, 4).astype(np.int64)
+    corner = int(plane[y - 1, x - 1])
+    # Build the diagonal support array: left reversed, corner, top.
+    support = np.concatenate([left[::-1], [corner], top])  # length 9, index 4 = corner
+    out = np.zeros((4, 4), dtype=np.int64)
+    for i in range(4):
+        for j in range(4):
+            k = 4 + j - i  # position along the support
+            out[i, j] = (support[k - 1] + 2 * support[k] + support[k + 1] + 2) >> 2
+    return out
+
+
+def predict_block(plane: np.ndarray, x: int, y: int, size: int, mode: str) -> np.ndarray:
+    """Intra_16x16 (size=16) or chroma (size=8) prediction."""
+    if mode == "DC":
+        return _predict_dc(plane, x, y, size)
+    if mode == "V":
+        return np.tile(_top_row(plane, x, y, size).astype(np.int64), (size, 1))
+    if mode == "H":
+        return np.tile(
+            _left_col(plane, x, y, size).astype(np.int64).reshape(size, 1), (1, size)
+        )
+    if mode == "PLANE":
+        return _predict_plane(plane, x, y, size)
+    raise CodecError(f"unknown intra block mode {mode!r}")
+
+
+def _predict_plane(plane: np.ndarray, x: int, y: int, size: int) -> np.ndarray:
+    half = size // 2
+    top = _top_row(plane, x, y, size).astype(np.int64)
+    left = _left_col(plane, x, y, size).astype(np.int64)
+    corner = int(plane[y - 1, x - 1])
+    grad_h = 0
+    grad_v = 0
+    for i in range(half):
+        right_sample = int(top[half + i])
+        left_sample = int(top[half - 2 - i]) if half - 2 - i >= 0 else corner
+        grad_h += (i + 1) * (right_sample - left_sample)
+        bottom_sample = int(left[half + i])
+        top_sample = int(left[half - 2 - i]) if half - 2 - i >= 0 else corner
+        grad_v += (i + 1) * (bottom_sample - top_sample)
+    if size == 16:
+        b = (5 * grad_h + 32) >> 6
+        c = (5 * grad_v + 32) >> 6
+    else:
+        b = (17 * grad_h + 16) >> 5
+        c = (17 * grad_v + 16) >> 5
+    a = 16 * (int(left[size - 1]) + int(top[size - 1]))
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.int64)
+    values = (a + b * (xs - (half - 1)) + c * (ys - (half - 1)) + 16) >> 5
+    return np.clip(values, 0, 255)

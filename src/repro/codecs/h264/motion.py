@@ -1,0 +1,75 @@
+"""H.264 motion vector field at 4x4 granularity.
+
+Motion vectors are predicted as the component-wise median of the left, top
+and top-right neighbour 4x4 cells, which makes the rule uniform across the
+16x16/16x8/8x16/8x8 partition shapes.  Cells covered by intra or skipped
+macroblocks count as zero vectors.  The grid also carries the reference
+index per cell for the deblocking-strength computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.me.types import MotionVector, ZERO_MV, median_mv
+
+
+@dataclass(frozen=True)
+class CellMotion:
+    """Per-4x4-cell motion state (quarter-pel units)."""
+
+    mv: MotionVector
+    ref: int
+
+
+class MvGrid4:
+    """Per-picture MV/ref grid at 4x4 cell granularity."""
+
+    def __init__(self, mb_width: int, mb_height: int) -> None:
+        self.width = 4 * mb_width
+        self.height = 4 * mb_height
+        self._cells: List[List[Optional[CellMotion]]] = [
+            [None] * self.width for _ in range(self.height)
+        ]
+
+    def get(self, bx: int, by: int) -> Optional[CellMotion]:
+        if 0 <= bx < self.width and 0 <= by < self.height:
+            return self._cells[by][bx]
+        return None
+
+    def _candidate(self, bx: int, by: int) -> MotionVector:
+        cell = self.get(bx, by)
+        return cell.mv if cell is not None else ZERO_MV
+
+    def predictor(self, bx: int, by: int, cells_wide: int) -> MotionVector:
+        """Median MV predictor for a partition with top-left cell (bx, by)."""
+        left = self._candidate(bx - 1, by)
+        top = self._candidate(bx, by - 1)
+        top_right = self._candidate(bx + cells_wide, by - 1)
+        return median_mv(left, top, top_right)
+
+    def set_rect(self, bx: int, by: int, cells_x: int, cells_y: int,
+                 mv: MotionVector, ref: int) -> None:
+        cell = CellMotion(mv, ref)
+        for row in range(by, min(by + cells_y, self.height)):
+            for col in range(bx, min(bx + cells_x, self.width)):
+                self._cells[row][col] = cell
+
+    def neighbours(self, bx: int, by: int) -> List[MotionVector]:
+        """Distinct spatial neighbour vectors (search candidate predictors)."""
+        seen: List[MotionVector] = []
+        for nbx, nby in ((bx - 1, by), (bx, by - 1), (bx + 4, by - 1)):
+            cell = self.get(nbx, nby)
+            if cell is not None and cell.mv not in seen:
+                seen.append(cell.mv)
+        return seen
+
+
+#: Inter partition shapes: name -> list of (off_x, off_y, width, height).
+PARTITION_SHAPES = {
+    "16x16": ((0, 0, 16, 16),),
+    "16x8": ((0, 0, 16, 8), (0, 8, 16, 8)),
+    "8x16": ((0, 0, 8, 16), (8, 0, 8, 16)),
+    "8x8": ((0, 0, 8, 8), (8, 0, 8, 8), (0, 8, 8, 8), (8, 8, 8, 8)),
+}

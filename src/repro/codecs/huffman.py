@@ -1,0 +1,124 @@
+"""Deterministic Huffman construction and VLC tables.
+
+The MPEG-2 and MPEG-4 class codecs use static variable-length codes for
+coefficient events, coded block patterns and macroblock modes.  Rather than
+copying the ISO code tables verbatim, each codec declares a *prior*
+(expected symbol frequencies) and builds a canonical Huffman code from it
+at import time; see the bitstream note in DESIGN.md.  The construction is
+fully deterministic, so encoder and decoder always agree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.common.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError, ConfigError
+
+Symbol = Hashable
+Code = Tuple[int, int]  # (value, length)
+
+
+def huffman_code_lengths(frequencies: Mapping[Symbol, float]) -> Dict[Symbol, int]:
+    """Huffman code length per symbol, deterministic under ties."""
+    if not frequencies:
+        raise ConfigError("cannot build a Huffman code over no symbols")
+    if len(frequencies) == 1:
+        return {symbol: 1 for symbol in frequencies}
+    # Heap entries: (frequency, creation order, symbols-in-subtree)
+    heap: List[Tuple[float, int, List[Symbol]]] = []
+    order = 0
+    for symbol in sorted(frequencies, key=repr):
+        freq = frequencies[symbol]
+        if freq <= 0:
+            raise ConfigError(f"frequency for {symbol!r} must be positive")
+        heap.append((freq, order, [symbol]))
+        order += 1
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for symbol in frequencies}
+    while len(heap) > 1:
+        freq_a, _, symbols_a = heapq.heappop(heap)
+        freq_b, _, symbols_b = heapq.heappop(heap)
+        merged = symbols_a + symbols_b
+        for symbol in merged:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (freq_a + freq_b, order, merged))
+        order += 1
+    return lengths
+
+
+def canonical_codes(lengths: Mapping[Symbol, int]) -> Dict[Symbol, Code]:
+    """Canonical code assignment from code lengths (shortest first)."""
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], repr(item[0])))
+    codes: Dict[Symbol, Code] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class VlcTable:
+    """A static prefix-free code over a symbol alphabet."""
+
+    def __init__(self, codes: Mapping[Symbol, Code], name: str = "") -> None:
+        self.name = name
+        self._encode: Dict[Symbol, Code] = dict(codes)
+        self._decode: Dict[Code, Symbol] = {}
+        for symbol, (value, length) in self._encode.items():
+            if length <= 0:
+                raise ConfigError(f"{name}: zero-length code for {symbol!r}")
+            key = (value, length)
+            if key in self._decode:
+                raise ConfigError(f"{name}: duplicate code for {symbol!r}")
+            self._decode[key] = symbol
+        self.max_length = max(length for _, length in self._encode.values())
+        self._check_prefix_free()
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Mapping[Symbol, float], name: str = "") -> "VlcTable":
+        return cls(canonical_codes(huffman_code_lengths(frequencies)), name=name)
+
+    def _check_prefix_free(self) -> None:
+        by_length = sorted(self._decode, key=lambda key: key[1])
+        seen = set()
+        for value, length in by_length:
+            for prefix_len, prefix_val in seen:
+                if prefix_len < length and (value >> (length - prefix_len)) == prefix_val:
+                    raise ConfigError(f"{self.name}: code table is not prefix free")
+            seen.add((length, value))
+
+    def __len__(self) -> int:
+        return len(self._encode)
+
+    def __contains__(self, symbol: Symbol) -> bool:
+        return symbol in self._encode
+
+    def bits(self, symbol: Symbol) -> int:
+        """Code length of ``symbol`` (for rate estimation)."""
+        return self._encode[symbol][1]
+
+    def write(self, writer: BitWriter, symbol: Symbol) -> None:
+        try:
+            value, length = self._encode[symbol]
+        except KeyError:
+            raise BitstreamError(f"{self.name}: symbol {symbol!r} has no code") from None
+        writer.write_bits(value, length)
+
+    def read(self, reader: BitReader) -> Symbol:
+        value = 0
+        for length in range(1, self.max_length + 1):
+            value = (value << 1) | reader.read_bit()
+            symbol = self._decode.get((value, length))
+            if symbol is not None:
+                return symbol
+        raise BitstreamError(f"{self.name}: invalid code in bitstream")
+
+
+def geometric(probability: float, value: int) -> float:
+    """Unnormalised geometric prior p * (1-p)^value; used to build tables."""
+    return probability * (1.0 - probability) ** value

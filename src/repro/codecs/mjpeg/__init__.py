@@ -1,0 +1,7 @@
+"""Motion-JPEG class codec — the paper's planned intra-only extension."""
+
+from repro.codecs.mjpeg.config import MjpegConfig
+from repro.codecs.mjpeg.decoder import MjpegDecoder
+from repro.codecs.mjpeg.encoder import MjpegEncoder
+
+__all__ = ["MjpegConfig", "MjpegDecoder", "MjpegEncoder"]

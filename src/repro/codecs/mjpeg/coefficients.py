@@ -1,0 +1,83 @@
+"""JPEG-structured entropy coding: (run, size) symbols + amplitude bits."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codecs.mjpeg import tables
+from repro.common.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
+
+
+def write_amplitude(writer: BitWriter, value: int, size: int) -> None:
+    """JPEG amplitude convention: negatives are coded as value-1 in
+    ``size`` bits (so the top bit distinguishes the sign)."""
+    if size == 0:
+        return
+    if value > 0:
+        writer.write_bits(value, size)
+    else:
+        writer.write_bits(value + (1 << size) - 1, size)
+
+
+def read_amplitude(reader: BitReader, size: int) -> int:
+    if size == 0:
+        return 0
+    raw = reader.read_bits(size)
+    if raw >> (size - 1):
+        return raw
+    return raw - (1 << size) + 1
+
+
+def encode_dc(writer: BitWriter, diff: int) -> None:
+    """Code a DC differential: size symbol + amplitude bits."""
+    size = tables.amplitude_size(diff)
+    if size > tables.DC_MAX_SIZE:
+        raise BitstreamError(f"DC differential {diff} out of range")
+    tables.DC_TABLE.write(writer, size)
+    write_amplitude(writer, diff, size)
+
+
+def decode_dc(reader: BitReader) -> int:
+    size = tables.DC_TABLE.read(reader)
+    return read_amplitude(reader, size)
+
+
+def encode_ac(writer: BitWriter, scanned: Sequence[int]) -> None:
+    """Code AC coefficients ``scanned[1:]`` with (run, size) events."""
+    run = 0
+    for value in scanned[1:]:
+        if value == 0:
+            run += 1
+            continue
+        while run > tables.MAX_RUN:
+            tables.AC_TABLE.write(writer, tables.ZRL)
+            run -= 16
+        size = tables.amplitude_size(value)
+        if size > tables.MAX_SIZE:
+            raise BitstreamError(f"AC coefficient {value} out of range")
+        tables.AC_TABLE.write(writer, (run, size))
+        write_amplitude(writer, value, size)
+        run = 0
+    tables.AC_TABLE.write(writer, tables.EOB)
+
+
+def decode_ac(reader: BitReader, size: int = 64) -> List[int]:
+    """Decode AC coefficients; position 0 (DC) is left as zero."""
+    scanned = [0] * size
+    position = 1
+    while True:
+        symbol = tables.AC_TABLE.read(reader)
+        if symbol == tables.EOB:
+            return scanned
+        if symbol == tables.ZRL:
+            position += 16
+            if position > size:
+                raise BitstreamError("ZRL past end of block")
+            continue
+        run, amp_size = symbol
+        position += run
+        if position >= size:
+            raise BitstreamError("(run, size) event past end of block")
+        scanned[position] = read_amplitude(reader, amp_size)
+        position += 1

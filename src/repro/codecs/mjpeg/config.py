@@ -1,0 +1,25 @@
+"""Configuration of the Motion-JPEG class codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.base import CodecConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MjpegConfig(CodecConfig):
+    """Motion-JPEG encoder settings.
+
+    Intra-only: every frame is coded independently, so the GOP and motion
+    search fields of :class:`CodecConfig` are ignored.  ``quality`` is the
+    libjpeg-style 1..100 factor scaling the Annex K quantisation matrices.
+    """
+
+    quality: int = 75
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.quality <= 100:
+            raise ConfigError(f"quality must be in [1, 100], got {self.quality}")

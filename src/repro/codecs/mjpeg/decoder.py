@@ -1,0 +1,65 @@
+"""Motion-JPEG class decoder: bit-exact inverse of the encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.base import EncodedVideo, VideoDecoder
+from repro.codecs.frames import WorkingFrame
+from repro.codecs.mjpeg import tables
+from repro.codecs.mjpeg.coefficients import decode_ac, decode_dc
+from repro.common.bitstream import BitReader
+from repro.common.yuv import YuvFrame, YuvSequence
+from repro.errors import CodecError
+from repro.kernels import get_kernels
+from repro.transform.zigzag import unscan8
+
+
+class MjpegDecoder(VideoDecoder):
+    """Motion-JPEG class decoder."""
+
+    codec_name = "mjpeg"
+
+    def __init__(self, backend: str = "simd") -> None:
+        self.kernels = get_kernels(backend)
+
+    def decode(self, stream: EncodedVideo) -> YuvSequence:
+        self._check_stream(stream)
+        decoded = {}
+        for picture in stream.pictures:
+            if picture.display_index in decoded:
+                raise CodecError(
+                    f"duplicate display index {picture.display_index} in stream"
+                )
+            decoded[picture.display_index] = self._decode_frame(
+                stream, picture.payload
+            ).to_yuv()
+        frames = [decoded[index] for index in sorted(decoded)]
+        if sorted(decoded) != list(range(len(frames))):
+            raise CodecError("stream has missing or duplicate display indices")
+        return YuvSequence(frames, fps=stream.fps)
+
+    def _decode_frame(self, stream: EncodedVideo, payload: bytes) -> WorkingFrame:
+        kernels = self.kernels
+        reader = BitReader(payload)
+        quality = reader.read_bits(7)
+        luma_matrix = tables.scaled_matrix(tables.LUMA_MATRIX, quality)
+        chroma_matrix = tables.scaled_matrix(tables.CHROMA_MATRIX, quality)
+        recon = WorkingFrame.blank(stream.width, stream.height)
+        level_shift = np.full((8, 8), 128, dtype=np.int64)
+        dc_pred = dict.fromkeys(("y", "u", "v"), 0)
+        for mby in range(stream.height // 16):
+            for mbx in range(stream.width // 16):
+                for plane, off_x, off_y in tables.BLOCK_LAYOUT:
+                    base = 16 if plane == "y" else 8
+                    x = mbx * base + off_x
+                    y = mby * base + off_y
+                    matrix = luma_matrix if plane == "y" else chroma_matrix
+                    dc = dc_pred[plane] + decode_dc(reader)
+                    dc_pred[plane] = dc
+                    scanned = decode_ac(reader)
+                    scanned[0] = dc
+                    coeffs = kernels.dequant_matrix(unscan8(scanned), matrix)
+                    pixels = kernels.add_clip(level_shift, kernels.idct8(coeffs))
+                    recon.store_block(plane, x, y, pixels)
+        return recon

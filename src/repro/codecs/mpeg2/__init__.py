@@ -1,0 +1,7 @@
+"""MPEG-2 class codec (paper applications: FFmpeg encoder, libmpeg2 decoder)."""
+
+from repro.codecs.mpeg2.config import Mpeg2Config
+from repro.codecs.mpeg2.decoder import Mpeg2Decoder
+from repro.codecs.mpeg2.encoder import Mpeg2Encoder
+
+__all__ = ["Mpeg2Config", "Mpeg2Decoder", "Mpeg2Encoder"]

@@ -1,0 +1,43 @@
+"""Motion-compensated macroblock prediction shared by encoder and decoder."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.codecs.frames import WorkingFrame
+from repro.mc.chroma import chroma_mv_from_halfpel
+from repro.me.types import MotionVector
+
+
+def predict_mb(
+    kernels,
+    reference: WorkingFrame,
+    mbx: int,
+    mby: int,
+    mv: MotionVector,
+    search_range: int,
+) -> Dict[str, np.ndarray]:
+    """Half-pel prediction of one macroblock (luma 16x16 + chroma 8x8)."""
+    luma = reference.padded("y", search_range)
+    px, py = luma.offset(mbx * 16, mby * 16)
+    prediction = {"y": kernels.mc_halfpel(luma.plane, px, py, 16, 16, mv.x, mv.y)}
+    cmv = chroma_mv_from_halfpel(mv)
+    for plane in ("u", "v"):
+        padded = reference.padded(plane, search_range)
+        cx, cy = padded.offset(mbx * 8, mby * 8)
+        prediction[plane] = kernels.mc_halfpel(padded.plane, cx, cy, 8, 8, cmv.x, cmv.y)
+    return prediction
+
+
+def average_prediction(
+    kernels,
+    forward: Dict[str, np.ndarray],
+    backward: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Bi-directional prediction: rounded average of both directions."""
+    return {
+        name: kernels.average(forward[name], backward[name])
+        for name in ("y", "u", "v")
+    }

@@ -1,0 +1,7 @@
+"""MPEG-4 ASP class codec (paper application: Xvid)."""
+
+from repro.codecs.mpeg4.config import Mpeg4Config
+from repro.codecs.mpeg4.decoder import Mpeg4Decoder
+from repro.codecs.mpeg4.encoder import Mpeg4Encoder
+
+__all__ = ["Mpeg4Config", "Mpeg4Decoder", "Mpeg4Encoder"]

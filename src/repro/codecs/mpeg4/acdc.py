@@ -1,0 +1,83 @@
+"""MPEG-4 intra AC/DC prediction.
+
+Intra blocks predict their quantised DC level — and optionally the first
+row/column of AC levels — from the left or top neighbour block.  The
+direction is chosen per block with the standard gradient rule: compare the
+DC levels of the left (A), above-left (B) and above (C) neighbours; if
+``|dcA - dcB| < |dcB - dcC|`` predict vertically from C, else horizontally
+from A.  Both sides derive the direction from decoded DC values only, so
+encoder and decoder always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codecs.mpeg4.tables import DC_DEFAULT
+
+VERTICAL = "vertical"
+HORIZONTAL = "horizontal"
+
+#: Number of predicted AC coefficients along a row/column.
+AC_COUNT = 7
+
+
+@dataclass
+class BlockAcDc:
+    """Stored prediction context of one intra block (raw, unpredicted)."""
+
+    dc: int
+    row: List[int]  # levels[0][1..7]
+    col: List[int]  # levels[1..7][0]
+
+
+class AcDcStore:
+    """Per-picture, per-plane store of intra block prediction contexts."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[Tuple[int, int], BlockAcDc] = {}
+
+    def get(self, bx: int, by: int) -> Optional[BlockAcDc]:
+        if bx < 0 or by < 0:
+            return None
+        return self._blocks.get((bx, by))
+
+    def put(self, bx: int, by: int, levels: np.ndarray) -> None:
+        """Record the raw levels of the intra block at grid (bx, by)."""
+        rows = levels.tolist()
+        self._blocks[(bx, by)] = BlockAcDc(
+            dc=int(rows[0][0]),
+            row=[int(rows[0][j]) for j in range(1, 8)],
+            col=[int(rows[i][0]) for i in range(1, 8)],
+        )
+
+
+def predict(store: AcDcStore, bx: int, by: int) -> Tuple[str, int, List[int]]:
+    """Prediction for block (bx, by): (direction, dc, ac_levels)."""
+    a = store.get(bx - 1, by)
+    b = store.get(bx - 1, by - 1)
+    c = store.get(bx, by - 1)
+    dc_a = a.dc if a else DC_DEFAULT
+    dc_b = b.dc if b else DC_DEFAULT
+    dc_c = c.dc if c else DC_DEFAULT
+    if abs(dc_a - dc_b) < abs(dc_b - dc_c):
+        ac = c.row if c else [0] * AC_COUNT
+        return VERTICAL, dc_c, list(ac)
+    ac = a.col if a else [0] * AC_COUNT
+    return HORIZONTAL, dc_a, list(ac)
+
+
+def apply_ac_prediction(levels: np.ndarray, direction: str,
+                        predicted: List[int], sign: int) -> np.ndarray:
+    """Add (sign=+1) or subtract (sign=-1) the predicted AC coefficients."""
+    adjusted = levels.copy()
+    if direction == VERTICAL:
+        for j in range(1, 8):
+            adjusted[0, j] += sign * predicted[j - 1]
+    else:
+        for i in range(1, 8):
+            adjusted[i, 0] += sign * predicted[i - 1]
+    return adjusted

@@ -1,0 +1,27 @@
+"""Configuration of the MPEG-4 ASP class codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.base import CodecConfig
+from repro.transform.qp import validate_mpeg_qscale
+
+
+@dataclass(frozen=True)
+class Mpeg4Config(CodecConfig):
+    """MPEG-4 ASP encoder settings.
+
+    Defaults follow the paper's Xvid command line (Table IV):
+    ``fixed_quant=5`` -> ``qscale=5``, ``qpel`` -> quarter-pel on, EPZS
+    motion estimation.  ``four_mv`` enables the ASP four-motion-vector
+    inter mode.
+    """
+
+    qscale: int = 5
+    qpel: bool = True
+    four_mv: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_mpeg_qscale(self.qscale)

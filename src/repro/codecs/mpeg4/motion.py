@@ -1,0 +1,59 @@
+"""MPEG-4 motion vector field: 8x8-granular grid with median prediction.
+
+P-VOP motion vectors are coded differentially against the component-wise
+median of the left, top and top-right neighbour block vectors — at 8x8
+block granularity so the four-MV mode and the one-MV mode share one rule.
+Both encoder and decoder maintain this grid identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.me.types import MotionVector, ZERO_MV, median_mv
+
+
+class MvGrid:
+    """Per-picture motion vector grid at 8x8 granularity (quarter-pel units)."""
+
+    def __init__(self, mb_width: int, mb_height: int) -> None:
+        self.width = 2 * mb_width
+        self.height = 2 * mb_height
+        self._grid: List[List[Optional[MotionVector]]] = [
+            [None] * self.width for _ in range(self.height)
+        ]
+
+    def get(self, bx: int, by: int) -> Optional[MotionVector]:
+        if 0 <= bx < self.width and 0 <= by < self.height:
+            return self._grid[by][bx]
+        return None
+
+    def _candidate(self, bx: int, by: int) -> MotionVector:
+        mv = self.get(bx, by)
+        return mv if mv is not None else ZERO_MV
+
+    def predictor(self, bx: int, by: int, block_cells: int) -> MotionVector:
+        """Median predictor for the block whose top-left cell is (bx, by).
+
+        ``block_cells`` is the block width in grid cells (2 for a 16x16
+        macroblock vector, 1 for an 8x8 four-MV block).
+        """
+        left = self._candidate(bx - 1, by)
+        top = self._candidate(bx, by - 1)
+        top_right = self._candidate(bx + block_cells, by - 1)
+        return median_mv(left, top, top_right)
+
+    def set_block(self, bx: int, by: int, cells_x: int, cells_y: int,
+                  mv: MotionVector) -> None:
+        for row in range(by, min(by + cells_y, self.height)):
+            for col in range(bx, min(bx + cells_x, self.width)):
+                self._grid[row][col] = mv
+
+    def neighbours(self, bx: int, by: int) -> List[MotionVector]:
+        """Distinct spatial neighbour vectors (EPZS candidate predictors)."""
+        seen = []
+        for nbx, nby in ((bx - 1, by), (bx, by - 1), (bx + 2, by - 1)):
+            mv = self.get(nbx, nby)
+            if mv is not None and mv not in seen:
+                seen.append(mv)
+        return seen

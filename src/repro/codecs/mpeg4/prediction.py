@@ -1,0 +1,80 @@
+"""Quarter-pel macroblock prediction shared by the MPEG-4 encoder/decoder."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.codecs.frames import WorkingFrame
+from repro.mc.chroma import chroma_mv_from_qpel
+from repro.me.types import MotionVector
+
+
+def _div_to_zero(value: int, divisor: int) -> int:
+    return value // divisor if value >= 0 else -((-value) // divisor)
+
+
+def predict_mb_qpel(
+    kernels,
+    reference: WorkingFrame,
+    mbx: int,
+    mby: int,
+    mv: MotionVector,
+    search_range: int,
+) -> Dict[str, np.ndarray]:
+    """One-MV prediction: quarter-pel luma, half-pel chroma."""
+    luma = reference.padded("y", search_range)
+    px, py = luma.offset(mbx * 16, mby * 16)
+    prediction = {"y": kernels.mc_qpel_bilinear(luma.plane, px, py, 16, 16, mv.x, mv.y)}
+    cmv = chroma_mv_from_qpel(mv)
+    for plane in ("u", "v"):
+        padded = reference.padded(plane, search_range)
+        cx, cy = padded.offset(mbx * 8, mby * 8)
+        prediction[plane] = kernels.mc_halfpel(padded.plane, cx, cy, 8, 8, cmv.x, cmv.y)
+    return prediction
+
+
+def predict_mb_4mv(
+    kernels,
+    reference: WorkingFrame,
+    mbx: int,
+    mby: int,
+    mvs: Sequence[MotionVector],
+    search_range: int,
+) -> Dict[str, np.ndarray]:
+    """Four-MV prediction: one quarter-pel vector per 8x8 luma block.
+
+    The chroma vector is the rounded average of the four luma vectors, as
+    in MPEG-4 ASP.
+    """
+    luma = reference.padded("y", search_range)
+    assembled = np.zeros((16, 16), dtype=np.int64)
+    for index, mv in enumerate(mvs):
+        off_x = 8 * (index & 1)
+        off_y = 8 * (index >> 1)
+        px, py = luma.offset(mbx * 16 + off_x, mby * 16 + off_y)
+        assembled[off_y : off_y + 8, off_x : off_x + 8] = kernels.mc_qpel_bilinear(
+            luma.plane, px, py, 8, 8, mv.x, mv.y
+        )
+    prediction = {"y": assembled}
+    total_x = sum(mv.x for mv in mvs)
+    total_y = sum(mv.y for mv in mvs)
+    cmv = MotionVector(_div_to_zero(total_x, 16), _div_to_zero(total_y, 16))
+    for plane in ("u", "v"):
+        padded = reference.padded(plane, search_range)
+        cx, cy = padded.offset(mbx * 8, mby * 8)
+        prediction[plane] = kernels.mc_halfpel(padded.plane, cx, cy, 8, 8, cmv.x, cmv.y)
+    return prediction
+
+
+def average_prediction(
+    kernels,
+    forward: Dict[str, np.ndarray],
+    backward: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Bi-directional prediction: rounded average of both directions."""
+    return {
+        name: kernels.average(forward[name], backward[name])
+        for name in ("y", "u", "v")
+    }

@@ -1,0 +1,7 @@
+"""VC-1 class codec — the paper's other planned extension (Section VII)."""
+
+from repro.codecs.vc1.config import Vc1Config
+from repro.codecs.vc1.decoder import Vc1Decoder
+from repro.codecs.vc1.encoder import Vc1Encoder
+
+__all__ = ["Vc1Config", "Vc1Decoder", "Vc1Encoder"]

@@ -1,0 +1,76 @@
+"""Run/level coefficient coding for the VC-1 class codec.
+
+Same 2-D (run, level) event structure as the MPEG-2 codec, but size-
+parameterised: the adaptive-transform path codes 64-position (8x8) and
+16-position (4x4) blocks through the same table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codecs.vc1 import tables
+from repro.common.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
+
+
+def encode_run_level(writer: BitWriter, scanned: Sequence[int], start: int = 0) -> None:
+    """Code ``scanned[start:]`` as (run, level) events followed by EOB."""
+    run = 0
+    for value in scanned[start:]:
+        if value == 0:
+            run += 1
+            continue
+        magnitude = abs(value)
+        if run <= tables.MAX_RUN and magnitude <= tables.MAX_LEVEL:
+            tables.COEFF_TABLE.write(writer, (run, magnitude))
+            writer.write_bit(1 if value < 0 else 0)
+        else:
+            tables.COEFF_TABLE.write(writer, tables.ESCAPE)
+            writer.write_bits(run, tables.ESCAPE_RUN_BITS)
+            writer.write_signed(value, tables.ESCAPE_LEVEL_BITS)
+        run = 0
+    tables.COEFF_TABLE.write(writer, tables.EOB)
+
+
+def decode_run_level(reader: BitReader, size: int, start: int = 0) -> List[int]:
+    """Decode a block of ``size`` scan positions coded from index ``start``."""
+    scanned = [0] * size
+    position = start
+    while True:
+        symbol = tables.COEFF_TABLE.read(reader)
+        if symbol == tables.EOB:
+            return scanned
+        if symbol == tables.ESCAPE:
+            run = reader.read_bits(tables.ESCAPE_RUN_BITS)
+            level = reader.read_signed(tables.ESCAPE_LEVEL_BITS)
+        else:
+            run, level = symbol
+            if reader.read_bit():
+                level = -level
+        position += run
+        if position >= size:
+            raise BitstreamError("run/level event past end of block")
+        scanned[position] = level
+        position += 1
+
+
+def run_level_bits(scanned: Sequence[int], start: int = 0) -> int:
+    """Bit cost of coding ``scanned[start:]`` (transform-size decisions)."""
+    bits = 0
+    run = 0
+    for value in scanned[start:]:
+        if value == 0:
+            run += 1
+            continue
+        magnitude = abs(value)
+        if run <= tables.MAX_RUN and magnitude <= tables.MAX_LEVEL:
+            bits += tables.COEFF_TABLE.bits((run, magnitude)) + 1
+        else:
+            bits += (
+                tables.COEFF_TABLE.bits(tables.ESCAPE)
+                + tables.ESCAPE_RUN_BITS
+                + tables.ESCAPE_LEVEL_BITS
+            )
+        run = 0
+    return bits + tables.COEFF_TABLE.bits(tables.EOB)

@@ -1,0 +1,26 @@
+"""Configuration of the VC-1 class codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.base import CodecConfig
+from repro.transform.qp import validate_mpeg_qscale
+
+
+@dataclass(frozen=True)
+class Vc1Config(CodecConfig):
+    """VC-1 class encoder settings.
+
+    ``qscale`` is the constant quantiser scale on the MPEG 1..31 scale
+    (the 4x4 transform path derives its H.264-scale QP through Equation
+    1).  ``adaptive_transform`` disables the 4x4 path when False (the
+    ablation baseline).
+    """
+
+    qscale: int = 5
+    adaptive_transform: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_mpeg_qscale(self.qscale)

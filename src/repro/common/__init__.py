@@ -1,0 +1,50 @@
+"""Shared substrates: bitstream I/O, YUV frames, GOP structure, metrics."""
+
+from repro.common.bitstream import BitReader, BitWriter
+from repro.common.gop import PAPER_GOP, CodedFrame, FrameType, GopStructure
+from repro.common.metrics import (
+    FramePsnr,
+    bitrate_kbps,
+    compression_gain,
+    frame_psnr,
+    sequence_psnr,
+)
+from repro.common.resolution import (
+    DVD,
+    FRAME_RATE,
+    HD720,
+    HD1088,
+    PAPER_TIERS,
+    Resolution,
+    bench_tiers,
+    scaled_tier,
+    tier_by_name,
+)
+from repro.common.yuv import YuvFrame, YuvSequence, read_yuv_file, write_yuv_file
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CodedFrame",
+    "DVD",
+    "FRAME_RATE",
+    "FramePsnr",
+    "FrameType",
+    "GopStructure",
+    "HD720",
+    "HD1088",
+    "PAPER_GOP",
+    "PAPER_TIERS",
+    "Resolution",
+    "YuvFrame",
+    "YuvSequence",
+    "bench_tiers",
+    "bitrate_kbps",
+    "compression_gain",
+    "frame_psnr",
+    "read_yuv_file",
+    "scaled_tier",
+    "sequence_psnr",
+    "tier_by_name",
+    "write_yuv_file",
+]

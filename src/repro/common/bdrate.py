@@ -1,0 +1,82 @@
+"""Bjøntegaard-delta metrics for comparing rate-distortion curves.
+
+Table V compares codecs at a single quantiser point; the standard tool for
+comparing them across the operating range (and the metric every codec
+paper since has used) is the Bjøntegaard delta: fit a cubic to each RD
+curve (PSNR over log-bitrate), integrate over the overlapping interval,
+and report the average PSNR difference (BD-PSNR) or the average bitrate
+difference at equal quality (BD-rate, percent).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+RdPoint = Tuple[float, float]  # (bitrate, psnr)
+
+
+def _prepare(points: Sequence[RdPoint]) -> Tuple[np.ndarray, np.ndarray]:
+    if len(points) < 4:
+        raise ConfigError(
+            f"Bjøntegaard fits need at least 4 RD points, got {len(points)}"
+        )
+    rates = np.array([p[0] for p in points], dtype=float)
+    psnrs = np.array([p[1] for p in points], dtype=float)
+    if np.any(rates <= 0):
+        raise ConfigError("bitrates must be positive")
+    order = np.argsort(rates)
+    return np.log10(rates[order]), psnrs[order]
+
+
+def _poly_integral(coeffs: np.ndarray, low: float, high: float) -> float:
+    integral = np.polyint(coeffs)
+    return float(np.polyval(integral, high) - np.polyval(integral, low))
+
+
+def bd_psnr(anchor: Sequence[RdPoint], test: Sequence[RdPoint]) -> float:
+    """Average PSNR gain of ``test`` over ``anchor`` at equal bitrate (dB)."""
+    log_rate_a, psnr_a = _prepare(anchor)
+    log_rate_t, psnr_t = _prepare(test)
+    fit_a = np.polyfit(log_rate_a, psnr_a, 3)
+    fit_t = np.polyfit(log_rate_t, psnr_t, 3)
+    low = max(log_rate_a.min(), log_rate_t.min())
+    high = min(log_rate_a.max(), log_rate_t.max())
+    if high <= low:
+        raise ConfigError("RD curves do not overlap in bitrate")
+    span = high - low
+    return (_poly_integral(fit_t, low, high) - _poly_integral(fit_a, low, high)) / span
+
+
+def bd_rate(anchor: Sequence[RdPoint], test: Sequence[RdPoint]) -> float:
+    """Average bitrate change of ``test`` vs ``anchor`` at equal quality (%).
+
+    Negative means ``test`` needs fewer bits (better compression).
+    """
+    log_rate_a, psnr_a = _prepare(anchor)
+    log_rate_t, psnr_t = _prepare(test)
+    # Fit log-rate as a function of PSNR (the inverted curves).
+    fit_a = np.polyfit(psnr_a, log_rate_a, 3)
+    fit_t = np.polyfit(psnr_t, log_rate_t, 3)
+    low = max(psnr_a.min(), psnr_t.min())
+    high = min(psnr_a.max(), psnr_t.max())
+    if high <= low:
+        raise ConfigError("RD curves do not overlap in quality")
+    span = high - low
+    delta = (_poly_integral(fit_t, low, high) - _poly_integral(fit_a, low, high)) / span
+    return (math.pow(10.0, delta) - 1.0) * 100.0
+
+
+def rd_points_from_rows(rows, codec: str, sequence: str,
+                        resolution: str) -> List[RdPoint]:
+    """Extract (bitrate, combined-PSNR) points from RdRow records."""
+    points = [
+        (row.bitrate_kbps, row.psnr.combined)
+        for row in rows
+        if (row.codec, row.sequence, row.resolution) == (codec, sequence, resolution)
+    ]
+    return sorted(points)

@@ -1,0 +1,181 @@
+"""Bit-level stream writer and reader.
+
+Every codec in the library serialises its syntax through these two classes.
+Bits are written MSB-first within each byte, matching the convention of the
+MPEG and H.264 bitstream specifications.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as ``bytes``.
+
+    >>> w = BitWriter()
+    >>> w.write_bits(0b101, 3)
+    >>> w.write_bit(1)
+    >>> w.align()
+    >>> w.to_bytes()
+    b'\\xb0'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accum = 0      # bits not yet flushed to the buffer
+        self._nbits = 0      # number of bits in _accum (< 8)
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buffer) + self._nbits
+
+    @property
+    def bit_position(self) -> int:
+        return len(self)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._accum = (self._accum << 1) | bit
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._accum)
+            self._accum = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, most significant bit first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if value < 0 or (count < 64 and value >> count):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_signed(self, value: int, count: int) -> None:
+        """Append ``value`` as ``count``-bit two's complement."""
+        if count < 1:
+            raise ValueError("count must be >= 1 for signed values")
+        lo = -(1 << (count - 1))
+        hi = (1 << (count - 1)) - 1
+        if not lo <= value <= hi:
+            raise ValueError(f"value {value} does not fit in {count} signed bits")
+        self.write_bits(value & ((1 << count) - 1), count)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; requires byte alignment."""
+        if self._nbits:
+            raise BitstreamError("write_bytes requires byte alignment")
+        self._buffer.extend(data)
+
+    def align(self, fill: int = 0) -> int:
+        """Pad with ``fill`` bits up to the next byte boundary.
+
+        Returns the number of padding bits written.
+        """
+        padded = 0
+        while self._nbits:
+            self.write_bit(fill)
+            padded += 1
+        return padded
+
+    def to_bytes(self) -> bytes:
+        """Return the stream contents, zero-padding the final partial byte."""
+        if not self._nbits:
+            return bytes(self._buffer)
+        tail = self._accum << (8 - self._nbits)
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes`` object.
+
+    Raises :class:`BitstreamError` when reading past the end of the data.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return 8 * len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self.bits_remaining <= 0
+
+    def read_bit(self) -> int:
+        if self._pos >= 8 * len(self._data):
+            raise BitstreamError("read past end of bitstream")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits, MSB first, returned as an unsigned int."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return 0
+        if count > self.bits_remaining:
+            raise BitstreamError(
+                f"requested {count} bits but only {self.bits_remaining} remain"
+            )
+        position = self._pos
+        end = position + count
+        start_byte = position >> 3
+        end_byte = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[start_byte:end_byte], "big")
+        shift = 8 * (end_byte - start_byte) - (end - 8 * start_byte)
+        self._pos = end
+        return (chunk >> shift) & ((1 << count) - 1)
+
+    def read_signed(self, count: int) -> int:
+        """Read a ``count``-bit two's-complement value."""
+        if count < 1:
+            raise ValueError("count must be >= 1 for signed values")
+        raw = self.read_bits(count)
+        if raw >= 1 << (count - 1):
+            raw -= 1 << count
+        return raw
+
+    def peek_bits(self, count: int) -> int:
+        """Read ``count`` bits without consuming them.
+
+        Bits beyond the end of the stream are returned as zeros so that VLC
+        table lookups near the stream tail remain simple; consuming them
+        still raises.
+        """
+        saved = self._pos
+        avail = min(count, self.bits_remaining)
+        value = self.read_bits(avail) << (count - avail)
+        self._pos = saved
+        return value
+
+    def skip_bits(self, count: int) -> None:
+        if count > self.bits_remaining:
+            raise BitstreamError("skip past end of bitstream")
+        self._pos += count
+
+    def align(self) -> int:
+        """Advance to the next byte boundary; returns bits skipped."""
+        skip = (8 - (self._pos & 7)) & 7
+        self._pos += skip
+        return skip
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read whole bytes; requires byte alignment."""
+        if self._pos & 7:
+            raise BitstreamError("read_bytes requires byte alignment")
+        start = self._pos >> 3
+        if start + count > len(self._data):
+            raise BitstreamError("read past end of bitstream")
+        self._pos += 8 * count
+        return self._data[start : start + count]

@@ -1,0 +1,118 @@
+"""Quality and rate metrics: MSE, PSNR, bitrate.
+
+Table V of the paper reports PSNR (dB) and bitrate (kbit/s) per encode.
+PSNR here follows the convention of the paper's tools: computed per plane
+against the 8-bit peak (255), combined 4:2:0-weighted as
+``(4*Y + U + V) / 6`` (each chroma plane carries a quarter of the samples of
+the luma plane).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.yuv import YuvFrame, YuvSequence
+from repro.errors import ConfigError
+
+PEAK = 255.0
+#: PSNR value reported for identical planes (a convention, as in FFmpeg).
+PSNR_IDENTICAL = 100.0
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two equally shaped planes."""
+    if reference.shape != test.shape:
+        raise ConfigError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    diff = reference.astype(np.float64) - test.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr_from_mse(value: float) -> float:
+    """PSNR in dB for an 8-bit MSE; identical planes report 100 dB."""
+    if value <= 0.0:
+        return PSNR_IDENTICAL
+    return 10.0 * math.log10(PEAK * PEAK / value)
+
+
+def plane_psnr(reference: np.ndarray, test: np.ndarray) -> float:
+    return psnr_from_mse(mse(reference, test))
+
+
+@dataclass(frozen=True)
+class FramePsnr:
+    """Per-plane and combined PSNR of one frame."""
+
+    y: float
+    u: float
+    v: float
+
+    @property
+    def combined(self) -> float:
+        """4:2:0 sample-weighted combination: (4*Y + U + V) / 6."""
+        return (4.0 * self.y + self.u + self.v) / 6.0
+
+
+def frame_psnr(reference: YuvFrame, test: YuvFrame) -> FramePsnr:
+    """PSNR of ``test`` against ``reference``, per plane."""
+    return FramePsnr(
+        y=plane_psnr(reference.y, test.y),
+        u=plane_psnr(reference.u, test.u),
+        v=plane_psnr(reference.v, test.v),
+    )
+
+
+def sequence_psnr(reference: YuvSequence, test: YuvSequence) -> FramePsnr:
+    """Average per-plane PSNR over a sequence.
+
+    Averages the per-frame MSE (not the per-frame dB values), matching the
+    ``global PSNR`` convention of the encoders the paper benchmarks.
+    """
+    if len(reference) != len(test):
+        raise ConfigError(
+            f"sequence length mismatch: {len(reference)} vs {len(test)}"
+        )
+    if len(reference) == 0:
+        raise ConfigError("cannot compute PSNR of empty sequences")
+    sums = {"y": 0.0, "u": 0.0, "v": 0.0}
+    for ref_frame, test_frame in zip(reference, test):
+        sums["y"] += mse(ref_frame.y, test_frame.y)
+        sums["u"] += mse(ref_frame.u, test_frame.u)
+        sums["v"] += mse(ref_frame.v, test_frame.v)
+    count = len(reference)
+    return FramePsnr(
+        y=psnr_from_mse(sums["y"] / count),
+        u=psnr_from_mse(sums["u"] / count),
+        v=psnr_from_mse(sums["v"] / count),
+    )
+
+
+def bitrate_kbps(total_bytes: int, frame_count: int, fps: float) -> float:
+    """Average bitrate in kbit/s, as reported in Table V."""
+    if frame_count <= 0:
+        raise ConfigError(f"frame_count must be positive, got {frame_count}")
+    if fps <= 0:
+        raise ConfigError(f"fps must be positive, got {fps}")
+    seconds = frame_count / fps
+    return total_bytes * 8.0 / seconds / 1000.0
+
+
+def compression_gain(baseline_bitrate: float, test_bitrate: float) -> float:
+    """Bitrate reduction of ``test`` vs ``baseline``, in percent.
+
+    This is the statistic quoted in Section VI ("MPEG-4 achieves a 39.4%
+    compression gain over MPEG-2").
+    """
+    if baseline_bitrate <= 0:
+        raise ConfigError("baseline bitrate must be positive")
+    return (1.0 - test_bitrate / baseline_bitrate) * 100.0
+
+
+def mean(values: Iterable[float]) -> float:
+    items: Sequence[float] = list(values)
+    if not items:
+        raise ConfigError("mean of empty collection")
+    return sum(items) / len(items)

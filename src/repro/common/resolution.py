@@ -1,0 +1,112 @@
+"""Resolution tiers of HD-VideoBench.
+
+The paper evaluates three resolutions (Section IV): DVD (720x576), HD-720
+(1280x720) and HD-1088 (1920x1088), all at 25 frames per second.
+
+Pure-Python codecs cannot encode 1920x1088x100 frames in reasonable time, so
+the benchmark harness also defines *scaled* tiers: the same three names at a
+configurable linear scale (default 1/8), rounded to macroblock-aligned
+dimensions.  Throughput ratios between codecs, backends and tiers — the
+quantities Figure 1 of the paper is about — survive uniform downscaling; see
+DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ConfigError
+
+MACROBLOCK_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A named frame geometry.
+
+    Width and height must be positive multiples of 16 (macroblock aligned);
+    the codecs rely on this.
+    """
+
+    name: str
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigError(f"invalid resolution {self.width}x{self.height}")
+        if self.width % MACROBLOCK_SIZE or self.height % MACROBLOCK_SIZE:
+            raise ConfigError(
+                f"{self.name}: {self.width}x{self.height} is not macroblock aligned"
+            )
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def macroblocks(self) -> int:
+        return (self.width // MACROBLOCK_SIZE) * (self.height // MACROBLOCK_SIZE)
+
+    @property
+    def mb_width(self) -> int:
+        return self.width // MACROBLOCK_SIZE
+
+    @property
+    def mb_height(self) -> int:
+        return self.height // MACROBLOCK_SIZE
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.width}x{self.height})"
+
+
+# The paper's full-size tiers (Table III).
+DVD = Resolution("576p25", 720, 576)
+HD720 = Resolution("720p25", 1280, 720)
+HD1088 = Resolution("1088p25", 1920, 1088)
+
+PAPER_TIERS = (DVD, HD720, HD1088)
+FRAME_RATE = 25
+PAPER_FRAME_COUNT = 100
+
+
+def _align(value: float) -> int:
+    """Round to the nearest positive multiple of the macroblock size."""
+    aligned = int(value / MACROBLOCK_SIZE + 0.5) * MACROBLOCK_SIZE
+    return max(MACROBLOCK_SIZE, aligned)
+
+
+def scaled_tier(tier: Resolution, scale: Fraction) -> Resolution:
+    """Return ``tier`` downscaled by the linear factor ``scale``.
+
+    The result keeps the tier name (so benchmark reports read like the
+    paper's) and is macroblock aligned.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    if scale == 1:
+        return tier
+    return Resolution(
+        tier.name,
+        _align(tier.width * float(scale)),
+        _align(tier.height * float(scale)),
+    )
+
+
+def bench_tiers(scale: Fraction = Fraction(1, 8)) -> tuple:
+    """The three paper tiers at the given benchmark scale.
+
+    With the default 1/8 scale this yields 96x80, 160x96 and 240x144, whose
+    pixel-count ratios (1 : 2 : 4.5) track the paper's tiers (1 : 2.2 : 5).
+    """
+    return tuple(scaled_tier(tier, scale) for tier in PAPER_TIERS)
+
+
+def tier_by_name(name: str, scale: Fraction = Fraction(1, 1)) -> Resolution:
+    """Look up a paper tier by name (e.g. ``"720p25"``), optionally scaled."""
+    for tier in PAPER_TIERS:
+        if tier.name == name:
+            return scaled_tier(tier, scale)
+    known = ", ".join(t.name for t in PAPER_TIERS)
+    raise ConfigError(f"unknown resolution tier {name!r} (known: {known})")

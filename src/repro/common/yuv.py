@@ -1,0 +1,209 @@
+"""Planar YUV 4:2:0 frames and raw-file I/O.
+
+HD-VideoBench operates on progressive 4:2:0 video (Section IV): a full
+resolution luma plane and two chroma planes subsampled by two in both
+directions.  ``YuvFrame`` is the in-memory representation used throughout
+the library; ``read_yuv_file``/``write_yuv_file`` implement the raw I420
+format the paper's ``mencoder`` commands consume (``-demuxer rawvideo``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.common.resolution import FRAME_RATE, Resolution
+from repro.errors import SequenceError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class YuvFrame:
+    """One planar 4:2:0 frame.  Planes are ``uint8`` numpy arrays."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("y", "u", "v"):
+            plane = getattr(self, name)
+            if plane.dtype != np.uint8:
+                setattr(self, name, plane.astype(np.uint8))
+        height, width = self.y.shape
+        if height % 2 or width % 2:
+            raise SequenceError(f"luma dimensions must be even, got {width}x{height}")
+        expected = (height // 2, width // 2)
+        if self.u.shape != expected or self.v.shape != expected:
+            raise SequenceError(
+                f"chroma planes must be {expected}, got {self.u.shape}/{self.v.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def resolution(self) -> tuple:
+        return (self.width, self.height)
+
+    def planes(self) -> tuple:
+        return (self.y, self.u, self.v)
+
+    def copy(self) -> "YuvFrame":
+        return YuvFrame(self.y.copy(), self.u.copy(), self.v.copy())
+
+    @classmethod
+    def blank(cls, width: int, height: int, y: int = 16, u: int = 128, v: int = 128) -> "YuvFrame":
+        """A constant-colour frame (defaults to video black)."""
+        return cls(
+            np.full((height, width), y, dtype=np.uint8),
+            np.full((height // 2, width // 2), u, dtype=np.uint8),
+            np.full((height // 2, width // 2), v, dtype=np.uint8),
+        )
+
+    @classmethod
+    def from_float(cls, y: np.ndarray, u: np.ndarray, v: np.ndarray) -> "YuvFrame":
+        """Build a frame from float planes, clipping to [0, 255]."""
+        return cls(
+            np.clip(np.rint(y), 0, 255).astype(np.uint8),
+            np.clip(np.rint(u), 0, 255).astype(np.uint8),
+            np.clip(np.rint(v), 0, 255).astype(np.uint8),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise as raw planar I420 (Y then U then V)."""
+        return self.y.tobytes() + self.u.tobytes() + self.v.tobytes()
+
+    @classmethod
+    def frame_size_bytes(cls, width: int, height: int) -> int:
+        return width * height * 3 // 2
+
+    @classmethod
+    def from_bytes(cls, data: bytes, width: int, height: int) -> "YuvFrame":
+        expected = cls.frame_size_bytes(width, height)
+        if len(data) != expected:
+            raise SequenceError(f"I420 frame needs {expected} bytes, got {len(data)}")
+        ysize = width * height
+        csize = ysize // 4
+        y = np.frombuffer(data, dtype=np.uint8, count=ysize).reshape(height, width)
+        u = np.frombuffer(data, dtype=np.uint8, count=csize, offset=ysize)
+        v = np.frombuffer(data, dtype=np.uint8, count=csize, offset=ysize + csize)
+        half = (height // 2, width // 2)
+        return cls(y.copy(), u.reshape(half).copy(), v.reshape(half).copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, YuvFrame):
+            return NotImplemented
+        return (
+            np.array_equal(self.y, other.y)
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+        )
+
+
+@dataclass
+class YuvSequence:
+    """An ordered list of equally sized frames plus timing metadata."""
+
+    frames: List[YuvFrame] = field(default_factory=list)
+    fps: int = FRAME_RATE
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.frames:
+            first = self.frames[0].resolution
+            for index, frame in enumerate(self.frames):
+                if frame.resolution != first:
+                    raise SequenceError(
+                        f"frame {index} is {frame.resolution}, expected {first}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[YuvFrame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> YuvFrame:
+        return self.frames[index]
+
+    @property
+    def width(self) -> int:
+        self._require_frames()
+        return self.frames[0].width
+
+    @property
+    def height(self) -> int:
+        self._require_frames()
+        return self.frames[0].height
+
+    @property
+    def duration_seconds(self) -> float:
+        return len(self.frames) / self.fps
+
+    def _require_frames(self) -> None:
+        if not self.frames:
+            raise SequenceError("sequence is empty")
+
+    def append(self, frame: YuvFrame) -> None:
+        if self.frames and frame.resolution != self.frames[0].resolution:
+            raise SequenceError(
+                f"frame is {frame.resolution}, expected {self.frames[0].resolution}"
+            )
+        self.frames.append(frame)
+
+    def matches(self, resolution: Resolution) -> bool:
+        self._require_frames()
+        return (self.width, self.height) == (resolution.width, resolution.height)
+
+
+def write_yuv_file(path: PathLike, sequence: Union[YuvSequence, Iterable[YuvFrame]]) -> int:
+    """Write frames as raw planar I420; returns bytes written."""
+    frames: Sequence[YuvFrame] = list(sequence)
+    total = 0
+    with open(path, "wb") as handle:
+        for frame in frames:
+            data = frame.to_bytes()
+            handle.write(data)
+            total += len(data)
+    return total
+
+
+def read_yuv_file(
+    path: PathLike,
+    width: int,
+    height: int,
+    fps: int = FRAME_RATE,
+    max_frames: int = 0,
+) -> YuvSequence:
+    """Read raw planar I420 frames from ``path``.
+
+    ``max_frames`` of zero means read everything.  A trailing partial frame
+    raises :class:`SequenceError`.
+    """
+    frame_bytes = YuvFrame.frame_size_bytes(width, height)
+    frames = []
+    with open(path, "rb") as handle:
+        while True:
+            if max_frames and len(frames) >= max_frames:
+                break
+            chunk = handle.read(frame_bytes)
+            if not chunk:
+                break
+            if len(chunk) != frame_bytes:
+                raise SequenceError(
+                    f"{path}: truncated frame ({len(chunk)} of {frame_bytes} bytes)"
+                )
+            frames.append(YuvFrame.from_bytes(chunk, width, height))
+    if not frames:
+        raise SequenceError(f"{path}: no frames found")
+    return YuvSequence(frames, fps=fps, name=str(path))

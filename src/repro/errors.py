@@ -1,0 +1,21 @@
+"""Exception hierarchy for the HD-VideoBench reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class BitstreamError(ReproError):
+    """Raised on malformed or truncated bitstream input."""
+
+
+class ConfigError(ReproError):
+    """Raised when encoder/decoder/benchmark configuration is invalid."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding fails semantically."""
+
+
+class SequenceError(ReproError):
+    """Raised when an input sequence cannot be generated or loaded."""

@@ -1,0 +1,45 @@
+"""Kernel backends: scalar (pure Python) and SIMD (NumPy).
+
+See :mod:`repro.kernels.api` for the rationale.  Codecs select a backend by
+name::
+
+    from repro.kernels import get_kernels
+    kernels = get_kernels("simd")
+    cost = kernels.sad(block_a, block_b)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.kernels.api import KERNEL_NAMES, implements_kernel_api
+from repro.kernels.scalar import ScalarKernels
+from repro.kernels.simd import SimdKernels
+
+#: Backend names in the order the paper presents them (Figure 1).
+BACKEND_NAMES: Tuple[str, ...] = ("scalar", "simd")
+
+_BACKENDS = {
+    "scalar": ScalarKernels(),
+    "simd": SimdKernels(),
+}
+
+
+def get_kernels(backend: str = "simd"):
+    """Return the kernel backend named ``backend`` ("scalar" or "simd")."""
+    try:
+        return _BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ConfigError(f"unknown kernel backend {backend!r} (known: {known})") from None
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KERNEL_NAMES",
+    "ScalarKernels",
+    "SimdKernels",
+    "get_kernels",
+    "implements_kernel_api",
+]

@@ -1,0 +1,19 @@
+"""Motion compensation: reference padding and chroma MV derivation.
+
+The per-block interpolation kernels themselves live in the kernel backends
+(:mod:`repro.kernels`); this package provides the surrounding machinery.
+"""
+
+from repro.mc.chroma import (
+    chroma_mv_from_halfpel,
+    chroma_mv_from_qpel,
+)
+from repro.mc.pad import INTERP_MARGIN, PaddedPlane, pad_plane
+
+__all__ = [
+    "INTERP_MARGIN",
+    "PaddedPlane",
+    "chroma_mv_from_halfpel",
+    "chroma_mv_from_qpel",
+    "pad_plane",
+]

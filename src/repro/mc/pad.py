@@ -1,0 +1,53 @@
+"""Edge-padded reference planes.
+
+Motion vectors may point (partially) outside the picture; all standards
+define the out-of-bounds samples by edge replication.  Rather than clamping
+coordinates per pixel in the hot interpolation loops, reference planes are
+padded once per frame with a margin that covers the motion search range
+plus the widest interpolation support (the H.264 six-tap filter needs
+samples from -2 to +3 around the block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Extra margin beyond the search range for sub-pel filter support.
+INTERP_MARGIN = 8
+
+
+@dataclass
+class PaddedPlane:
+    """A reference plane with replicated borders.
+
+    ``plane`` holds the padded samples as ``int64``; frame coordinate
+    (x, y) lives at ``plane[y + pad, x + pad]``.
+    """
+
+    plane: np.ndarray
+    pad: int
+    width: int
+    height: int
+
+    def offset(self, x: int, y: int) -> tuple:
+        """Translate frame coordinates into padded-plane coordinates."""
+        return (x + self.pad, y + self.pad)
+
+
+def pad_plane(plane: np.ndarray, search_range: int) -> PaddedPlane:
+    """Edge-replicate ``plane`` for motion searches up to ``search_range``."""
+    if search_range < 0:
+        raise ConfigError(f"search_range must be >= 0, got {search_range}")
+    pad = search_range + INTERP_MARGIN
+    height, width = plane.shape
+    padded = np.pad(plane.astype(np.int64), pad, mode="edge")
+    return PaddedPlane(plane=padded, pad=pad, width=width, height=height)
+
+
+def max_mv_magnitude(padded: PaddedPlane, block_size: int) -> int:
+    """Largest integer-pel MV magnitude safely addressable in ``padded``."""
+    return padded.pad - INTERP_MARGIN

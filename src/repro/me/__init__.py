@@ -1,0 +1,28 @@
+"""Motion estimation: cost model, search algorithms, sub-pel refinement."""
+
+from repro.me.cost import MotionCost, lambda_from_qp, mv_rate_bits
+from repro.me.search import (
+    ALGORITHM_NAMES,
+    epzs_search,
+    full_search,
+    hexagon_search,
+    run_search,
+)
+from repro.me.subpel import refine_subpel
+from repro.me.types import MotionVector, SearchResult, ZERO_MV, median_mv
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "MotionCost",
+    "MotionVector",
+    "SearchResult",
+    "ZERO_MV",
+    "epzs_search",
+    "full_search",
+    "hexagon_search",
+    "lambda_from_qp",
+    "median_mv",
+    "mv_rate_bits",
+    "refine_subpel",
+    "run_search",
+]

@@ -1,0 +1,72 @@
+"""Sub-pel motion vector refinement.
+
+After the integer-pel search, the encoders refine to half-pel (MPEG-2) or
+quarter-pel (MPEG-4 with ``qpel``, H.264) precision by evaluating the
+interpolated predictions around the best integer vector — the same
+two-stage refinement x264's ``--subme`` levels perform.
+
+Motion vectors returned here are in *fractional units*: half-pel units for
+MPEG-2 (interp = ``kernels.mc_halfpel``), quarter-pel for MPEG-4/H.264
+(interp = ``kernels.mc_qpel_bilinear`` / ``kernels.mc_qpel_h264``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.mc.pad import PaddedPlane
+from repro.me.cost import mv_rate_bits
+from repro.me.types import MotionVector, SearchResult
+
+InterpFn = Callable[..., np.ndarray]
+
+_NEIGHBOURS = (
+    (-1, -1), (0, -1), (1, -1),
+    (-1, 0), (1, 0),
+    (-1, 1), (0, 1), (1, 1),
+)
+
+
+def refine_subpel(
+    kernels,
+    current: np.ndarray,
+    reference: PaddedPlane,
+    x: int,
+    y: int,
+    width: int,
+    height: int,
+    integer_result: SearchResult,
+    predictor: MotionVector,
+    lagrangian: int,
+    unit: int,
+    interp: InterpFn,
+) -> SearchResult:
+    """Refine ``integer_result`` to fractional precision.
+
+    ``unit`` is the number of fractional positions per pel (2 = half-pel,
+    4 = quarter-pel); ``predictor`` must already be in fractional units.
+    Performs log2(unit) halving stages (half-pel, then quarter-pel).
+    """
+    px, py = reference.offset(x, y)
+
+    def evaluate(mv: MotionVector) -> int:
+        block = interp(reference.plane, px, py, width, height, mv.x, mv.y)
+        sad = kernels.sad(current, block)
+        return sad + lagrangian * mv_rate_bits(mv, predictor)
+
+    best_mv = integer_result.mv.scaled(unit)
+    best = SearchResult(best_mv, evaluate(best_mv))
+
+    step = unit >> 1
+    while step >= 1:
+        improved = best
+        for dx, dy in _NEIGHBOURS:
+            mv = MotionVector(best.mv.x + dx * step, best.mv.y + dy * step)
+            cost = evaluate(mv)
+            if cost < improved.cost:
+                improved = SearchResult(mv, cost)
+        best = improved
+        step >>= 1
+    return best

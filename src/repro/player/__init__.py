@@ -1,0 +1,5 @@
+"""MPlayer/MEncoder-style front end (``hdvb-player`` / ``hdvb-mencoder``)."""
+
+from repro.player.cli import mencoder_main, player_main
+
+__all__ = ["mencoder_main", "player_main"]

@@ -1,0 +1,222 @@
+"""MPlayer/MEncoder-style command line front end.
+
+The paper uses MPlayer as a single front end that selects the right codec
+library and, with ``-benchmark``, times pure decoding with video output
+disabled (``-vo null``).  ``hdvb-player`` and ``hdvb-mencoder`` reproduce
+that interface over this library's codecs:
+
+    hdvb-player out/576p25_blue_sky.hdvb -vc mpeg12 -nosound -vo null -benchmark
+    hdvb-mencoder yuv/576p25_blue_sky.yuv -demuxer rawvideo \\
+        -rawvideo fps=25:w=96:h=80 -o out.hdvb -ovc lavc \\
+        -lavcopts vcodec=mpeg2video:vqscale=5:psnr
+
+See Table IV of the paper for the original command lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.codecs import container, get_decoder, get_encoder
+from repro.common.metrics import sequence_psnr
+from repro.common.yuv import read_yuv_file, write_yuv_file
+from repro.errors import ReproError
+
+#: MPlayer ``-vc`` names -> codec registry names (Table IV).
+DECODER_ALIASES: Dict[str, str] = {
+    "mpeg12": "mpeg2",   # libmpeg2
+    "xvid": "mpeg4",     # Xvid
+    "ffh264": "h264",    # FFmpeg H.264
+    "ffmjpeg": "mjpeg",  # extension codec (Section VII future work)
+    "wmv3": "vc1",       # extension codec (Section VII future work)
+    "auto": "",
+}
+
+#: MEncoder ``-ovc`` names -> codec registry names.
+ENCODER_ALIASES: Dict[str, str] = {
+    "lavc": "mpeg2",     # FFmpeg MPEG-2 (vcodec=mpeg2video)
+    "xvid": "mpeg4",
+    "x264": "h264",
+    "mjpeg": "mjpeg",    # extension codec (Section VII future work)
+    "vc1": "vc1",        # extension codec (Section VII future work)
+}
+
+
+def _parse_colon_options(spec: str) -> Dict[str, str]:
+    """Parse MPlayer-style ``key=value:flag`` option strings."""
+    options: Dict[str, str] = {}
+    if not spec:
+        return options
+    for item in spec.split(":"):
+        if not item:
+            continue
+        if "=" in item:
+            key, value = item.split("=", 1)
+            options[key] = value
+        else:
+            options[item] = "1"
+    return options
+
+
+# ---------------------------------------------------------------------------
+# hdvb-player
+# ---------------------------------------------------------------------------
+
+def player_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-player",
+        description="Decode an HDVB stream (MPlayer-style front end).",
+    )
+    parser.add_argument("input", help="input .hdvb container file")
+    parser.add_argument("-vc", default="auto",
+                        help="video codec: mpeg12, xvid, ffh264 or auto")
+    parser.add_argument("-vo", default="null",
+                        help="video output: null, or yuv:PATH to dump raw I420")
+    parser.add_argument("-nosound", action="store_true",
+                        help="accepted for command-line compatibility")
+    parser.add_argument("-benchmark", action="store_true",
+                        help="time the decode and report frames per second")
+    parser.add_argument("--backend", default="simd", choices=("scalar", "simd"),
+                        help="kernel backend (scalar = plain build, simd = optimised)")
+    args = parser.parse_args(argv)
+
+    try:
+        stream = container.read_file(args.input)
+        requested = DECODER_ALIASES.get(args.vc, args.vc)
+        if requested and requested != stream.codec:
+            raise ReproError(
+                f"-vc {args.vc} selects codec {requested!r}, "
+                f"but {args.input} contains {stream.codec!r}"
+            )
+        decoder = get_decoder(stream.codec, backend=args.backend)
+        start = time.perf_counter()
+        video = decoder.decode(stream)
+        elapsed = time.perf_counter() - start
+    except ReproError as error:
+        print(f"hdvb-player: {error}", file=sys.stderr)
+        return 1
+
+    if args.vo.startswith("yuv:"):
+        write_yuv_file(args.vo[4:], video)
+    elif args.vo != "null":
+        print(f"hdvb-player: unknown -vo {args.vo!r}", file=sys.stderr)
+        return 1
+
+    print(f"VIDEO: {stream.codec} {stream.width}x{stream.height} "
+          f"{stream.fps} fps, {stream.frame_count} frames, "
+          f"{stream.bitrate_kbps:.1f} kbit/s")
+    if args.benchmark:
+        fps = len(video) / elapsed if elapsed > 0 else float("inf")
+        print(f"BENCHMARKs: VC: {elapsed:8.3f}s  => {fps:.2f} fps "
+              f"({'real-time' if fps >= stream.fps else 'below real-time'})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# hdvb-mencoder
+# ---------------------------------------------------------------------------
+
+def mencoder_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-mencoder",
+        description="Encode raw YUV to an HDVB stream (MEncoder-style front end).",
+    )
+    parser.add_argument("input", help="input raw I420 .yuv file")
+    parser.add_argument("-demuxer", default="rawvideo",
+                        help="accepted for compatibility (must be rawvideo)")
+    parser.add_argument("-rawvideo", required=True,
+                        help="raw video spec, e.g. fps=25:w=96:h=80")
+    parser.add_argument("-o", dest="output", required=True,
+                        help="output .hdvb container file")
+    parser.add_argument("-ofps", type=int, default=0,
+                        help="output fps (defaults to the input fps)")
+    parser.add_argument("-ovc", required=True,
+                        help="encoder: lavc (MPEG-2), xvid (MPEG-4) or x264 (H.264)")
+    parser.add_argument("-lavcopts", default="", help="MPEG-2 options, e.g. vqscale=5:psnr")
+    parser.add_argument("-xvidencopts", default="",
+                        help="MPEG-4 options, e.g. fixed_quant=5:qpel:psnr")
+    parser.add_argument("-x264encopts", default="",
+                        help="H.264 options, e.g. qp=26:me=hex:ref=2:psnr")
+    parser.add_argument("-mjpegopts", default="",
+                        help="Motion-JPEG options, e.g. quality=75:psnr")
+    parser.add_argument("-vc1opts", default="",
+                        help="VC-1 options, e.g. qscale=5:psnr")
+    parser.add_argument("--frames", type=int, default=0,
+                        help="encode only the first N frames")
+    parser.add_argument("--backend", default="simd", choices=("scalar", "simd"))
+    args = parser.parse_args(argv)
+
+    try:
+        if args.demuxer != "rawvideo":
+            raise ReproError(f"only -demuxer rawvideo is supported, got {args.demuxer!r}")
+        raw = _parse_colon_options(args.rawvideo)
+        if "w" not in raw or "h" not in raw:
+            raise ReproError("-rawvideo needs w= and h=")
+        width, height = int(raw["w"]), int(raw["h"])
+        fps = int(raw.get("fps", "25"))
+        video = read_yuv_file(args.input, width, height, fps=fps,
+                              max_frames=args.frames)
+
+        codec = ENCODER_ALIASES.get(args.ovc)
+        if codec is None:
+            raise ReproError(f"unknown -ovc {args.ovc!r} "
+                             f"(known: {', '.join(ENCODER_ALIASES)})")
+        fields, want_psnr = _encoder_fields(args, codec, width, height)
+        encoder = get_encoder(codec, **fields)
+        start = time.perf_counter()
+        stream = encoder.encode_sequence(video)
+        elapsed = time.perf_counter() - start
+        if args.ofps:
+            stream.fps = args.ofps
+        container.write_file(args.output, stream)
+    except ReproError as error:
+        print(f"hdvb-mencoder: {error}", file=sys.stderr)
+        return 1
+
+    fps_rate = len(video) / elapsed if elapsed > 0 else float("inf")
+    print(f"ENCODED: {codec} {width}x{height}, {len(video)} frames, "
+          f"{stream.total_bytes} bytes ({stream.bitrate_kbps:.1f} kbit/s), "
+          f"{elapsed:.3f}s => {fps_rate:.2f} fps")
+    if want_psnr:
+        decoded = get_decoder(codec, backend=args.backend).decode(stream)
+        psnr = sequence_psnr(video, decoded)
+        print(f"PSNR: Y:{psnr.y:.2f} U:{psnr.u:.2f} V:{psnr.v:.2f} "
+              f"combined:{psnr.combined:.2f}")
+    return 0
+
+
+def _encoder_fields(args, codec: str, width: int, height: int):
+    """Map MEncoder-style option strings to encoder config fields."""
+    fields: Dict[str, object] = dict(width=width, height=height, backend=args.backend)
+    if codec == "mpeg2":
+        options = _parse_colon_options(args.lavcopts)
+        vcodec = options.get("vcodec", "mpeg2video")
+        if vcodec != "mpeg2video":
+            raise ReproError(f"-ovc lavc supports vcodec=mpeg2video, got {vcodec!r}")
+        fields["qscale"] = int(options.get("vqscale", "5"))
+    elif codec == "mpeg4":
+        options = _parse_colon_options(args.xvidencopts)
+        fields["qscale"] = int(options.get("fixed_quant", "5"))
+        fields["qpel"] = "qpel" in options
+        fields["four_mv"] = options.get("4mv", "1") != "0"
+    elif codec == "mjpeg":
+        options = _parse_colon_options(args.mjpegopts)
+        fields["quality"] = int(options.get("quality", "75"))
+    elif codec == "vc1":
+        options = _parse_colon_options(args.vc1opts)
+        fields["qscale"] = int(options.get("qscale", "5"))
+        fields["adaptive_transform"] = options.get("ats", "1") != "0"
+    else:
+        options = _parse_colon_options(args.x264encopts)
+        fields["qp"] = int(options.get("qp", "26"))
+        fields["me_algorithm"] = options.get("me", "hex")
+        fields["ref_frames"] = int(options.get("ref", "2"))
+        fields["deblock"] = options.get("deblock", "1") != "0"
+    if "me" in options and codec != "h264":
+        fields["me_algorithm"] = options["me"]
+    if "merange" in options:
+        fields["search_range"] = int(options["merange"])
+    return fields, "psnr" in options

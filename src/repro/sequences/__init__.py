@@ -1,0 +1,80 @@
+"""The HD-VideoBench input sequences (Table III) as procedural generators.
+
+The paper's clips are TU-München camera footage (Sony HDW-F900, 1920x1080,
+25 fps, progressive, 4:2:0); they are not redistributable, so each clip is
+rebuilt synthetically with the published motion/detail character — see the
+substitution table in DESIGN.md.
+
+Usage::
+
+    from repro.sequences import generate_sequence
+    video = generate_sequence("riverbed", "720p25", frames=9, scale=(1, 8))
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Tuple, Union
+
+from repro.common.resolution import FRAME_RATE, Resolution, scaled_tier, tier_by_name
+from repro.common.yuv import YuvSequence
+from repro.errors import SequenceError
+from repro.sequences.base import SequenceGenerator
+from repro.sequences.blue_sky import BlueSky
+from repro.sequences.pedestrian_area import PedestrianArea
+from repro.sequences.riverbed import Riverbed
+from repro.sequences.rush_hour import RushHour
+
+_GENERATORS: Dict[str, SequenceGenerator] = {
+    generator.name: generator
+    for generator in (BlueSky(), PedestrianArea(), Riverbed(), RushHour())
+}
+
+#: Sequence names in Table III order.
+SEQUENCE_NAMES: Tuple[str, ...] = (
+    "blue_sky",
+    "pedestrian_area",
+    "riverbed",
+    "rush_hour",
+)
+
+ScaleLike = Union[Fraction, Tuple[int, int]]
+
+
+def get_generator(name: str) -> SequenceGenerator:
+    """Look up a sequence generator by Table III name."""
+    try:
+        return _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(SEQUENCE_NAMES)
+        raise SequenceError(f"unknown sequence {name!r} (known: {known})") from None
+
+
+def generate_sequence(
+    name: str,
+    resolution: Union[str, Resolution] = "576p25",
+    frames: int = 9,
+    fps: int = FRAME_RATE,
+    scale: ScaleLike = Fraction(1, 1),
+) -> YuvSequence:
+    """Generate a named sequence.
+
+    ``resolution`` is a paper tier name ("576p25", "720p25", "1088p25") or
+    a :class:`Resolution`; ``scale`` optionally downscales a named tier for
+    benchmark-sized runs (e.g. ``scale=(1, 8)``).
+    """
+    if isinstance(scale, tuple):
+        scale = Fraction(*scale)
+    if isinstance(resolution, str):
+        resolution = tier_by_name(resolution, scale)
+    elif scale != 1:
+        resolution = scaled_tier(resolution, scale)
+    return get_generator(name).generate(resolution, frames, fps=fps)
+
+
+__all__ = [
+    "SEQUENCE_NAMES",
+    "SequenceGenerator",
+    "generate_sequence",
+    "get_generator",
+]

@@ -1,0 +1,54 @@
+"""Base class and shared helpers for the four HD-VideoBench sequences."""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.common.resolution import FRAME_RATE, Resolution
+from repro.common.yuv import YuvFrame, YuvSequence
+from repro.errors import SequenceError
+from repro.sequences.textures import downsample2
+
+
+class SequenceGenerator(abc.ABC):
+    """One synthetic HD-VideoBench clip.
+
+    Subclasses implement :meth:`_render_frame` returning full-resolution
+    float Y/U/V fields; this base class handles 4:2:0 subsampling,
+    quantisation to 8 bits and sequence assembly.  Motion is parameterised
+    relative to frame width so that scaled benchmark tiers move
+    proportionally, like downscaling real footage would.
+    """
+
+    #: registry name, e.g. ``"blue_sky"``.
+    name = ""
+    #: Table III description.
+    description = ""
+    #: deterministic seed; fixed per sequence.
+    seed = 0
+
+    def generate(self, resolution: Resolution, frames: int,
+                 fps: int = FRAME_RATE) -> YuvSequence:
+        """Render ``frames`` frames at ``resolution``."""
+        if frames <= 0:
+            raise SequenceError(f"frame count must be positive, got {frames}")
+        rng = np.random.default_rng(self.seed)
+        self._setup(resolution.width, resolution.height, rng)
+        rendered: List[YuvFrame] = []
+        for index in range(frames):
+            y, u, v = self._render_frame(index, rng)
+            rendered.append(
+                YuvFrame.from_float(y, downsample2(u), downsample2(v))
+            )
+        return YuvSequence(rendered, fps=fps, name=f"{self.name}_{resolution.name}")
+
+    @abc.abstractmethod
+    def _setup(self, width: int, height: int, rng: np.random.Generator) -> None:
+        """Build the static world for this resolution."""
+
+    @abc.abstractmethod
+    def _render_frame(self, index: int, rng: np.random.Generator):
+        """Return full-resolution float (y, u, v) fields for frame ``index``."""

@@ -1,0 +1,61 @@
+"""blue_sky: treetops against a blue sky, rotating camera.
+
+Table III: "Top of two trees against blue sky.  High contrast, small color
+differences in the sky.  Many details.  Camera rotation."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequences.base import SequenceGenerator
+from repro.sequences.textures import fractal_noise, rotate_crop, value_noise
+
+
+class BlueSky(SequenceGenerator):
+    name = "blue_sky"
+    description = (
+        "Top of two trees against blue sky. High contrast, small color "
+        "differences in the sky. Many details. Camera rotation."
+    )
+    seed = 2007_01
+
+    #: degrees of camera rotation per frame (25 fps -> ~7.5 deg/s).
+    ROTATION_RATE = 0.3
+
+    def _setup(self, width: int, height: int, rng: np.random.Generator) -> None:
+        self._width = width
+        self._height = height
+        # World larger than the frame so rotation never runs off the edge.
+        margin = int(0.3 * max(width, height)) + 8
+        wh, ww = height + 2 * margin, width + 2 * margin
+
+        ys = np.linspace(0.0, 1.0, wh)[:, None]
+        sky_y = 180.0 - 40.0 * ys + 6.0 * value_noise(wh, ww, ww / 6, rng)
+        sky_u = 150.0 + 4.0 * value_noise(wh, ww, ww / 8, rng)
+        sky_v = 110.0 - 3.0 * value_noise(wh, ww, ww / 8, rng)
+
+        # Two tree crowns: dense high-frequency foliage, high contrast.
+        foliage = fractal_noise(wh, ww, ww / 24, rng, octaves=5)
+        cx1, cx2 = 0.3 * ww, 0.75 * ww
+        cy = 0.85 * wh
+        gy, gx = np.mgrid[0:wh, 0:ww].astype(np.float64)
+        crown1 = ((gx - cx1) / (0.28 * ww)) ** 2 + ((gy - cy) / (0.5 * wh)) ** 2
+        crown2 = ((gx - cx2) / (0.22 * ww)) ** 2 + ((gy - cy) / (0.42 * wh)) ** 2
+        edge = 0.12 * (foliage - 0.5)
+        tree_mask = ((crown1 + edge) < 1.0) | ((crown2 + edge) < 1.0)
+
+        tree_y = 30.0 + 120.0 * foliage
+        tree_u = 118.0 - 8.0 * foliage
+        tree_v = 122.0 + 8.0 * foliage
+
+        self._world_y = np.where(tree_mask, tree_y, sky_y)
+        self._world_u = np.where(tree_mask, tree_u, sky_u)
+        self._world_v = np.where(tree_mask, tree_v, sky_v)
+
+    def _render_frame(self, index: int, rng: np.random.Generator):
+        angle = self.ROTATION_RATE * index
+        y = rotate_crop(self._world_y, angle, self._height, self._width)
+        u = rotate_crop(self._world_u, angle, self._height, self._width)
+        v = rotate_crop(self._world_v, angle, self._height, self._width)
+        return y, u, v

@@ -1,0 +1,90 @@
+"""pedestrian_area: people passing close to a low static camera.
+
+Table III: "Shot of a pedestrian area.  Low camera position, people pass by
+very close to the camera.  High depth of field.  Static camera."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sequences.base import SequenceGenerator
+from repro.sequences.textures import ellipse_mask, fractal_noise, value_noise
+
+
+@dataclass
+class _Pedestrian:
+    """One walker: large soft ellipse with its own texture and colour."""
+
+    start_x: float
+    center_y: float
+    radius_x: float
+    radius_y: float
+    speed: float          # pixels per frame; sign = direction
+    luma: float
+    chroma_u: float
+    chroma_v: float
+    texture_cell: float
+
+
+class PedestrianArea(SequenceGenerator):
+    name = "pedestrian_area"
+    description = (
+        "Shot of a pedestrian area. Low camera position, people pass by very "
+        "close to the camera. High depth of field. Static camera."
+    )
+    seed = 2007_02
+
+    WALKER_COUNT = 6
+
+    def _setup(self, width: int, height: int, rng: np.random.Generator) -> None:
+        self._width = width
+        self._height = height
+        # Static background: pavement low half, facades upper half.
+        pavement = 80.0 + 50.0 * fractal_noise(height, width, width / 16, rng, octaves=4)
+        facade = 110.0 + 60.0 * value_noise(height, width, width / 10, rng)
+        ys = np.linspace(0.0, 1.0, height)[:, None]
+        blend = np.clip((ys - 0.45) * 8.0, 0.0, 1.0)
+        self._bg_y = facade * (1.0 - blend) + pavement * blend
+        self._bg_u = 126.0 + 6.0 * value_noise(height, width, width / 8, rng)
+        self._bg_v = 128.0 + 6.0 * value_noise(height, width, width / 8, rng)
+
+        # Big, close walkers: radii are large fractions of the frame.
+        self._walkers: List[_Pedestrian] = []
+        for _ in range(self.WALKER_COUNT):
+            direction = 1.0 if rng.random() < 0.5 else -1.0
+            self._walkers.append(
+                _Pedestrian(
+                    start_x=rng.uniform(0, width),
+                    center_y=rng.uniform(0.55, 0.8) * height,
+                    radius_x=rng.uniform(0.06, 0.12) * width,
+                    radius_y=rng.uniform(0.25, 0.4) * height,
+                    speed=direction * rng.uniform(0.004, 0.012) * width,
+                    luma=rng.uniform(40.0, 200.0),
+                    chroma_u=rng.uniform(110.0, 145.0),
+                    chroma_v=rng.uniform(110.0, 145.0),
+                    texture_cell=max(2.0, width / rng.uniform(30, 80)),
+                )
+            )
+        self._walker_textures = [
+            30.0 * (fractal_noise(height, width, walker.texture_cell, rng, octaves=3) - 0.5)
+            for walker in self._walkers
+        ]
+
+    def _render_frame(self, index: int, rng: np.random.Generator):
+        width, height = self._width, self._height
+        y = self._bg_y.copy()
+        u = self._bg_u.copy()
+        v = self._bg_v.copy()
+        span = width * 1.4
+        for walker, texture in zip(self._walkers, self._walker_textures):
+            x = (walker.start_x + walker.speed * index) % span - 0.2 * width
+            mask = ellipse_mask(height, width, walker.center_y, x,
+                                walker.radius_y, walker.radius_x)
+            y = y * (1.0 - mask) + mask * (walker.luma + texture)
+            u = u * (1.0 - mask) + mask * walker.chroma_u
+            v = v * (1.0 - mask) + mask * walker.chroma_v
+        return y, u, v

@@ -1,0 +1,45 @@
+"""riverbed: a riverbed seen through moving water — very hard to code.
+
+Table III: "Riverbed seen through the water.  Very hard to code."  The
+difficulty comes from spatio-temporally decorrelated refraction: motion
+compensation finds no coherent displacement, so residuals stay large.  The
+generator reproduces that with time-varying warps of a detailed bed texture
+plus per-frame shimmer noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequences.base import SequenceGenerator
+from repro.sequences.textures import fractal_noise, value_noise, warp
+
+
+class Riverbed(SequenceGenerator):
+    name = "riverbed"
+    description = "Riverbed seen through the water. Very hard to code."
+    seed = 2007_03
+
+    def _setup(self, width: int, height: int, rng: np.random.Generator) -> None:
+        self._width = width
+        self._height = height
+        # Detailed static bed: pebbles at several scales.
+        self._bed_y = 60.0 + 130.0 * fractal_noise(height, width, width / 28, rng, octaves=5)
+        self._bed_u = 124.0 + 10.0 * value_noise(height, width, width / 14, rng)
+        self._bed_v = 124.0 + 10.0 * value_noise(height, width, width / 14, rng)
+        # Smooth random phase fields driving the refraction warp.
+        self._phase_a = 2.0 * np.pi * value_noise(height, width, width / 6, rng)
+        self._phase_b = 2.0 * np.pi * value_noise(height, width, width / 6, rng)
+        self._amplitude = 0.012 * width
+
+    def _render_frame(self, index: int, rng: np.random.Generator):
+        t = 2.0 * np.pi * index / 9.0  # fast water oscillation
+        shift_y = self._amplitude * np.sin(self._phase_a + t)
+        shift_x = self._amplitude * np.cos(self._phase_b + 1.7 * t)
+        y = warp(self._bed_y, shift_y, shift_x)
+        u = warp(self._bed_u, shift_y, shift_x)
+        v = warp(self._bed_v, shift_y, shift_x)
+        # Per-frame shimmer: temporally independent highlights.
+        shimmer = rng.random(y.shape)
+        y = y + 40.0 * (shimmer - 0.5) * (shimmer > 0.45)
+        return y, u, v

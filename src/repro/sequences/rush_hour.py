@@ -1,0 +1,102 @@
+"""rush_hour: Munich rush-hour traffic, many cars moving slowly.
+
+Table III: "Rush-hour in Munich city.  Many cars moving slowly, high depth
+of focus.  Fixed camera."  Coherent slow translation is the easiest content
+for motion compensation, which is why this clip needs the lowest bitrate in
+Table V — the generator reproduces exactly that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sequences.base import SequenceGenerator
+from repro.sequences.textures import fractal_noise, value_noise
+
+
+@dataclass
+class _Car:
+    start_x: float
+    lane_y: float
+    length: float
+    height: float
+    speed: float
+    luma: float
+    chroma_u: float
+    chroma_v: float
+
+
+class RushHour(SequenceGenerator):
+    name = "rush_hour"
+    description = (
+        "Rush-hour in Munich city. Many cars moving slowly, high depth of "
+        "focus. Fixed camera."
+    )
+    seed = 2007_04
+
+    CAR_COUNT = 14
+    LANES = 4
+
+    def _setup(self, width: int, height: int, rng: np.random.Generator) -> None:
+        self._width = width
+        self._height = height
+        # Street scene: smooth asphalt with lane markings, buildings above.
+        asphalt = 90.0 + 15.0 * value_noise(height, width, width / 10, rng)
+        buildings = 120.0 + 45.0 * fractal_noise(height, width, width / 12, rng, octaves=3)
+        ys = np.linspace(0.0, 1.0, height)[:, None]
+        road_blend = np.clip((ys - 0.35) * 6.0, 0.0, 1.0)
+        base = buildings * (1.0 - road_blend) + asphalt * road_blend
+        # Lane markings: thin bright horizontal dashes.
+        marks = np.zeros((height, width))
+        for lane in range(1, self.LANES):
+            row = int((0.4 + 0.55 * lane / self.LANES) * height)
+            marks[row : row + max(1, height // 180), :: max(8, width // 24)] = 60.0
+        self._bg_y = base + marks
+        self._bg_u = 127.0 + 3.0 * value_noise(height, width, width / 8, rng)
+        self._bg_v = 128.0 + 3.0 * value_noise(height, width, width / 8, rng)
+
+        self._cars: List[_Car] = []
+        for i in range(self.CAR_COUNT):
+            lane = i % self.LANES
+            direction = 1.0 if lane % 2 == 0 else -1.0
+            self._cars.append(
+                _Car(
+                    start_x=rng.uniform(0, width),
+                    lane_y=(0.42 + 0.52 * (lane + 0.5) / self.LANES) * height,
+                    length=rng.uniform(0.05, 0.09) * width,
+                    height=rng.uniform(0.035, 0.06) * height,
+                    speed=direction * rng.uniform(0.0015, 0.005) * width,
+                    luma=rng.uniform(40.0, 220.0),
+                    chroma_u=rng.uniform(105.0, 150.0),
+                    chroma_v=rng.uniform(105.0, 150.0),
+                )
+            )
+
+    def _render_frame(self, index: int, rng: np.random.Generator):
+        width, height = self._width, self._height
+        y = self._bg_y.copy()
+        u = self._bg_u.copy()
+        v = self._bg_v.copy()
+        span = width * 1.2
+        for car in self._cars:
+            x = (car.start_x + car.speed * index) % span - 0.1 * width
+            x0 = int(round(x))
+            x1 = int(round(x + car.length))
+            y0 = int(round(car.lane_y - car.height / 2))
+            y1 = int(round(car.lane_y + car.height / 2))
+            x0c, x1c = max(0, x0), min(width, x1)
+            y0c, y1c = max(0, y0), min(height, y1)
+            if x0c >= x1c or y0c >= y1c:
+                continue
+            y[y0c:y1c, x0c:x1c] = car.luma
+            u[y0c:y1c, x0c:x1c] = car.chroma_u
+            v[y0c:y1c, x0c:x1c] = car.chroma_v
+            # Windshield detail so cars are not flat blocks.
+            wx0 = x0c + (x1c - x0c) // 4
+            wx1 = x0c + (x1c - x0c) // 2
+            wy1 = y0c + max(1, (y1c - y0c) // 3)
+            y[y0c:wy1, wx0:wx1] = car.luma * 0.5
+        return y, u, v

@@ -1,0 +1,101 @@
+"""Procedural texture utilities for the synthetic input sequences.
+
+The HD-VideoBench clips are proprietary camera footage; the generators in
+this package rebuild their *coding-relevant* characteristics (motion
+coherence, spatial detail, temporal noise) from value-noise primitives.
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def smoothstep(t: np.ndarray) -> np.ndarray:
+    """Cubic smoothstep 3t^2 - 2t^3, the classic noise fade curve."""
+    return t * t * (3.0 - 2.0 * t)
+
+
+def value_noise(height: int, width: int, cell: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Bilinear value noise in [0, 1] with feature size ``cell`` pixels."""
+    if cell < 1:
+        cell = 1.0
+    grid_h = int(height / cell) + 3
+    grid_w = int(width / cell) + 3
+    grid = rng.random((grid_h, grid_w))
+    ys = np.arange(height) / cell
+    xs = np.arange(width) / cell
+    y0 = ys.astype(int)
+    x0 = xs.astype(int)
+    fy = smoothstep((ys - y0))[:, None]
+    fx = smoothstep((xs - x0))[None, :]
+    top = grid[np.ix_(y0, x0)] * (1 - fx) + grid[np.ix_(y0, x0 + 1)] * fx
+    bottom = grid[np.ix_(y0 + 1, x0)] * (1 - fx) + grid[np.ix_(y0 + 1, x0 + 1)] * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def fractal_noise(height: int, width: int, cell: float,
+                  rng: np.random.Generator, octaves: int = 4,
+                  persistence: float = 0.5) -> np.ndarray:
+    """Multi-octave value noise, normalised to [0, 1]."""
+    total = np.zeros((height, width))
+    amplitude = 1.0
+    weight = 0.0
+    current_cell = cell
+    for _ in range(octaves):
+        total += amplitude * value_noise(height, width, current_cell, rng)
+        weight += amplitude
+        amplitude *= persistence
+        current_cell = max(1.0, current_cell / 2.0)
+    return total / weight
+
+
+def rotate_crop(world: np.ndarray, angle_degrees: float,
+                out_height: int, out_width: int) -> np.ndarray:
+    """Rotate ``world`` about its centre and crop the central window.
+
+    Used by the blue_sky generator to reproduce the clip's camera rotation.
+    """
+    world_h, world_w = world.shape
+    angle = np.deg2rad(angle_degrees)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    ys, xs = np.mgrid[0:out_height, 0:out_width].astype(np.float64)
+    ys -= out_height / 2.0
+    xs -= out_width / 2.0
+    src_y = cos_a * ys - sin_a * xs + world_h / 2.0
+    src_x = sin_a * ys + cos_a * xs + world_w / 2.0
+    return ndimage.map_coordinates(world, [src_y, src_x], order=1, mode="nearest")
+
+
+def translate_crop(world: np.ndarray, offset_y: float, offset_x: float,
+                   out_height: int, out_width: int) -> np.ndarray:
+    """Sample an ``out`` window of ``world`` at a sub-pixel offset."""
+    ys, xs = np.mgrid[0:out_height, 0:out_width].astype(np.float64)
+    return ndimage.map_coordinates(
+        world, [ys + offset_y, xs + offset_x], order=1, mode="wrap"
+    )
+
+
+def warp(plane: np.ndarray, shift_y: np.ndarray, shift_x: np.ndarray) -> np.ndarray:
+    """Warp ``plane`` by per-pixel displacement fields (bilinear, wrapped)."""
+    height, width = plane.shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    return ndimage.map_coordinates(
+        plane, [ys + shift_y, xs + shift_x], order=1, mode="wrap"
+    )
+
+
+def ellipse_mask(height: int, width: int, center_y: float, center_x: float,
+                 radius_y: float, radius_x: float) -> np.ndarray:
+    """Soft-edged elliptical mask in [0, 1]."""
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    distance = ((ys - center_y) / radius_y) ** 2 + ((xs - center_x) / radius_x) ** 2
+    return np.clip(1.25 - distance, 0.0, 1.0).clip(0.0, 1.0)
+
+
+def downsample2(plane: np.ndarray) -> np.ndarray:
+    """2x2 mean downsample (full-resolution chroma field -> 4:2:0 plane)."""
+    height, width = plane.shape
+    return plane.reshape(height // 2, 2, width // 2, 2).mean(axis=(1, 3))

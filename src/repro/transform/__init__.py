@@ -1,0 +1,36 @@
+"""Transforms and quantisation helpers: scan orders and QP equivalence.
+
+The transform/quantisation arithmetic itself lives in the kernel backends
+(:mod:`repro.kernels`) so that it exists in both scalar and SIMD form; this
+package holds the backend-independent pieces.
+"""
+
+from repro.transform.qp import (
+    h264_qp_from_mpeg,
+    mpeg_qscale_from_h264,
+    validate_h264_qp,
+    validate_mpeg_qscale,
+)
+from repro.transform.zigzag import (
+    ZIGZAG_2X2,
+    ZIGZAG_4X4,
+    ZIGZAG_8X8,
+    scan4,
+    scan8,
+    unscan4,
+    unscan8,
+)
+
+__all__ = [
+    "ZIGZAG_2X2",
+    "ZIGZAG_4X4",
+    "ZIGZAG_8X8",
+    "h264_qp_from_mpeg",
+    "mpeg_qscale_from_h264",
+    "scan4",
+    "scan8",
+    "unscan4",
+    "unscan8",
+    "validate_h264_qp",
+    "validate_mpeg_qscale",
+]

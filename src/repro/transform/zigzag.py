@@ -1,0 +1,61 @@
+"""Coefficient scan orders.
+
+Quantised transform coefficients are serialised in zigzag order before
+entropy coding; all three codecs use these scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def _zigzag_positions(size: int) -> List[Tuple[int, int]]:
+    """Classic zigzag order for a ``size`` x ``size`` block."""
+    positions = []
+    for diag in range(2 * size - 1):
+        wave = []
+        for i in range(diag + 1):
+            j = diag - i
+            if i < size and j < size:
+                wave.append((i, j))
+        if diag % 2 == 0:
+            wave.reverse()
+        positions.extend(wave)
+    return positions
+
+
+ZIGZAG_8X8: Tuple[Tuple[int, int], ...] = tuple(_zigzag_positions(8))
+ZIGZAG_4X4: Tuple[Tuple[int, int], ...] = tuple(_zigzag_positions(4))
+ZIGZAG_2X2: Tuple[Tuple[int, int], ...] = ((0, 0), (0, 1), (1, 0), (1, 1))
+
+
+def scan(block: np.ndarray, order: Sequence[Tuple[int, int]]) -> List[int]:
+    """Serialise ``block`` in the given scan order."""
+    rows = block.tolist()
+    return [rows[i][j] for i, j in order]
+
+
+def unscan(values: Sequence[int], order: Sequence[Tuple[int, int]], size: int) -> np.ndarray:
+    """Rebuild a ``size`` x ``size`` block from scan-ordered ``values``."""
+    block = np.zeros((size, size), dtype=np.int64)
+    for value, (i, j) in zip(values, order):
+        block[i, j] = value
+    return block
+
+
+def scan8(block: np.ndarray) -> List[int]:
+    return scan(block, ZIGZAG_8X8)
+
+
+def unscan8(values: Sequence[int]) -> np.ndarray:
+    return unscan(values, ZIGZAG_8X8, 8)
+
+
+def scan4(block: np.ndarray) -> List[int]:
+    return scan(block, ZIGZAG_4X4)
+
+
+def unscan4(values: Sequence[int]) -> np.ndarray:
+    return unscan(values, ZIGZAG_4X4, 4)

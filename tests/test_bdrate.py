@@ -1,0 +1,86 @@
+"""Tests for the Bjøntegaard-delta metrics."""
+
+import pytest
+
+from repro.common.bdrate import bd_psnr, bd_rate, rd_points_from_rows
+from repro.errors import ConfigError
+
+
+def curve(scale: float, offset: float = 0.0):
+    """A synthetic RD curve: psnr = 10*log10(rate/scale) + 30 + offset."""
+    import math
+
+    return [
+        (rate * scale, 10.0 * math.log10(rate) + 30.0 + offset)
+        for rate in (100.0, 200.0, 400.0, 800.0)
+    ]
+
+
+class TestBdPsnr:
+    def test_identical_curves_zero(self):
+        assert bd_psnr(curve(1.0), curve(1.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_curve_reports_offset(self):
+        assert bd_psnr(curve(1.0), curve(1.0, offset=2.0)) == pytest.approx(2.0, abs=1e-6)
+
+    def test_sign_convention(self):
+        # Worse test curve -> negative BD-PSNR.
+        assert bd_psnr(curve(1.0), curve(1.0, offset=-1.5)) < 0
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigError):
+            bd_psnr(curve(1.0)[:3], curve(1.0))
+
+    def test_nonpositive_rate_rejected(self):
+        bad = [(0.0, 30.0), (1.0, 31.0), (2.0, 32.0), (3.0, 33.0)]
+        with pytest.raises(ConfigError):
+            bd_psnr(bad, curve(1.0))
+
+
+class TestBdRate:
+    def test_identical_curves_zero(self):
+        assert bd_rate(curve(1.0), curve(1.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_rate_curve(self):
+        # Same quality at half the bitrate -> BD-rate = -50%.
+        assert bd_rate(curve(1.0), curve(0.5)) == pytest.approx(-50.0, abs=0.5)
+
+    def test_double_rate_curve(self):
+        assert bd_rate(curve(1.0), curve(2.0)) == pytest.approx(100.0, abs=1.0)
+
+    def test_real_codec_curves(self, tiny_video):
+        # H.264's RD curve must dominate MPEG-2's (negative BD-rate).
+        from repro.codecs import get_decoder, get_encoder
+        from repro.common.metrics import sequence_psnr
+        from repro.transform.qp import h264_qp_from_mpeg
+
+        curves = {}
+        for codec in ("mpeg2", "h264"):
+            points = []
+            for qscale in (2, 4, 8, 16):
+                fields = dict(width=tiny_video.width, height=tiny_video.height,
+                              search_range=4)
+                if codec == "h264":
+                    fields["qp"] = h264_qp_from_mpeg(qscale)
+                else:
+                    fields["qscale"] = qscale
+                stream = get_encoder(codec, **fields).encode_sequence(tiny_video)
+                decoded = get_decoder(codec).decode(stream)
+                points.append((stream.bitrate_kbps,
+                               sequence_psnr(tiny_video, decoded).combined))
+            curves[codec] = sorted(points)
+        assert bd_rate(curves["mpeg2"], curves["h264"]) < -10.0
+
+
+class TestRdPointExtraction:
+    def test_filters_and_sorts(self):
+        from repro.bench.ratedistortion import RdRow
+        from repro.common.metrics import FramePsnr
+
+        rows = [
+            RdRow("576p25", "rush_hour", "h264", FramePsnr(40, 40, 40), 200.0, 1),
+            RdRow("576p25", "rush_hour", "h264", FramePsnr(42, 42, 42), 100.0, 1),
+            RdRow("576p25", "rush_hour", "mpeg2", FramePsnr(41, 41, 41), 300.0, 1),
+        ]
+        points = rd_points_from_rows(rows, "h264", "rush_hour", "576p25")
+        assert points == [(100.0, 42.0), (200.0, 40.0)]

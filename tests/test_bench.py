@@ -1,0 +1,131 @@
+"""Tests for the benchmark harness: config, timing, reporting, table data."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.commands import command_table, render_table4
+from repro.bench.config import BenchConfig, quick_config
+from repro.bench.harness import REAL_TIME_FPS, time_callable
+from repro.bench.registry_tables import (
+    TABLE_I,
+    TABLE_II,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.bench.report import render_bars, render_table
+from repro.errors import ConfigError
+
+
+class TestBenchConfig:
+    def test_defaults_match_paper_settings(self):
+        config = BenchConfig()
+        assert config.qscale == 5
+        assert config.h264_qp == 26  # Equation 1
+        assert config.sequences == ("blue_sky", "pedestrian_area", "riverbed", "rush_hour")
+        assert config.tier_names == ("576p25", "720p25", "1088p25")
+
+    def test_tiers_scaled(self):
+        config = BenchConfig(scale=Fraction(1, 8))
+        tiers = config.tiers()
+        assert [(t.width, t.height) for t in tiers] == [(96, 80), (160, 96), (240, 144)]
+
+    def test_encoder_fields_per_codec(self):
+        config = BenchConfig()
+        tier = config.tiers()[0]
+        mpeg_fields = config.encoder_fields("mpeg2", tier)
+        assert mpeg_fields["qscale"] == 5
+        assert "qp" not in mpeg_fields
+        h264_fields = config.encoder_fields("h264", tier, backend="scalar")
+        assert h264_fields["qp"] == 26
+        assert h264_fields["backend"] == "scalar"
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            BenchConfig(frames=0)
+        with pytest.raises(ConfigError):
+            BenchConfig(runs=0)
+
+    def test_quick_config_is_small(self):
+        config = quick_config()
+        assert config.frames <= 5
+        assert len(config.sequences) == 1
+        assert len(config.tier_names) == 1
+
+
+class TestHarness:
+    def test_fps_computation(self):
+        timing = time_callable(lambda: None, frame_count=10, runs=3, warmup=0)
+        assert timing.fps > 0
+        assert len(timing.runs) == 3
+
+    def test_median_of_runs(self):
+        timing = time_callable(lambda: None, frame_count=5, runs=5, warmup=1)
+        ordered = sorted(timing.runs)
+        assert timing.seconds == ordered[2]
+
+    def test_real_time_threshold(self):
+        from repro.bench.harness import Timing
+
+        fast = Timing(seconds=0.1, runs=[0.1], frame_count=10)   # 100 fps
+        slow = Timing(seconds=1.0, runs=[1.0], frame_count=10)   # 10 fps
+        assert fast.real_time
+        assert not slow.real_time
+        assert REAL_TIME_FPS == 25.0
+
+    def test_runs_validated(self):
+        with pytest.raises(ConfigError):
+            time_callable(lambda: None, frame_count=1, runs=0)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long_header"], [["x", "1"], ["yyyy", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_title(self):
+        text = render_table(["c"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_render_bars_reference_line(self):
+        text = render_bars(["a", "b"], [50.0, 10.0], reference=25.0,
+                           reference_label="real time")
+        assert "|" in text
+        assert "real time" in text
+
+    def test_render_bars_empty(self):
+        assert render_bars([], []) == "(no data)"
+
+
+class TestStaticTables:
+    def test_table1_surveys_prior_benchmarks(self):
+        names = [entry.name for entry in TABLE_I]
+        assert "Mediabench I" in names
+        assert "EEMBC Digital Entertainment" in names
+        text = render_table1()
+        assert "MSSG" in text
+
+    def test_table2_lists_six_applications(self):
+        assert len(TABLE_II) == 6
+        text = render_table2()
+        for application in ("libmpeg2", "x264", "Xvid", "ffmpeg-h264"):
+            assert application in text
+
+    def test_table3_lists_sequences(self):
+        text = render_table3()
+        for name in ("blue_sky", "riverbed", "rush_hour", "pedestrian_area"):
+            assert name in text
+        assert "1920x1088" in text
+
+    def test_table4_commands_executable_shape(self):
+        entries = command_table()
+        assert len(entries) == 6
+        for entry in entries:
+            assert entry.command.startswith(("hdvb-player", "hdvb-mencoder"))
+        text = render_table4()
+        assert "vqscale=5" in text
+        assert "qp=26" in text  # Equation 1 applied
+        assert "me=hex" in text

@@ -1,0 +1,77 @@
+"""Tests for the codec registry and the public package API."""
+
+import pytest
+
+import repro
+from repro.codecs import (
+    CODEC_NAMES,
+    get_config_class,
+    get_decoder,
+    get_encoder,
+)
+from repro.codecs.h264 import H264Encoder
+from repro.codecs.mpeg2 import Mpeg2Encoder
+from repro.codecs.mpeg4 import Mpeg4Encoder
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_table2_codecs(self):
+        assert CODEC_NAMES == ("mpeg2", "mpeg4", "h264")
+
+    def test_encoder_types(self):
+        assert isinstance(get_encoder("mpeg2", width=32, height=32), Mpeg2Encoder)
+        assert isinstance(get_encoder("mpeg4", width=32, height=32), Mpeg4Encoder)
+        assert isinstance(get_encoder("h264", width=32, height=32), H264Encoder)
+
+    def test_decoder_names_match(self):
+        for codec in CODEC_NAMES:
+            assert get_decoder(codec).codec_name == codec
+
+    def test_config_classes(self):
+        for codec in CODEC_NAMES:
+            config = get_config_class(codec)(width=32, height=32)
+            assert config.width == 32
+
+    def test_codec_specific_fields(self):
+        encoder = get_encoder("h264", width=32, height=32, qp=30, ref_frames=4)
+        assert encoder.config.qp == 30
+        assert encoder.config.ref_frames == 4
+        encoder = get_encoder("mpeg4", width=32, height=32, qpel=False)
+        assert not encoder.config.qpel
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigError):
+            get_encoder("vp9", width=32, height=32)
+        with pytest.raises(ConfigError):
+            get_decoder("av1")
+
+    def test_extension_codecs_registered(self):
+        from repro.codecs import EXTENSION_CODEC_NAMES
+
+        assert EXTENSION_CODEC_NAMES == ("mjpeg", "vc1")
+        for codec in EXTENSION_CODEC_NAMES:
+            assert get_decoder(codec).codec_name == codec
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            get_decoder("mpeg2", backend="avx512")
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        for name in ("generate_sequence", "get_encoder", "get_decoder",
+                     "sequence_psnr", "h264_qp_from_mpeg", "get_kernels",
+                     "CODEC_NAMES", "SEQUENCE_NAMES", "BACKEND_NAMES"):
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self, tiny_video):
+        stream = repro.get_encoder(
+            "mpeg2", width=tiny_video.width, height=tiny_video.height
+        ).encode_sequence(tiny_video)
+        decoded = repro.get_decoder("mpeg2").decode(stream)
+        psnr = repro.sequence_psnr(tiny_video, decoded)
+        assert psnr.combined > 30.0

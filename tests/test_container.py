@@ -1,0 +1,103 @@
+"""Tests for the HDVB container."""
+
+import pytest
+
+from repro.codecs import container
+from repro.codecs.base import EncodedPicture, EncodedVideo
+from repro.common.gop import FrameType
+from repro.errors import BitstreamError
+
+
+def sample_stream() -> EncodedVideo:
+    stream = EncodedVideo(codec="mpeg2", width=96, height=80, fps=25)
+    stream.pictures.append(EncodedPicture(b"\x01\x02\x03", 0, FrameType.I))
+    stream.pictures.append(EncodedPicture(b"\x04" * 10, 3, FrameType.P))
+    stream.pictures.append(EncodedPicture(b"", 1, FrameType.B))
+    return stream
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        stream = sample_stream()
+        rebuilt = container.unpack(container.pack(stream))
+        assert rebuilt.codec == "mpeg2"
+        assert (rebuilt.width, rebuilt.height, rebuilt.fps) == (96, 80, 25)
+        assert len(rebuilt.pictures) == 3
+        for original, copy in zip(stream.pictures, rebuilt.pictures):
+            assert copy.payload == original.payload
+            assert copy.display_index == original.display_index
+            assert copy.frame_type == original.frame_type
+
+    def test_empty_payload_allowed(self):
+        rebuilt = container.unpack(container.pack(sample_stream()))
+        assert rebuilt.pictures[2].payload == b""
+
+    def test_magic_checked(self):
+        with pytest.raises(BitstreamError):
+            container.unpack(b"XXXX" + b"\x00" * 20)
+
+    def test_truncation_detected(self):
+        data = container.pack(sample_stream())
+        with pytest.raises(BitstreamError):
+            container.unpack(data[:-3])
+
+    def test_trailing_garbage_detected(self):
+        data = container.pack(sample_stream())
+        with pytest.raises(BitstreamError):
+            container.unpack(data + b"\x00")
+
+    def test_bad_version(self):
+        data = bytearray(container.pack(sample_stream()))
+        data[4] = 99
+        with pytest.raises(BitstreamError):
+            container.unpack(bytes(data))
+
+    def test_bad_frame_type(self):
+        stream = sample_stream()
+        data = bytearray(container.pack(stream))
+        # Frame type byte of the first picture: magic(4)+ver(1)+len(1)+
+        # codec(5)+dims(5)+count(4)+display(4) = offset 24.
+        data[24] = 9
+        with pytest.raises(BitstreamError):
+            container.unpack(bytes(data))
+
+    def test_invalid_codec_name(self):
+        stream = sample_stream()
+        stream.codec = ""
+        with pytest.raises(BitstreamError):
+            container.pack(stream)
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "clip.hdvb"
+        stream = sample_stream()
+        written = container.write_file(path, stream)
+        assert path.stat().st_size == written
+        rebuilt = container.read_file(path)
+        assert rebuilt.total_bytes == stream.total_bytes
+
+    def test_probe_codec(self, tmp_path):
+        path = tmp_path / "clip.hdvb"
+        container.write_file(path, sample_stream())
+        assert container.probe_codec(path) == "mpeg2"
+
+    def test_probe_rejects_non_container(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a container")
+        with pytest.raises(BitstreamError):
+            container.probe_codec(path)
+
+
+class TestStreamProperties:
+    def test_total_bytes_and_bitrate(self):
+        stream = sample_stream()
+        assert stream.total_bytes == 13
+        # 3 frames at 25 fps = 0.12 s.
+        assert stream.bitrate_kbps == pytest.approx(13 * 8 / 0.12 / 1000)
+
+    def test_frame_type_counts(self):
+        counts = sample_stream().frame_types()
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.P] == 1
+        assert counts[FrameType.B] == 1

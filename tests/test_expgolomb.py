@@ -1,0 +1,91 @@
+"""Tests for Exp-Golomb codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitstream import BitReader, BitWriter
+from repro.common.expgolomb import (
+    read_se,
+    read_ue,
+    se_bit_length,
+    ue_bit_length,
+    write_se,
+    write_ue,
+)
+
+
+def _encode_ue(value: int) -> str:
+    writer = BitWriter()
+    write_ue(writer, value)
+    raw = writer.to_bytes()
+    return "".join(f"{byte:08b}" for byte in raw)[: len(writer)]
+
+
+class TestUnsigned:
+    @pytest.mark.parametrize(
+        "value, bits",
+        [(0, "1"), (1, "010"), (2, "011"), (3, "00100"), (4, "00101"),
+         (5, "00110"), (6, "00111"), (7, "0001000")],
+    )
+    def test_known_codes(self, value, bits):
+        assert _encode_ue(value) == bits
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_ue(BitWriter(), -1)
+
+    @given(st.integers(0, 100000))
+    def test_roundtrip(self, value):
+        writer = BitWriter()
+        write_ue(writer, value)
+        writer.align()
+        assert read_ue(BitReader(writer.to_bytes())) == value
+
+    @given(st.integers(0, 100000))
+    def test_bit_length_matches_encoding(self, value):
+        writer = BitWriter()
+        write_ue(writer, value)
+        assert len(writer) == ue_bit_length(value)
+
+    def test_code_lengths_monotone(self):
+        lengths = [ue_bit_length(v) for v in range(200)]
+        assert lengths == sorted(lengths)
+
+
+class TestSigned:
+    @pytest.mark.parametrize("value, k", [(0, 0), (1, 1), (-1, 2), (2, 3), (-2, 4)])
+    def test_mapping_order(self, value, k):
+        # se(v) maps to the ue code number k: 0, 1, -1, 2, -2, ...
+        writer = BitWriter()
+        write_se(writer, value)
+        expected = BitWriter()
+        write_ue(expected, k)
+        assert writer.to_bytes() == expected.to_bytes()
+
+    @given(st.integers(-50000, 50000))
+    def test_roundtrip(self, value):
+        writer = BitWriter()
+        write_se(writer, value)
+        writer.align()
+        assert read_se(BitReader(writer.to_bytes())) == value
+
+    @given(st.integers(-50000, 50000))
+    def test_bit_length_matches_encoding(self, value):
+        writer = BitWriter()
+        write_se(writer, value)
+        assert len(writer) == se_bit_length(value)
+
+    def test_zero_is_shortest(self):
+        assert se_bit_length(0) == 1
+        assert all(se_bit_length(v) > 1 for v in (-3, -1, 1, 3))
+
+    def test_sequence_of_mixed_codes(self):
+        writer = BitWriter()
+        values = [0, -4, 17, 3, -300]
+        for value in values:
+            write_se(writer, value)
+        write_ue(writer, 99)
+        writer.align()
+        reader = BitReader(writer.to_bytes())
+        assert [read_se(reader) for _ in values] == values
+        assert read_ue(reader) == 99

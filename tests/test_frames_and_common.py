@@ -1,0 +1,133 @@
+"""Tests for WorkingFrame, TcGrid and other codec-internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.frames import WorkingFrame
+from repro.codecs.h264.common import LUMA_OFFSETS, TcGrid, luma_quadrant
+from repro.codecs.h264.motion import MvGrid4, PARTITION_SHAPES
+from repro.common.yuv import YuvFrame
+from repro.me.types import MotionVector, ZERO_MV
+from tests.conftest import make_frame
+
+
+class TestWorkingFrame:
+    def test_from_yuv_roundtrip(self):
+        frame = make_frame(32, 16, seed=5)
+        working = WorkingFrame.from_yuv(frame)
+        assert working.y.dtype == np.int64
+        assert working.to_yuv() == frame
+
+    def test_blank_dimensions(self):
+        working = WorkingFrame.blank(32, 16)
+        assert working.width == 32
+        assert working.height == 16
+        assert working.u.shape == (8, 16)
+
+    def test_to_yuv_clips(self):
+        working = WorkingFrame.blank(16, 16)
+        working.y[0, 0] = 999
+        working.y[0, 1] = -50
+        frame = working.to_yuv()
+        assert int(frame.y[0, 0]) == 255
+        assert int(frame.y[0, 1]) == 0
+
+    def test_store_block(self):
+        working = WorkingFrame.blank(16, 16)
+        block = np.full((4, 4), 42, dtype=np.int64)
+        working.store_block("y", 4, 8, block)
+        assert np.all(working.y[8:12, 4:8] == 42)
+        assert working.y[7, 4] == 0
+
+    def test_padded_cached_per_range(self):
+        working = WorkingFrame.blank(16, 16)
+        first = working.padded("y", 4)
+        assert working.padded("y", 4) is first
+        assert working.padded("y", 8) is not first
+        assert working.padded("u", 4) is not first
+
+    def test_invalidate_padding(self):
+        working = WorkingFrame.blank(16, 16)
+        first = working.padded("y", 4)
+        working.invalidate_padding()
+        assert working.padded("y", 4) is not first
+
+    def test_plane_accessor(self):
+        working = WorkingFrame.blank(16, 16)
+        assert working.plane("u") is working.u
+
+
+class TestTcGrid:
+    def test_unset_is_none(self):
+        grid = TcGrid(4, 4)
+        assert grid.get(0, 0) is None
+        assert grid.get(-1, 2) is None
+        assert grid.get(0, 99) is None
+
+    def test_set_get(self):
+        grid = TcGrid(4, 4)
+        grid.set(2, 3, 7)
+        assert grid.get(2, 3) == 7
+
+    def test_nc_context_rules(self):
+        grid = TcGrid(4, 4)
+        assert grid.nc(1, 1) == 0          # no neighbours
+        grid.set(0, 1, 4)                  # left of (1,1)
+        assert grid.nc(1, 1) == 4
+        grid.set(1, 0, 7)                  # top of (1,1)
+        assert grid.nc(1, 1) == (4 + 7 + 1) >> 1
+
+
+class TestH264Layout:
+    def test_luma_offsets_raster(self):
+        assert LUMA_OFFSETS[0] == (0, 0)
+        assert LUMA_OFFSETS[1] == (4, 0)
+        assert LUMA_OFFSETS[4] == (0, 4)
+        assert LUMA_OFFSETS[15] == (12, 12)
+
+    def test_quadrants(self):
+        # Block 0 (top-left) -> quadrant 0; block 3 (top-right) -> 1;
+        # block 12 (bottom-left) -> 2; block 15 -> 3.
+        assert luma_quadrant(0) == 0
+        assert luma_quadrant(3) == 1
+        assert luma_quadrant(12) == 2
+        assert luma_quadrant(15) == 3
+        # Each quadrant holds exactly four blocks.
+        from collections import Counter
+
+        counts = Counter(luma_quadrant(k) for k in range(16))
+        assert counts == {0: 4, 1: 4, 2: 4, 3: 4}
+
+    def test_partition_shapes_cover_macroblock(self):
+        for shape, rects in PARTITION_SHAPES.items():
+            covered = np.zeros((16, 16), dtype=bool)
+            for off_x, off_y, width, height in rects:
+                assert not covered[off_y : off_y + height, off_x : off_x + width].any()
+                covered[off_y : off_y + height, off_x : off_x + width] = True
+            assert covered.all(), shape
+
+
+class TestMvGrid4:
+    def test_predictor_median(self):
+        grid = MvGrid4(2, 2)
+        grid.set_rect(0, 1, 1, 1, MotionVector(2, 0), 0)   # left
+        grid.set_rect(1, 0, 1, 1, MotionVector(6, 4), 0)   # top
+        grid.set_rect(5, 0, 1, 1, MotionVector(4, 8), 0)   # top-right of width 4
+        assert grid.predictor(1, 1, 4) == MotionVector(4, 4)
+
+    def test_intra_cells_count_as_zero(self):
+        grid = MvGrid4(2, 2)
+        grid.set_rect(1, 0, 1, 1, MotionVector(8, 8), 0)
+        # left and top-right missing -> median(0, (8,8), 0) = 0.
+        assert grid.predictor(1, 1, 1) == ZERO_MV
+
+    def test_ref_tracked(self):
+        grid = MvGrid4(2, 2)
+        grid.set_rect(0, 0, 4, 4, MotionVector(1, 1), ref=2)
+        assert grid.get(3, 3).ref == 2
+
+    def test_neighbours(self):
+        grid = MvGrid4(2, 2)
+        mv = MotionVector(-4, 4)
+        grid.set_rect(0, 1, 1, 1, mv, 0)
+        assert grid.neighbours(1, 1) == [mv]

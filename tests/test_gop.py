@@ -1,0 +1,121 @@
+"""Tests for the GOP structure (I-P-B-B schedule)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.gop import PAPER_GOP, CodedFrame, FrameType, GopStructure
+from repro.errors import ConfigError
+
+
+class TestPaperGop:
+    def test_pattern_name(self):
+        assert PAPER_GOP.pattern_name == "I-P-B-B"
+
+    def test_only_first_frame_is_intra(self):
+        types = PAPER_GOP.display_types(20)
+        assert types[0] is FrameType.I
+        assert all(t is not FrameType.I for t in types[1:])
+
+    def test_two_bs_between_anchors(self):
+        types = PAPER_GOP.display_types(10)
+        assert [str(t) for t in types[:7]] == ["I", "B", "B", "P", "B", "B", "P"]
+
+    def test_partial_tail_schedule(self):
+        # 9 frames: anchors at 0, 3, 6, 8 -> frame 7 is the only tail B.
+        types = PAPER_GOP.display_types(9)
+        assert [str(t) for t in types] == ["I", "B", "B", "P", "B", "B", "P", "B", "P"]
+
+    def test_last_frame_is_anchor(self):
+        for count in range(1, 20):
+            types = PAPER_GOP.display_types(count)
+            assert types[-1].is_anchor
+
+    def test_coding_order_anchors_before_their_bs(self):
+        order = PAPER_GOP.coding_order(7)
+        indices = [entry.display_index for entry in order]
+        assert indices == [0, 3, 1, 2, 6, 4, 5]
+
+    def test_b_frames_reference_surrounding_anchors(self):
+        for entry in PAPER_GOP.coding_order(10):
+            if entry.frame_type is FrameType.B:
+                assert entry.forward_ref < entry.display_index < entry.backward_ref
+
+    def test_p_frames_reference_previous_anchor(self):
+        anchors = []
+        for entry in PAPER_GOP.coding_order(10):
+            if entry.frame_type is FrameType.P:
+                assert entry.forward_ref == anchors[-1]
+            if entry.frame_type.is_anchor:
+                anchors.append(entry.display_index)
+
+    def test_single_frame(self):
+        order = PAPER_GOP.coding_order(1)
+        assert len(order) == 1
+        assert order[0].frame_type is FrameType.I
+
+
+class TestGeneralStructures:
+    def test_no_bframes_is_ip_only(self):
+        gop = GopStructure(bframes=0)
+        types = gop.display_types(5)
+        assert [str(t) for t in types] == ["I", "P", "P", "P", "P"]
+        assert gop.pattern_name == "I-P"
+
+    def test_intra_period_forces_keyframes(self):
+        gop = GopStructure(bframes=0, intra_period=2)
+        types = gop.display_types(6)
+        assert [str(t) for t in types] == ["I", "P", "I", "P", "I", "P"]
+
+    def test_three_bframes(self):
+        gop = GopStructure(bframes=3)
+        types = gop.display_types(9)
+        assert [str(t) for t in types] == ["I", "B", "B", "B", "P", "B", "B", "B", "P"]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            GopStructure(bframes=-1)
+        with pytest.raises(ConfigError):
+            GopStructure(intra_period=-2)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            PAPER_GOP.display_types(0)
+
+
+class TestCodedFrameValidation:
+    def test_i_frame_takes_no_refs(self):
+        with pytest.raises(ConfigError):
+            CodedFrame(0, FrameType.I, forward_ref=1)
+
+    def test_p_frame_needs_forward(self):
+        with pytest.raises(ConfigError):
+            CodedFrame(3, FrameType.P)
+
+    def test_b_frame_needs_both(self):
+        with pytest.raises(ConfigError):
+            CodedFrame(1, FrameType.B, forward_ref=0)
+
+
+class TestProperties:
+    @given(st.integers(1, 200), st.integers(0, 4))
+    def test_coding_order_is_permutation(self, count, bframes):
+        gop = GopStructure(bframes=bframes)
+        order = gop.display_order(count)
+        assert sorted(order) == list(range(count))
+
+    @given(st.integers(1, 200), st.integers(0, 4))
+    def test_references_coded_before_use(self, count, bframes):
+        gop = GopStructure(bframes=bframes)
+        coded = set()
+        for entry in gop.coding_order(count):
+            if entry.forward_ref is not None:
+                assert entry.forward_ref in coded
+            if entry.backward_ref is not None:
+                assert entry.backward_ref in coded
+            coded.add(entry.display_index)
+
+    @given(st.integers(1, 100))
+    def test_paper_gop_b_fraction(self, count):
+        types = PAPER_GOP.display_types(count)
+        b_count = sum(1 for t in types if t is FrameType.B)
+        assert b_count <= 2 * (count - b_count)

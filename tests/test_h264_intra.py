@@ -1,0 +1,143 @@
+"""Tests for H.264 intra prediction."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.h264.intra import (
+    BLOCK_MODES,
+    DC_MODE_INDEX,
+    LUMA4_MODES,
+    available_block_modes,
+    available_luma4_modes,
+    predict_block,
+    predict_luma4,
+)
+from repro.errors import CodecError
+
+
+def plane_with_neighbours(size: int = 24, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 256, (size, size)).astype(np.int64)
+
+
+class TestAvailability:
+    def test_corner_block_is_dc_only(self):
+        assert available_luma4_modes(False, False) == ["DC"]
+        assert available_block_modes(False, False) == ["DC"]
+
+    def test_top_row(self):
+        modes = available_luma4_modes(True, False)
+        assert "V" in modes and "DDL" in modes
+        assert "H" not in modes and "DDR" not in modes
+
+    def test_left_column(self):
+        modes = available_luma4_modes(False, True)
+        assert "H" in modes and "V" not in modes
+
+    def test_interior_has_all(self):
+        assert set(available_luma4_modes(True, True)) == set(LUMA4_MODES)
+        assert set(available_block_modes(True, True)) == set(BLOCK_MODES)
+
+    def test_dc_mode_index(self):
+        assert LUMA4_MODES[DC_MODE_INDEX] == "DC"
+
+
+class TestLuma4Modes:
+    def test_vertical_copies_top(self):
+        plane = plane_with_neighbours()
+        pred = predict_luma4(plane, 8, 8, "V")
+        for row in range(4):
+            assert np.array_equal(pred[row], plane[7, 8:12])
+
+    def test_horizontal_copies_left(self):
+        plane = plane_with_neighbours(seed=1)
+        pred = predict_luma4(plane, 8, 8, "H")
+        for col in range(4):
+            assert np.array_equal(pred[:, col], plane[8:12, 7])
+
+    def test_dc_is_mean_of_neighbours(self):
+        plane = np.full((16, 16), 80, dtype=np.int64)
+        plane[7, 8:12] = 100
+        plane[8:12, 7] = 60
+        pred = predict_luma4(plane, 8, 8, "DC")
+        assert np.all(pred == 80)  # (4*100 + 4*60 + 4) // 8
+
+    def test_dc_without_neighbours_is_128(self):
+        plane = plane_with_neighbours(seed=2)
+        pred = predict_luma4(plane, 0, 0, "DC")
+        assert np.all(pred == 128)
+
+    def test_dc_top_only(self):
+        plane = np.zeros((8, 8), dtype=np.int64)
+        plane[3, :] = 40
+        pred = predict_luma4(plane, 0, 4, "DC")
+        assert np.all(pred == 40)
+
+    def test_ddl_flat_on_flat_top(self):
+        plane = np.full((16, 16), 55, dtype=np.int64)
+        pred = predict_luma4(plane, 8, 8, "DDL")
+        assert np.all(pred == 55)
+
+    def test_ddr_diagonal_structure(self):
+        plane = np.full((16, 16), 10, dtype=np.int64)
+        plane[7, 7] = 200  # corner sample
+        pred = predict_luma4(plane, 8, 8, "DDR")
+        # The corner feeds the main diagonal.
+        assert pred[0, 0] > pred[0, 3]
+        assert pred[1, 1] > pred[0, 3]
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(CodecError):
+            predict_luma4(plane_with_neighbours(), 8, 8, "PLANE")
+
+    def test_outputs_in_pixel_range(self):
+        plane = plane_with_neighbours(seed=3)
+        for mode in LUMA4_MODES:
+            pred = predict_luma4(plane, 8, 8, mode)
+            assert np.all(pred >= 0) and np.all(pred <= 255)
+            assert pred.shape == (4, 4)
+
+
+class TestBlockModes:
+    @pytest.mark.parametrize("size", [8, 16])
+    def test_vertical(self, size):
+        plane = plane_with_neighbours(size=2 * size + 8, seed=4)
+        pred = predict_block(plane, size, size, size, "V")
+        for row in range(size):
+            assert np.array_equal(pred[row], plane[size - 1, size : 2 * size])
+
+    @pytest.mark.parametrize("size", [8, 16])
+    def test_horizontal(self, size):
+        plane = plane_with_neighbours(size=2 * size + 8, seed=5)
+        pred = predict_block(plane, size, size, size, "H")
+        for col in range(size):
+            assert np.array_equal(pred[:, col], plane[size : 2 * size, size - 1])
+
+    def test_dc_flat(self):
+        plane = np.full((48, 48), 90, dtype=np.int64)
+        pred = predict_block(plane, 16, 16, 16, "DC")
+        assert np.all(pred == 90)
+
+    def test_plane_reproduces_linear_ramp(self):
+        ys, xs = np.mgrid[0:64, 0:64]
+        plane = (2 * xs + 3 * ys).astype(np.int64)
+        pred = predict_block(plane, 16, 16, 16, "PLANE")
+        actual = plane[16:32, 16:32]
+        assert np.max(np.abs(pred - actual)) <= 4
+
+    def test_plane_8x8_chroma(self):
+        ys, xs = np.mgrid[0:32, 0:32]
+        plane = (xs + ys).astype(np.int64)
+        pred = predict_block(plane, 8, 8, 8, "PLANE")
+        actual = plane[8:16, 8:16]
+        assert np.max(np.abs(pred - actual)) <= 3
+
+    def test_plane_clipped(self):
+        plane = np.zeros((48, 48), dtype=np.int64)
+        plane[:, 15] = 255
+        plane[15, :] = 255
+        pred = predict_block(plane, 16, 16, 16, "PLANE")
+        assert np.all(pred >= 0) and np.all(pred <= 255)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(CodecError):
+            predict_block(plane_with_neighbours(), 8, 8, 8, "DDL")

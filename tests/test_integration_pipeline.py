@@ -1,0 +1,85 @@
+"""Full-pipeline integration tests: generate -> encode -> file -> decode.
+
+Exercises the same flow the paper's benchmark scripts run, for every codec,
+including the transcoding chain the applications are meant to serve.
+"""
+
+import pytest
+
+from repro import generate_sequence, get_decoder, get_encoder, sequence_psnr
+from repro.codecs import CODEC_NAMES, container
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return generate_sequence("rush_hour", "576p25", frames=5, scale=(1, 8))
+
+
+def fields_for(codec, video):
+    fields = dict(width=video.width, height=video.height, search_range=4)
+    if codec == "h264":
+        fields["qp"] = 26
+    else:
+        fields["qscale"] = 5
+    return fields
+
+
+@pytest.mark.parametrize("codec", CODEC_NAMES)
+class TestFilePipeline:
+    def test_end_to_end_through_file(self, codec, clip, tmp_path):
+        stream = get_encoder(codec, **fields_for(codec, clip)).encode_sequence(clip)
+        path = tmp_path / f"{codec}.hdvb"
+        container.write_file(path, stream)
+        assert container.probe_codec(path) == codec
+        loaded = container.read_file(path)
+        decoded = get_decoder(codec).decode(loaded)
+        psnr = sequence_psnr(clip, decoded)
+        assert psnr.combined > 33.0
+
+    def test_stream_survives_byte_roundtrip(self, codec, clip, tmp_path):
+        stream = get_encoder(codec, **fields_for(codec, clip)).encode_sequence(clip)
+        rebuilt = container.unpack(container.pack(stream))
+        first = get_decoder(codec).decode(stream)
+        second = get_decoder(codec).decode(rebuilt)
+        assert all(a == b for a, b in zip(first, second))
+
+
+class TestCodecOrdering:
+    """DESIGN.md section 5 shape checks on a real sequence."""
+
+    @pytest.fixture(scope="class")
+    def streams(self, clip):
+        return {
+            codec: get_encoder(codec, **fields_for(codec, clip)).encode_sequence(clip)
+            for codec in CODEC_NAMES
+        }
+
+    def test_bitrate_ordering(self, streams):
+        assert streams["mpeg2"].total_bytes > streams["mpeg4"].total_bytes
+        assert streams["mpeg4"].total_bytes > streams["h264"].total_bytes
+
+    def test_quality_band(self, clip, streams):
+        values = {
+            codec: sequence_psnr(clip, get_decoder(codec).decode(stream)).combined
+            for codec, stream in streams.items()
+        }
+        assert max(values.values()) - min(values.values()) < 5.0
+
+    def test_riverbed_needs_more_bits_than_rush_hour(self):
+        riverbed = generate_sequence("riverbed", "576p25", frames=5, scale=(1, 8))
+        rush = generate_sequence("rush_hour", "576p25", frames=5, scale=(1, 8))
+        for codec in CODEC_NAMES:
+            hard = get_encoder(codec, **fields_for(codec, riverbed)).encode_sequence(riverbed)
+            easy = get_encoder(codec, **fields_for(codec, rush)).encode_sequence(rush)
+            assert hard.total_bytes > 2 * easy.total_bytes
+
+
+class TestTranscode:
+    def test_mpeg2_to_h264_transcode(self, clip):
+        mpeg2 = get_encoder("mpeg2", **fields_for("mpeg2", clip)).encode_sequence(clip)
+        intermediate = get_decoder("mpeg2").decode(mpeg2)
+        h264 = get_encoder("h264", **fields_for("h264", intermediate)).encode_sequence(intermediate)
+        final = get_decoder("h264").decode(h264)
+        assert h264.total_bytes < mpeg2.total_bytes
+        # Generation loss is bounded: still watchable quality.
+        assert sequence_psnr(clip, final).combined > 30.0

@@ -1,0 +1,147 @@
+"""Behavioural tests for the motion-compensation/interpolation kernels."""
+
+import numpy as np
+import pytest
+
+
+def gradient_plane(size: int = 32) -> np.ndarray:
+    ys, xs = np.mgrid[0:size, 0:size]
+    return (4 * xs + 2 * ys).astype(np.int64)
+
+
+def random_plane(size: int = 32, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 256, (size, size)).astype(np.int64)
+
+
+class TestHalfPel:
+    def test_integer_mv_is_plain_copy(self, kernels):
+        plane = random_plane()
+        block = kernels.mc_halfpel(plane, 8, 8, 4, 4, 4, -2)
+        assert np.array_equal(block, plane[7:11, 10:14])
+
+    def test_horizontal_half_is_average(self, kernels):
+        plane = random_plane(seed=1)
+        block = kernels.mc_halfpel(plane, 8, 8, 4, 4, 1, 0)
+        expected = (plane[8:12, 8:12] + plane[8:12, 9:13] + 1) >> 1
+        assert np.array_equal(block, expected)
+
+    def test_vertical_half_is_average(self, kernels):
+        plane = random_plane(seed=2)
+        block = kernels.mc_halfpel(plane, 8, 8, 4, 4, 0, 1)
+        expected = (plane[8:12, 8:12] + plane[9:13, 8:12] + 1) >> 1
+        assert np.array_equal(block, expected)
+
+    def test_diagonal_half_four_tap(self, kernels):
+        plane = random_plane(seed=3)
+        block = kernels.mc_halfpel(plane, 8, 8, 2, 2, 1, 1)
+        expected = (
+            plane[8:10, 8:10] + plane[8:10, 9:11]
+            + plane[9:11, 8:10] + plane[9:11, 9:11]
+            + 2
+        ) >> 2
+        assert np.array_equal(block, expected)
+
+    def test_constant_plane_invariant(self, kernels):
+        plane = np.full((32, 32), 77, dtype=np.int64)
+        for mv in ((1, 1), (3, -5), (0, 7)):
+            block = kernels.mc_halfpel(plane, 10, 10, 8, 8, *mv)
+            assert np.all(block == 77)
+
+
+class TestQpelBilinear:
+    def test_integer_positions(self, kernels):
+        plane = random_plane(seed=4)
+        block = kernels.mc_qpel_bilinear(plane, 8, 8, 4, 4, 8, -4)
+        assert np.array_equal(block, plane[7:11, 10:14])
+
+    def test_half_position_matches_halfpel(self, kernels):
+        plane = random_plane(seed=5)
+        qpel = kernels.mc_qpel_bilinear(plane, 8, 8, 4, 4, 2, 0)
+        halfpel = kernels.mc_halfpel(plane, 8, 8, 4, 4, 1, 0)
+        assert np.array_equal(qpel, halfpel)
+
+    def test_quarter_on_gradient_is_exact(self, kernels):
+        # Bilinear interpolation reproduces a linear ramp exactly.
+        plane = gradient_plane()
+        block = kernels.mc_qpel_bilinear(plane, 8, 8, 4, 4, 1, 0)
+        expected = plane[8:12, 8:12] + 1  # 4*0.25 = 1 luma unit
+        assert np.array_equal(block, expected)
+
+    def test_constant_plane_invariant(self, kernels):
+        plane = np.full((32, 32), 150, dtype=np.int64)
+        for mvx in range(4):
+            block = kernels.mc_qpel_bilinear(plane, 10, 10, 4, 4, mvx, 3)
+            assert np.all(block == 150)
+
+
+class TestQpelH264:
+    def test_integer_positions(self, kernels):
+        plane = random_plane(seed=6)
+        block = kernels.mc_qpel_h264(plane, 10, 10, 4, 4, -8, 12)
+        assert np.array_equal(block, plane[13:17, 8:12])
+
+    def test_constant_plane_invariant_all_positions(self, kernels):
+        plane = np.full((40, 40), 200, dtype=np.int64)
+        for fy in range(4):
+            for fx in range(4):
+                block = kernels.mc_qpel_h264(plane, 16, 16, 4, 4, fx, fy)
+                assert np.all(block == 200), (fx, fy)
+
+    def test_output_clipped_to_pixel_range(self, kernels):
+        # A harsh checkerboard can drive the six-tap filter out of range
+        # before clipping.
+        plane = np.zeros((40, 40), dtype=np.int64)
+        plane[::2, ::2] = 255
+        plane[1::2, 1::2] = 255
+        for fx, fy in ((2, 0), (0, 2), (2, 2), (1, 3)):
+            block = kernels.mc_qpel_h264(plane, 16, 16, 8, 8, fx, fy)
+            assert np.all(block >= 0)
+            assert np.all(block <= 255)
+
+    def test_half_pel_is_six_tap(self, kernels):
+        plane = random_plane(seed=7, size=40)
+        block = kernels.mc_qpel_h264(plane, 16, 16, 1, 1, 2, 0)
+        row = plane[16, 14:20]
+        raw = row[0] - 5 * row[1] + 20 * row[2] + 20 * row[3] - 5 * row[4] + row[5]
+        expected = min(255, max(0, (int(raw) + 16) >> 5))
+        assert int(block[0, 0]) == expected
+
+    def test_quarter_pel_averages_neighbours(self, kernels):
+        plane = random_plane(seed=8, size=40)
+        integer = kernels.mc_qpel_h264(plane, 16, 16, 4, 4, 0, 0)
+        half = kernels.mc_qpel_h264(plane, 16, 16, 4, 4, 2, 0)
+        quarter = kernels.mc_qpel_h264(plane, 16, 16, 4, 4, 1, 0)
+        assert np.array_equal(quarter, (integer + half + 1) >> 1)
+
+
+class TestChromaBilinear8:
+    def test_integer_positions(self, kernels):
+        plane = random_plane(seed=9)
+        block = kernels.mc_chroma_bilinear8(plane, 8, 8, 4, 4, 16, -8)
+        assert np.array_equal(block, plane[7:11, 10:14])
+
+    def test_gradient_exact(self, kernels):
+        plane = gradient_plane()
+        block = kernels.mc_chroma_bilinear8(plane, 8, 8, 4, 4, 2, 0)
+        expected = plane[8:12, 8:12] + 1  # 4 * 2/8 = 1
+        assert np.array_equal(block, expected)
+
+    def test_constant_plane_invariant(self, kernels):
+        plane = np.full((24, 24), 99, dtype=np.int64)
+        for mvx in range(8):
+            block = kernels.mc_chroma_bilinear8(plane, 8, 8, 4, 4, mvx, 5)
+            assert np.all(block == 99)
+
+
+class TestGetBlockAndAverage:
+    def test_get_block_copies(self, kernels):
+        plane = random_plane(seed=10)
+        block = kernels.get_block(plane, 4, 6, 8, 8)
+        assert np.array_equal(block, plane[6:14, 4:12])
+        block[0, 0] = -1
+        assert plane[6, 4] != -1
+
+    def test_average_rounds_up(self, kernels):
+        a = np.array([[1]], dtype=np.int64)
+        b = np.array([[2]], dtype=np.int64)
+        assert int(kernels.average(a, b)[0, 0]) == 2

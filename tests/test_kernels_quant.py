@@ -1,0 +1,178 @@
+"""Behavioural tests for the quantiser kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.tables import (
+    MPEG_INTER_MATRIX,
+    MPEG_INTRA_DC_SCALER,
+    MPEG_INTRA_MATRIX,
+)
+
+
+def coeff_blocks(size: int, bound: int):
+    return st.lists(
+        st.lists(st.integers(-bound, bound), min_size=size, max_size=size),
+        min_size=size,
+        max_size=size,
+    ).map(lambda rows: np.array(rows, dtype=np.int64))
+
+
+class TestMpegQuant:
+    def test_zero_stays_zero(self, kernels):
+        zero = np.zeros((8, 8), dtype=np.int64)
+        for intra in (True, False):
+            matrix = MPEG_INTRA_MATRIX if intra else MPEG_INTER_MATRIX
+            assert not np.any(kernels.quant_mpeg(zero, matrix, 5, intra))
+            assert not np.any(kernels.dequant_mpeg(zero, matrix, 5, intra))
+
+    def test_intra_dc_scaler(self, kernels):
+        coeffs = np.zeros((8, 8), dtype=np.int64)
+        coeffs[0, 0] = 800
+        levels = kernels.quant_mpeg(coeffs, MPEG_INTRA_MATRIX, 5, True)
+        assert int(levels[0, 0]) == 800 // MPEG_INTRA_DC_SCALER
+        rebuilt = kernels.dequant_mpeg(levels, MPEG_INTRA_MATRIX, 5, True)
+        assert int(rebuilt[0, 0]) == 800
+
+    @given(coeff_blocks(8, 2000), st.integers(1, 31))
+    @settings(max_examples=25)
+    def test_intra_reconstruction_error_bounded(self, coeffs, qscale):
+        from repro.kernels import get_kernels
+
+        kernels = get_kernels("simd")
+        levels = kernels.quant_mpeg(coeffs, MPEG_INTRA_MATRIX, qscale, True)
+        rebuilt = kernels.dequant_mpeg(levels, MPEG_INTRA_MATRIX, qscale, True)
+        # Error bounded by one quantisation step per coefficient.
+        step = MPEG_INTRA_MATRIX * qscale // 8 + 2
+        step[0, 0] = MPEG_INTRA_DC_SCALER
+        assert np.all(np.abs(rebuilt - coeffs) <= step)
+
+    def test_inter_has_dead_zone(self, kernels):
+        # Small coefficients vanish under the truncating inter quantiser.
+        coeffs = np.full((8, 8), 3, dtype=np.int64)
+        levels = kernels.quant_mpeg(coeffs, MPEG_INTER_MATRIX, 5, False)
+        assert not np.any(levels)
+
+    def test_sign_symmetry(self, kernels):
+        rng = np.random.default_rng(0)
+        coeffs = rng.integers(-500, 500, (8, 8)).astype(np.int64)
+        plus = kernels.quant_mpeg(coeffs, MPEG_INTER_MATRIX, 7, False)
+        minus = kernels.quant_mpeg(-coeffs, MPEG_INTER_MATRIX, 7, False)
+        assert np.array_equal(plus, -minus)
+
+    def test_levels_clamped(self, kernels):
+        coeffs = np.full((8, 8), 2047 * 50, dtype=np.int64)
+        levels = kernels.quant_mpeg(coeffs, MPEG_INTER_MATRIX, 1, False)
+        assert np.max(levels) <= 2047
+
+
+class TestH263Quant:
+    def test_higher_qp_means_fewer_levels(self, kernels):
+        rng = np.random.default_rng(1)
+        coeffs = rng.integers(-200, 200, (8, 8)).astype(np.int64)
+        counts = [
+            int(np.count_nonzero(kernels.quant_h263(coeffs, qp, False)))
+            for qp in (2, 8, 20)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_intra_dc_path(self, kernels):
+        coeffs = np.zeros((8, 8), dtype=np.int64)
+        coeffs[0, 0] = 1024
+        levels = kernels.quant_h263(coeffs, 5, True)
+        assert int(levels[0, 0]) == 128
+        rebuilt = kernels.dequant_h263(levels, 5, True)
+        assert int(rebuilt[0, 0]) == 1024
+
+    def test_inter_reconstructs_at_bin_centre(self, kernels):
+        qp = 5
+        coeffs = np.zeros((8, 8), dtype=np.int64)
+        coeffs[0, 1] = 25  # level = 2*25 // 20 = 2
+        levels = kernels.quant_h263(coeffs, qp, False)
+        assert int(levels[0, 1]) == 2
+        rebuilt = kernels.dequant_h263(levels, qp, False)
+        # (2*level + 1) * step / 2 with step = 2*qp: (5 * 10) // 2 = 25.
+        assert int(rebuilt[0, 1]) == 25
+
+    @given(coeff_blocks(8, 2000), st.integers(1, 31), st.booleans())
+    @settings(max_examples=25)
+    def test_reconstruction_error_bounded(self, coeffs, qp, intra):
+        from repro.kernels import get_kernels
+
+        kernels = get_kernels("simd")
+        levels = kernels.quant_h263(coeffs, qp, intra)
+        rebuilt = kernels.dequant_h263(levels, qp, intra)
+        bound = np.full((8, 8), 2 * qp + 2, dtype=np.int64)
+        if intra:
+            bound[0, 0] = MPEG_INTRA_DC_SCALER
+        assert np.all(np.abs(rebuilt - coeffs) <= bound)
+
+
+class TestH264Quant:
+    def test_zero_block(self, kernels):
+        zero = np.zeros((4, 4), dtype=np.int64)
+        assert not np.any(kernels.quant_h264_4x4(zero, 26, True))
+        assert not np.any(kernels.dequant_h264_4x4(zero, 26))
+
+    def test_qp_plus_six_doubles_step(self, kernels):
+        coeffs = np.full((4, 4), 4096, dtype=np.int64)
+        low = kernels.quant_h264_4x4(coeffs, 20, False)
+        high = kernels.quant_h264_4x4(coeffs, 26, False)
+        # Doubling the step halves the level (within rounding).
+        assert np.all(np.abs(low - 2 * high) <= 1)
+
+    def test_dequant_scales_with_qp_div_6(self, kernels):
+        levels = np.ones((4, 4), dtype=np.int64)
+        base = kernels.dequant_h264_4x4(levels, 20)
+        shifted = kernels.dequant_h264_4x4(levels, 26)
+        assert np.array_equal(shifted, 2 * base)
+
+    def test_intra_rounding_larger_than_inter(self, kernels):
+        # f = qbits/3 intra vs qbits/6 inter: borderline values quantise
+        # to a level intra but to zero inter.
+        coeffs = np.zeros((4, 4), dtype=np.int64)
+        coeffs[0, 0] = 1800  # MF=13107 at qp 26 -> scaled near threshold
+        qp = 26
+        intra = kernels.quant_h264_4x4(coeffs, qp, True)
+        inter = kernels.quant_h264_4x4(coeffs, qp, False)
+        assert int(intra[0, 0]) >= int(inter[0, 0])
+
+    def test_dc4_roundtrip_scale(self, kernels):
+        # The dequantised DC is at pre-inverse-transform scale, which for
+        # the whole pipeline is ~4x the input (same scale the AC path
+        # produces: dequant(quant(c)) ~ 4c at any QP).
+        dc = np.full((4, 4), 640, dtype=np.int64)
+        transformed = kernels.hadamard4_forward(dc)
+        levels = kernels.quant_h264_dc4(transformed, 26, True)
+        rebuilt = kernels.dequant_h264_dc4(levels, 26)
+        assert np.all(np.abs(rebuilt - 4 * dc) <= 4 * 52)  # within one step
+
+    def test_dc4_low_qp_branch(self, kernels):
+        # qp < 12 exercises the rounding-shift dequant path.
+        dc = np.full((4, 4), 640, dtype=np.int64)
+        transformed = kernels.hadamard4_forward(dc)
+        levels = kernels.quant_h264_dc4(transformed, 6, True)
+        rebuilt = kernels.dequant_h264_dc4(levels, 6)
+        assert np.all(np.abs(rebuilt - 4 * dc) <= 4 * 16)
+
+    def test_ac_dequant_scale_is_4x_at_any_qp(self, kernels):
+        # Position class a (the DC position) has MF*V ~ 2^17, so the
+        # quant+dequant pipeline gain is ~4x at every QP; other classes
+        # differ by the basis norms the inverse transform compensates.
+        coeffs = np.zeros((4, 4), dtype=np.int64)
+        coeffs[0, 0] = 4096
+        for qp in (0, 11, 26, 40):
+            levels = kernels.quant_h264_4x4(coeffs, qp, True)
+            rebuilt = kernels.dequant_h264_4x4(levels, qp)
+            assert abs(int(rebuilt[0, 0]) - 4 * 4096) <= 4096 // 4
+
+    def test_dc2_roundtrip(self, kernels):
+        dc = np.array([[400, 360], [380, 420]], dtype=np.int64)
+        transformed = kernels.hadamard2(dc)
+        levels = kernels.quant_h264_dc2(transformed, 26, True)
+        rebuilt = kernels.dequant_h264_dc2(levels, 26)
+        # Inverse Hadamard scale is 4: the rebuilt values approximate 4*dc
+        # after the transform pair; compare against the re-derived DCs.
+        recovered = kernels.hadamard2(rebuilt)  # undo structure for sanity
+        assert recovered.shape == (2, 2)

@@ -1,0 +1,202 @@
+"""Tests for motion estimation: cost model, searches, sub-pel refinement."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernels
+from repro.mc.pad import pad_plane
+from repro.me.cost import MotionCost, lambda_from_qp, mv_rate_bits
+from repro.me.search import (
+    ALGORITHM_NAMES,
+    epzs_search,
+    full_search,
+    hexagon_search,
+    run_search,
+)
+from repro.me.subpel import refine_subpel
+from repro.me.types import MotionVector, SearchResult, ZERO_MV, median_mv
+from repro.errors import ConfigError
+
+KERNELS = get_kernels("simd")
+
+
+def textured_plane(size: int = 64, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    coarse = rng.integers(0, 256, (size // 4 + 1, size // 4 + 1))
+    return np.kron(coarse, np.ones((4, 4), dtype=np.int64))[:size, :size].astype(np.int64)
+
+
+def make_cost(dx: int, dy: int, search_range: int = 8,
+              lagrangian: int = 0) -> MotionCost:
+    """A cost whose optimum is the planted displacement (dx, dy)."""
+    reference = textured_plane()
+    x, y = 24, 24
+    current = reference[y + dy : y + dy + 16, x + dx : x + dx + 16]
+    return MotionCost(
+        kernels=KERNELS,
+        current=current,
+        reference=pad_plane(reference, search_range),
+        x=x,
+        y=y,
+        width=16,
+        height=16,
+        predictor=ZERO_MV,
+        lagrangian=lagrangian,
+        search_range=search_range,
+    )
+
+
+class TestTypes:
+    def test_vector_arithmetic(self):
+        a = MotionVector(3, -2)
+        b = MotionVector(-1, 5)
+        assert a + b == MotionVector(2, 3)
+        assert a - b == MotionVector(4, -7)
+        assert -a == MotionVector(-3, 2)
+        assert a.scaled(2) == MotionVector(6, -4)
+
+    def test_clamped(self):
+        assert MotionVector(10, -10).clamped(4) == MotionVector(4, -4)
+
+    def test_median(self):
+        result = median_mv(MotionVector(1, 9), MotionVector(5, 3), MotionVector(2, 7))
+        assert result == MotionVector(2, 7)
+
+    def test_search_result_comparison(self):
+        assert SearchResult(ZERO_MV, 5).better_than(SearchResult(ZERO_MV, 9))
+
+
+class TestCostModel:
+    def test_zero_mv_on_static_scene_is_zero_sad(self):
+        cost = make_cost(0, 0)
+        assert cost.evaluate(ZERO_MV) == 0
+
+    def test_planted_motion_has_zero_sad(self):
+        cost = make_cost(3, -2)
+        assert cost.evaluate(MotionVector(3, -2)) == 0
+
+    def test_out_of_range_is_prohibitive(self):
+        cost = make_cost(0, 0, search_range=4)
+        assert cost.evaluate(MotionVector(5, 0)) > 10 ** 12
+
+    def test_rate_term_penalises_long_vectors(self):
+        cost = make_cost(0, 0, lagrangian=10)
+        assert cost.evaluate(MotionVector(4, 4)) >= 10 * mv_rate_bits(
+            MotionVector(4, 4), ZERO_MV
+        )
+
+    def test_cache_counts_distinct_candidates(self):
+        cost = make_cost(0, 0)
+        cost.evaluate(ZERO_MV)
+        cost.evaluate(ZERO_MV)
+        cost.evaluate(MotionVector(1, 0))
+        assert cost.evaluations == 2
+
+    def test_lambda_grows_with_qp(self):
+        values = [lambda_from_qp(qp) for qp in (10, 26, 40)]
+        assert values == sorted(values)
+        assert values[0] >= 1
+
+    def test_mv_rate_bits_zero_diff_minimal(self):
+        assert mv_rate_bits(MotionVector(3, 4), MotionVector(3, 4)) == 2
+
+
+class TestSearches:
+    @pytest.mark.parametrize("dx, dy", [(0, 0), (3, 1), (-4, 2), (5, -5)])
+    def test_full_search_finds_planted_motion(self, dx, dy):
+        result = full_search(make_cost(dx, dy))
+        assert result.mv == MotionVector(dx, dy)
+        assert result.cost == 0
+
+    @pytest.mark.parametrize("dx, dy", [(0, 0), (2, 1), (-3, -2)])
+    def test_epzs_finds_planted_motion(self, dx, dy):
+        result = epzs_search(make_cost(dx, dy))
+        assert result.mv == MotionVector(dx, dy)
+
+    def test_epzs_uses_extra_predictors(self):
+        # With a far displacement, the diamond descent from zero may stall;
+        # a predictor pointing at the optimum must be used.
+        cost = make_cost(7, 7)
+        result = epzs_search(cost, extra_predictors=[MotionVector(7, 7)])
+        assert result.mv == MotionVector(7, 7)
+
+    @pytest.mark.parametrize("dx, dy", [(0, 0), (2, 0), (-2, 2), (4, -3)])
+    def test_hexagon_finds_planted_motion(self, dx, dy):
+        result = hexagon_search(make_cost(dx, dy))
+        assert result.mv == MotionVector(dx, dy)
+
+    def test_fast_searches_never_beat_full_search(self):
+        for seed in range(3):
+            cost_full = make_cost(3, -1)
+            best = full_search(cost_full)
+            for algorithm in ("epzs", "hex"):
+                cost = make_cost(3, -1)
+                result = run_search(algorithm, cost)
+                assert result.cost >= best.cost
+
+    def test_fast_searches_evaluate_fewer_candidates(self):
+        cost_full = make_cost(2, 2)
+        full_search(cost_full)
+        cost_epzs = make_cost(2, 2)
+        epzs_search(cost_epzs)
+        assert cost_epzs.evaluations < cost_full.evaluations / 4
+
+    def test_run_search_dispatch(self):
+        assert set(ALGORITHM_NAMES) == {"epzs", "full", "hex"}
+        with pytest.raises(ConfigError):
+            run_search("umh", make_cost(0, 0))
+
+
+class TestSubpel:
+    def test_halfpel_refinement_improves_on_fractional_motion(self):
+        # Build a reference and a current that is the half-pel interpolation
+        # of it, so the optimum is at a fractional position.
+        reference = textured_plane(seed=3)
+        padded = pad_plane(reference, 8)
+        x, y = 24, 24
+        px, py = padded.offset(x, y)
+        current = KERNELS.mc_halfpel(padded.plane, px, py, 16, 16, 1, 0)
+        cost = MotionCost(
+            kernels=KERNELS, current=current, reference=padded,
+            x=x, y=y, width=16, height=16,
+            predictor=ZERO_MV, lagrangian=0, search_range=8,
+        )
+        integer = full_search(cost)
+        refined = refine_subpel(
+            KERNELS, current, padded, x, y, 16, 16, integer,
+            predictor=ZERO_MV, lagrangian=0, unit=2,
+            interp=KERNELS.mc_halfpel,
+        )
+        assert refined.mv == MotionVector(1, 0)
+        assert refined.cost == 0
+        assert refined.cost <= integer.cost
+
+    def test_quarter_pel_units(self):
+        reference = textured_plane(seed=4)
+        padded = pad_plane(reference, 8)
+        x, y = 24, 24
+        px, py = padded.offset(x, y)
+        current = KERNELS.mc_qpel_bilinear(padded.plane, px, py, 16, 16, 5, 2)
+        cost = MotionCost(
+            kernels=KERNELS, current=current, reference=padded,
+            x=x, y=y, width=16, height=16,
+            predictor=ZERO_MV, lagrangian=0, search_range=8,
+        )
+        integer = full_search(cost)
+        refined = refine_subpel(
+            KERNELS, current, padded, x, y, 16, 16, integer,
+            predictor=ZERO_MV, lagrangian=0, unit=4,
+            interp=KERNELS.mc_qpel_bilinear,
+        )
+        assert refined.cost == 0
+        assert refined.mv == MotionVector(5, 2)
+
+    def test_integer_optimum_is_kept(self):
+        cost = make_cost(2, 1)
+        integer = full_search(cost)
+        reference = cost.reference
+        refined = refine_subpel(
+            KERNELS, cost.current, reference, cost.x, cost.y, 16, 16, integer,
+            predictor=ZERO_MV, lagrangian=0, unit=2, interp=KERNELS.mc_halfpel,
+        )
+        assert refined.mv == integer.mv.scaled(2)

@@ -1,0 +1,136 @@
+"""Tests for MSE/PSNR/bitrate metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.metrics import (
+    PSNR_IDENTICAL,
+    bitrate_kbps,
+    compression_gain,
+    frame_psnr,
+    mean,
+    mse,
+    plane_psnr,
+    psnr_from_mse,
+    sequence_psnr,
+)
+from repro.common.yuv import YuvFrame, YuvSequence
+from repro.errors import ConfigError
+from tests.conftest import make_frame
+
+
+class TestMse:
+    def test_identical_is_zero(self):
+        plane = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        assert mse(plane, plane) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 2, dtype=np.uint8)
+        assert mse(a, b) == 4.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_uint8_wraparound_avoided(self):
+        a = np.array([[0]], dtype=np.uint8)
+        b = np.array([[255]], dtype=np.uint8)
+        assert mse(a, b) == 255.0 ** 2
+
+
+class TestPsnr:
+    def test_identical_reports_cap(self):
+        assert psnr_from_mse(0.0) == PSNR_IDENTICAL
+
+    def test_known_value(self):
+        assert psnr_from_mse(1.0) == pytest.approx(20 * math.log10(255), rel=1e-9)
+
+    def test_monotone_in_mse(self):
+        assert psnr_from_mse(1.0) > psnr_from_mse(2.0) > psnr_from_mse(10.0)
+
+    def test_plane_psnr(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 5, dtype=np.uint8)
+        expected = 10 * math.log10(255.0 ** 2 / 25.0)
+        assert plane_psnr(a, b) == pytest.approx(expected)
+
+
+class TestFramePsnr:
+    def test_combined_weighting(self):
+        frame_a = make_frame(16, 16, seed=1)
+        frame_b = make_frame(16, 16, seed=2)
+        result = frame_psnr(frame_a, frame_b)
+        expected = (4 * result.y + result.u + result.v) / 6
+        assert result.combined == pytest.approx(expected)
+
+    def test_identical_frames(self):
+        frame = make_frame(16, 16)
+        result = frame_psnr(frame, frame)
+        assert result.y == result.u == result.v == PSNR_IDENTICAL
+
+
+class TestSequencePsnr:
+    def test_averages_mse_not_db(self):
+        # One perfect frame + one noisy frame: the dB average of per-frame
+        # PSNRs would be inflated by the 100 dB cap; averaging MSE is not.
+        clean = make_frame(16, 16, seed=1)
+        noisy = clean.copy()
+        noisy.y[:, :] = np.clip(noisy.y.astype(int) + 10, 0, 255).astype(np.uint8)
+        ref = YuvSequence([clean, clean])
+        test = YuvSequence([clean, noisy])
+        combined = sequence_psnr(ref, test)
+        only_noisy = sequence_psnr(YuvSequence([clean]), YuvSequence([noisy]))
+        assert combined.y == pytest.approx(only_noisy.y + 10 * math.log10(2), abs=0.3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            sequence_psnr(
+                YuvSequence([make_frame(16, 16)]),
+                YuvSequence([make_frame(16, 16), make_frame(16, 16)]),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sequence_psnr(YuvSequence([]), YuvSequence([]))
+
+
+class TestBitrate:
+    def test_known_value(self):
+        # 25 frames at 25 fps = 1 second; 1000 bytes = 8 kbit/s.
+        assert bitrate_kbps(1000, 25, 25) == pytest.approx(8.0)
+
+    def test_scales_with_fps(self):
+        assert bitrate_kbps(1000, 25, 50) == pytest.approx(16.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            bitrate_kbps(100, 0, 25)
+        with pytest.raises(ConfigError):
+            bitrate_kbps(100, 10, 0)
+
+
+class TestCompressionGain:
+    def test_half_bitrate_is_fifty_percent(self):
+        assert compression_gain(1000.0, 500.0) == pytest.approx(50.0)
+
+    def test_equal_is_zero(self):
+        assert compression_gain(123.0, 123.0) == pytest.approx(0.0)
+
+    def test_regression_is_negative(self):
+        assert compression_gain(100.0, 150.0) == pytest.approx(-50.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            compression_gain(0.0, 1.0)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mean([])

@@ -1,0 +1,162 @@
+"""Tests for the Motion-JPEG class extension codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import get_decoder, get_encoder
+from repro.codecs.mjpeg import MjpegConfig, MjpegDecoder, MjpegEncoder
+from repro.codecs.mjpeg import tables
+from repro.codecs.mjpeg.coefficients import (
+    decode_ac,
+    decode_dc,
+    encode_ac,
+    encode_dc,
+    read_amplitude,
+    write_amplitude,
+)
+from repro.common.bitstream import BitReader, BitWriter
+from repro.common.gop import FrameType
+from repro.common.metrics import sequence_psnr
+from repro.errors import ConfigError
+
+
+class TestQuantMatrices:
+    def test_quality_50_is_annex_k(self):
+        assert np.array_equal(tables.scaled_matrix(tables.LUMA_MATRIX, 50),
+                              tables.LUMA_MATRIX)
+
+    def test_higher_quality_finer_steps(self):
+        q50 = tables.scaled_matrix(tables.LUMA_MATRIX, 50)
+        q90 = tables.scaled_matrix(tables.LUMA_MATRIX, 90)
+        assert np.all(q90 <= q50)
+        assert np.all(q90 >= 1)
+
+    def test_lower_quality_coarser(self):
+        q10 = tables.scaled_matrix(tables.LUMA_MATRIX, 10)
+        assert np.all(q10 >= tables.LUMA_MATRIX)
+        assert np.max(q10) <= 255
+
+    def test_invalid_quality(self):
+        with pytest.raises(ConfigError):
+            tables.scaled_matrix(tables.LUMA_MATRIX, 0)
+        with pytest.raises(ConfigError):
+            tables.scaled_matrix(tables.LUMA_MATRIX, 101)
+
+    def test_amplitude_size_categories(self):
+        assert tables.amplitude_size(0) == 0
+        assert tables.amplitude_size(1) == 1
+        assert tables.amplitude_size(-1) == 1
+        assert tables.amplitude_size(255) == 8
+        assert tables.amplitude_size(-1024) == 11
+
+
+class TestAmplitudeCoding:
+    @given(st.integers(1, 11), st.integers(-2047, 2047))
+    @settings(max_examples=80)
+    def test_roundtrip(self, size, value):
+        magnitude = abs(value)
+        if magnitude == 0 or magnitude.bit_length() != size:
+            value = (1 << (size - 1))  # force a value of the right category
+        writer = BitWriter()
+        write_amplitude(writer, value, tables.amplitude_size(value))
+        writer.align()
+        reader = BitReader(writer.to_bytes())
+        assert read_amplitude(reader, tables.amplitude_size(value)) == value
+
+    def test_negative_convention(self):
+        # -1 in size 1 is the bit 0; +1 is the bit 1.
+        writer = BitWriter()
+        write_amplitude(writer, -1, 1)
+        write_amplitude(writer, 1, 1)
+        assert writer.to_bytes()[0] >> 6 == 0b01
+
+
+class TestBlockCoding:
+    def roundtrip(self, scanned):
+        writer = BitWriter()
+        encode_dc(writer, scanned[0])
+        encode_ac(writer, scanned)
+        writer.align()
+        reader = BitReader(writer.to_bytes())
+        dc = decode_dc(reader)
+        decoded = decode_ac(reader)
+        decoded[0] = dc
+        return decoded
+
+    def test_empty_block(self):
+        assert self.roundtrip([0] * 64) == [0] * 64
+
+    def test_zrl_long_runs(self):
+        scanned = [0] * 64
+        scanned[40] = 3  # needs two ZRL symbols
+        assert self.roundtrip(scanned) == scanned
+
+    def test_dense_block(self):
+        scanned = [(-1) ** i * ((i % 7) + 1) for i in range(64)]
+        assert self.roundtrip(scanned) == scanned
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=64, max_size=64))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, scanned):
+        assert self.roundtrip(scanned) == scanned
+
+
+class TestCodec:
+    def encode(self, video, **overrides):
+        fields = dict(width=video.width, height=video.height, quality=80)
+        fields.update(overrides)
+        encoder = MjpegEncoder(MjpegConfig(**fields))
+        return encoder, encoder.encode_sequence(video)
+
+    def test_roundtrip_quality(self, tiny_video):
+        _, stream = self.encode(tiny_video)
+        decoded = MjpegDecoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 32.0
+
+    def test_all_frames_intra(self, tiny_video):
+        _, stream = self.encode(tiny_video)
+        assert stream.frame_types()[FrameType.I] == len(tiny_video)
+
+    def test_quality_monotone(self, tiny_video):
+        _, low = self.encode(tiny_video, quality=30)
+        _, high = self.encode(tiny_video, quality=90)
+        assert high.total_bytes > low.total_bytes
+        psnr_low = sequence_psnr(tiny_video, MjpegDecoder().decode(low)).y
+        psnr_high = sequence_psnr(tiny_video, MjpegDecoder().decode(high)).y
+        assert psnr_high > psnr_low
+
+    def test_costs_more_than_hybrid_codecs(self, tiny_video):
+        # Intra-only cannot exploit temporal redundancy: at comparable
+        # quality it needs more bits than MPEG-2 on a moving sequence.
+        _, mjpeg_stream = self.encode(tiny_video, quality=88)
+        mpeg2 = get_encoder("mpeg2", width=tiny_video.width,
+                            height=tiny_video.height, qscale=5)
+        mpeg2_stream = mpeg2.encode_sequence(tiny_video)
+        assert mjpeg_stream.total_bytes > mpeg2_stream.total_bytes
+
+    def test_backend_bit_exact(self, tiny_video):
+        _, scalar = self.encode(tiny_video, backend="scalar")
+        _, simd = self.encode(tiny_video, backend="simd")
+        assert all(a.payload == b.payload
+                   for a, b in zip(scalar.pictures, simd.pictures))
+
+    def test_registry_integration(self, tiny_video):
+        from repro.codecs import EXTENSION_CODEC_NAMES
+
+        assert "mjpeg" in EXTENSION_CODEC_NAMES
+        encoder = get_encoder("mjpeg", width=tiny_video.width,
+                              height=tiny_video.height, quality=70)
+        stream = encoder.encode_sequence(tiny_video)
+        decoded = get_decoder("mjpeg").decode(stream)
+        assert len(decoded) == len(tiny_video)
+
+    def test_invalid_quality_config(self):
+        with pytest.raises(ConfigError):
+            MjpegConfig(width=32, height=32, quality=0)
+
+    def test_decode_is_deterministic(self, tiny_video):
+        _, stream = self.encode(tiny_video)
+        first = MjpegDecoder().decode(stream)
+        second = MjpegDecoder().decode(stream)
+        assert all(a == b for a, b in zip(first, second))

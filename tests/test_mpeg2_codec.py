@@ -1,0 +1,159 @@
+"""End-to-end tests for the MPEG-2 class codec."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.mpeg2 import Mpeg2Config, Mpeg2Decoder, Mpeg2Encoder
+from repro.common.gop import FrameType, GopStructure
+from repro.common.metrics import sequence_psnr
+from repro.common.yuv import YuvSequence
+from repro.errors import CodecError, ConfigError
+from tests.conftest import make_frame, make_moving_sequence
+
+
+def encode(video, **overrides):
+    fields = dict(width=video.width, height=video.height,
+                  qscale=5, search_range=4)
+    fields.update(overrides)
+    encoder = Mpeg2Encoder(Mpeg2Config(**fields))
+    return encoder, encoder.encode_sequence(video)
+
+
+class TestRoundTrip:
+    def test_psnr_reasonable(self, tiny_video):
+        _, stream = encode(tiny_video)
+        decoded = Mpeg2Decoder().decode(stream)
+        psnr = sequence_psnr(tiny_video, decoded)
+        assert psnr.y > 30.0
+        assert psnr.u > 30.0
+
+    def test_display_order_restored(self, tiny_video):
+        _, stream = encode(tiny_video)
+        # Stream is in coding order (frame 1 and 2 coded after frame 3)...
+        indices = [picture.display_index for picture in stream.pictures]
+        assert indices != sorted(indices)
+        # ... but decode returns display order.
+        decoded = Mpeg2Decoder().decode(stream)
+        assert len(decoded) == len(tiny_video)
+
+    def test_frame_types_follow_gop(self, tiny_video):
+        _, stream = encode(tiny_video)
+        counts = stream.frame_types()
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.B] >= 1
+        assert counts[FrameType.P] >= 1
+
+    def test_deterministic(self, tiny_video):
+        _, first = encode(tiny_video)
+        _, second = encode(tiny_video)
+        assert all(
+            a.payload == b.payload
+            for a, b in zip(first.pictures, second.pictures)
+        )
+
+    def test_decode_is_deterministic(self, tiny_video):
+        _, stream = encode(tiny_video)
+        first = Mpeg2Decoder().decode(stream)
+        second = Mpeg2Decoder().decode(stream)
+        assert all(a == b for a, b in zip(first, second))
+
+    def test_intra_only_gop(self, tiny_video):
+        _, stream = encode(tiny_video, gop=GopStructure(bframes=0, intra_period=1))
+        assert stream.frame_types()[FrameType.I] == len(tiny_video)
+        decoded = Mpeg2Decoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 30.0
+
+    def test_ip_only_gop(self, tiny_video):
+        _, stream = encode(tiny_video, gop=GopStructure(bframes=0))
+        counts = stream.frame_types()
+        assert counts[FrameType.B] == 0
+        assert counts[FrameType.P] == len(tiny_video) - 1
+
+
+class TestRateDistortionBehaviour:
+    def test_coarser_qscale_means_fewer_bits(self, tiny_video):
+        _, fine = encode(tiny_video, qscale=2)
+        _, coarse = encode(tiny_video, qscale=20)
+        assert coarse.total_bytes < fine.total_bytes
+
+    def test_coarser_qscale_means_lower_psnr(self, tiny_video):
+        _, fine = encode(tiny_video, qscale=2)
+        _, coarse = encode(tiny_video, qscale=20)
+        psnr_fine = sequence_psnr(tiny_video, Mpeg2Decoder().decode(fine))
+        psnr_coarse = sequence_psnr(tiny_video, Mpeg2Decoder().decode(coarse))
+        assert psnr_fine.y > psnr_coarse.y
+
+    def test_motion_exploited(self):
+        # A purely translating scene must cost far less than noise.
+        moving = make_moving_sequence(width=48, height=32, frames=5, dx=2, dy=0)
+        rng = np.random.default_rng(0)
+        noise_frames = []
+        for index in range(5):
+            noise_frames.append(make_frame(48, 32, seed=100 + index))
+        noise = YuvSequence(noise_frames)
+        _, stream_moving = encode(moving)
+        _, stream_noise = encode(noise)
+        assert stream_moving.total_bytes < stream_noise.total_bytes / 2
+
+    def test_static_scene_mostly_skipped(self):
+        # A flat static scene reconstructs exactly, so every inter MB can
+        # use skip mode.
+        from repro.common.yuv import YuvFrame
+
+        frame = YuvFrame.blank(32, 32, y=128, u=128, v=128)
+        static = YuvSequence([frame.copy() for _ in range(4)])
+        encoder, stream = encode(static)
+        assert encoder.stats.skipped_macroblocks > 0
+        # Inter frames of a static scene are tiny compared to the I frame.
+        assert len(stream.pictures[1].payload) < len(stream.pictures[0].payload)
+
+    def test_noisy_static_scene_cheaper_than_noise(self):
+        frame = make_frame(32, 32, seed=9)
+        static = YuvSequence([frame.copy() for _ in range(4)])
+        _, stream = encode(static)
+        # Inter frames cost far less than the intra frame even when quant
+        # noise prevents exact skips.
+        inter_bytes = sum(len(p.payload) for p in stream.pictures[1:])
+        assert inter_bytes < len(stream.pictures[0].payload)
+
+
+class TestStats:
+    def test_stats_populated(self, tiny_video):
+        encoder, stream = encode(tiny_video)
+        assert len(encoder.stats.frame_bits) == len(tiny_video)
+        assert encoder.stats.total_bits == 8 * stream.total_bytes
+        assert encoder.stats.macroblocks > 0
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, tiny_video):
+        encoder = Mpeg2Encoder(Mpeg2Config(width=64, height=64))
+        with pytest.raises(CodecError):
+            encoder.encode_sequence(tiny_video)
+
+    def test_empty_sequence(self):
+        encoder = Mpeg2Encoder(Mpeg2Config(width=32, height=32))
+        with pytest.raises(CodecError):
+            encoder.encode_sequence(YuvSequence([]))
+
+    def test_invalid_qscale(self):
+        with pytest.raises(ConfigError):
+            Mpeg2Config(width=32, height=32, qscale=0)
+
+    def test_unaligned_dimensions(self):
+        with pytest.raises(ConfigError):
+            Mpeg2Config(width=30, height=32)
+
+    def test_wrong_codec_stream_rejected(self, tiny_video):
+        _, stream = encode(tiny_video)
+        stream.codec = "h264"
+        with pytest.raises(CodecError):
+            Mpeg2Decoder().decode(stream)
+
+
+class TestMeAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["epzs", "full", "hex"])
+    def test_all_search_algorithms_roundtrip(self, tiny_video, algorithm):
+        _, stream = encode(tiny_video, me_algorithm=algorithm)
+        decoded = Mpeg2Decoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 30.0

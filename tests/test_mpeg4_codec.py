@@ -1,0 +1,102 @@
+"""End-to-end tests for the MPEG-4 ASP class codec."""
+
+import pytest
+
+from repro.codecs.mpeg2 import Mpeg2Config, Mpeg2Encoder
+from repro.codecs.mpeg4 import Mpeg4Config, Mpeg4Decoder, Mpeg4Encoder
+from repro.common.gop import FrameType, GopStructure
+from repro.common.metrics import sequence_psnr
+from repro.errors import CodecError
+from tests.conftest import make_moving_sequence
+
+
+def encode(video, **overrides):
+    fields = dict(width=video.width, height=video.height,
+                  qscale=5, search_range=4)
+    fields.update(overrides)
+    encoder = Mpeg4Encoder(Mpeg4Config(**fields))
+    return encoder, encoder.encode_sequence(video)
+
+
+class TestRoundTrip:
+    def test_psnr_reasonable(self, tiny_video):
+        _, stream = encode(tiny_video)
+        decoded = Mpeg4Decoder().decode(stream)
+        psnr = sequence_psnr(tiny_video, decoded)
+        assert psnr.y > 29.0
+
+    def test_deterministic(self, tiny_video):
+        _, first = encode(tiny_video)
+        _, second = encode(tiny_video)
+        assert all(a.payload == b.payload for a, b in zip(first.pictures, second.pictures))
+
+    def test_gop_structure(self, tiny_video):
+        _, stream = encode(tiny_video)
+        counts = stream.frame_types()
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.B] >= 1
+
+    def test_intra_only(self, tiny_video):
+        _, stream = encode(tiny_video, gop=GopStructure(bframes=0, intra_period=1))
+        decoded = Mpeg4Decoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 29.0
+
+
+class TestAspTools:
+    def test_qpel_off_roundtrips(self, tiny_video):
+        _, stream = encode(tiny_video, qpel=False)
+        decoded = Mpeg4Decoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 29.0
+
+    def test_four_mv_off_roundtrips(self, tiny_video):
+        _, stream = encode(tiny_video, four_mv=False)
+        decoded = Mpeg4Decoder().decode(stream)
+        assert sequence_psnr(tiny_video, decoded).y > 29.0
+
+    def test_qpel_helps_on_fractional_motion(self):
+        # A sequence with visible motion: quarter-pel should not be worse
+        # in rate-distortion terms (same qscale, compare bitrate at
+        # comparable quality).
+        video = make_moving_sequence(width=48, height=32, frames=6, dx=3, dy=1)
+        _, with_qpel = encode(video, qpel=True)
+        _, without = encode(video, qpel=False)
+        psnr_with = sequence_psnr(video, Mpeg4Decoder().decode(with_qpel)).y
+        psnr_without = sequence_psnr(video, Mpeg4Decoder().decode(without)).y
+        # Allow either smaller stream or better quality.
+        assert (with_qpel.total_bytes <= without.total_bytes * 1.05
+                or psnr_with >= psnr_without - 0.1)
+
+    def test_compresses_better_than_mpeg2_on_motion(self):
+        video = make_moving_sequence(width=64, height=48, frames=6, dx=2, dy=1)
+        _, mpeg4_stream = encode(video, search_range=8)
+        mpeg2_stream = Mpeg2Encoder(
+            Mpeg2Config(width=video.width, height=video.height, qscale=5, search_range=8)
+        ).encode_sequence(video)
+        assert mpeg4_stream.total_bytes < mpeg2_stream.total_bytes
+
+
+class TestRateBehaviour:
+    def test_qscale_monotone_bits(self, tiny_video):
+        _, fine = encode(tiny_video, qscale=2)
+        _, coarse = encode(tiny_video, qscale=15)
+        assert coarse.total_bytes < fine.total_bytes
+
+    def test_qscale_monotone_quality(self, tiny_video):
+        _, fine = encode(tiny_video, qscale=2)
+        _, coarse = encode(tiny_video, qscale=15)
+        assert (
+            sequence_psnr(tiny_video, Mpeg4Decoder().decode(fine)).y
+            > sequence_psnr(tiny_video, Mpeg4Decoder().decode(coarse)).y
+        )
+
+
+class TestValidation:
+    def test_wrong_codec_rejected(self, tiny_video):
+        _, stream = encode(tiny_video)
+        stream.codec = "mpeg2"
+        with pytest.raises(CodecError):
+            Mpeg4Decoder().decode(stream)
+
+    def test_stats(self, tiny_video):
+        encoder, stream = encode(tiny_video)
+        assert encoder.stats.total_bits == 8 * stream.total_bytes

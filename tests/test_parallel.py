@@ -1,0 +1,119 @@
+"""Tests for GOP-level parallel encoding (the paper's CMP extension)."""
+
+import pytest
+
+from repro.codecs import CODEC_NAMES, get_decoder
+from repro.common.gop import FrameType
+from repro.common.metrics import sequence_psnr
+from repro.errors import ConfigError
+from repro.parallel import parallel_encode, split_chunks
+from tests.conftest import make_moving_sequence
+
+
+def fields_for(codec, video):
+    fields = dict(width=video.width, height=video.height, search_range=4)
+    if codec == "h264":
+        fields["qp"] = 26
+    elif codec == "mjpeg":
+        fields["quality"] = 80
+    else:
+        fields["qscale"] = 5
+    return fields
+
+
+class TestSplitChunks:
+    def test_single_chunk(self):
+        assert split_chunks(10, 1) == [(0, 10)]
+
+    def test_even_split(self):
+        assert split_chunks(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_spread(self):
+        spans = split_chunks(10, 3)
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_spans_cover_everything(self):
+        for frames in (1, 3, 7, 25, 100):
+            for chunks in (1, 2, 4, 8):
+                spans = split_chunks(frames, chunks)
+                assert spans[0][0] == 0
+                assert spans[-1][1] == frames
+                for (a, b), (c, d) in zip(spans, spans[1:]):
+                    assert b == c
+
+    def test_min_chunk_respected(self):
+        spans = split_chunks(5, 4)
+        assert all(stop - start >= 2 for start, stop in spans)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            split_chunks(0, 2)
+        with pytest.raises(ConfigError):
+            split_chunks(10, 0)
+
+
+@pytest.fixture(scope="module")
+def video():
+    return make_moving_sequence(width=32, height=32, frames=10, dx=1, dy=0, seed=5)
+
+
+class TestParallelEncode:
+    @pytest.mark.parametrize("codec", CODEC_NAMES)
+    def test_single_worker_matches_serial(self, codec, video):
+        from repro.codecs import get_encoder
+
+        fields = fields_for(codec, video)
+        serial = get_encoder(codec, **fields).encode_sequence(video)
+        parallel = parallel_encode(codec, video, workers=1, chunks=1, **fields)
+        assert len(serial.pictures) == len(parallel.pictures)
+        for a, b in zip(serial.pictures, parallel.pictures):
+            assert a.payload == b.payload
+            assert a.display_index == b.display_index
+
+    @pytest.mark.parametrize("codec", CODEC_NAMES)
+    def test_two_chunks_decode_correctly(self, codec, video):
+        fields = fields_for(codec, video)
+        stream = parallel_encode(codec, video, workers=1, chunks=2, **fields)
+        decoded = get_decoder(codec).decode(stream)
+        assert len(decoded) == len(video)
+        assert sequence_psnr(video, decoded).y > 29.0
+
+    def test_chunk_count_creates_extra_keyframes(self, video):
+        fields = fields_for("mpeg2", video)
+        one = parallel_encode("mpeg2", video, workers=1, chunks=1, **fields)
+        three = parallel_encode("mpeg2", video, workers=1, chunks=3, **fields)
+        assert one.frame_types()[FrameType.I] == 1
+        assert three.frame_types()[FrameType.I] == 3
+
+    def test_chunking_costs_bits(self, video):
+        fields = fields_for("mpeg2", video)
+        one = parallel_encode("mpeg2", video, workers=1, chunks=1, **fields)
+        three = parallel_encode("mpeg2", video, workers=1, chunks=3, **fields)
+        assert three.total_bytes > one.total_bytes
+
+    def test_multiprocess_workers_match_single_process(self, video):
+        fields = fields_for("mpeg2", video)
+        single = parallel_encode("mpeg2", video, workers=1, chunks=2, **fields)
+        multi = parallel_encode("mpeg2", video, workers=2, chunks=2, **fields)
+        assert all(a.payload == b.payload
+                   for a, b in zip(single.pictures, multi.pictures))
+
+    def test_h264_multiref_across_chunk_boundary(self, video):
+        # The decoder's DPB holds chunk-1 anchors when chunk 2 starts; the
+        # signalled L0 size keeps the reference lists consistent.
+        fields = fields_for("h264", video)
+        fields["ref_frames"] = 3
+        stream = parallel_encode("h264", video, workers=1, chunks=2, **fields)
+        decoded = get_decoder("h264").decode(stream)
+        assert sequence_psnr(video, decoded).y > 29.0
+
+    def test_display_indices_contiguous(self, video):
+        stream = parallel_encode("mpeg4", video, workers=1, chunks=3,
+                                 **fields_for("mpeg4", video))
+        indices = sorted(p.display_index for p in stream.pictures)
+        assert indices == list(range(len(video)))
+
+    def test_invalid_workers(self, video):
+        with pytest.raises(ConfigError):
+            parallel_encode("mpeg2", video, workers=0,
+                            **fields_for("mpeg2", video))

@@ -1,0 +1,131 @@
+"""End-to-end tests for the hdvb-player / hdvb-mencoder front end."""
+
+import pytest
+
+from repro.codecs import container
+from repro.common.yuv import read_yuv_file, write_yuv_file
+from repro.player.cli import (
+    DECODER_ALIASES,
+    ENCODER_ALIASES,
+    _parse_colon_options,
+    mencoder_main,
+    player_main,
+)
+from tests.conftest import make_moving_sequence
+
+
+@pytest.fixture(scope="module")
+def yuv_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("player") / "input.yuv"
+    write_yuv_file(path, make_moving_sequence(width=32, height=32, frames=4))
+    return path
+
+
+def run_mencoder(yuv_path, out_path, ovc, opts_flag=None, opts=""):
+    argv = [
+        str(yuv_path), "-demuxer", "rawvideo",
+        "-rawvideo", "fps=25:w=32:h=32",
+        "-o", str(out_path), "-ovc", ovc,
+    ]
+    if opts_flag:
+        argv += [opts_flag, opts]
+    return mencoder_main(argv)
+
+
+class TestOptionParsing:
+    def test_colon_options(self):
+        options = _parse_colon_options("vcodec=mpeg2video:vqscale=5:psnr")
+        assert options == {"vcodec": "mpeg2video", "vqscale": "5", "psnr": "1"}
+
+    def test_empty(self):
+        assert _parse_colon_options("") == {}
+
+    def test_aliases_match_table4(self):
+        assert DECODER_ALIASES["mpeg12"] == "mpeg2"   # libmpeg2
+        assert DECODER_ALIASES["xvid"] == "mpeg4"     # Xvid
+        assert DECODER_ALIASES["ffh264"] == "h264"    # FFmpeg H.264
+        assert ENCODER_ALIASES["lavc"] == "mpeg2"
+        assert ENCODER_ALIASES["xvid"] == "mpeg4"
+        assert ENCODER_ALIASES["x264"] == "h264"
+        # Extension codec (Section VII future work).
+        assert ENCODER_ALIASES["mjpeg"] == "mjpeg"
+
+
+class TestMencoder:
+    @pytest.mark.parametrize(
+        "ovc, flag, opts, codec",
+        [
+            ("lavc", "-lavcopts", "vcodec=mpeg2video:vqscale=5", "mpeg2"),
+            ("xvid", "-xvidencopts", "fixed_quant=5:qpel", "mpeg4"),
+            ("x264", "-x264encopts", "qp=26:me=hex", "h264"),
+        ],
+    )
+    def test_encodes_each_codec(self, yuv_path, tmp_path, ovc, flag, opts, codec, capsys):
+        out = tmp_path / f"{codec}.hdvb"
+        assert run_mencoder(yuv_path, out, ovc, flag, opts) == 0
+        assert container.probe_codec(out) == codec
+        assert "ENCODED" in capsys.readouterr().out
+
+    def test_psnr_flag_prints_quality(self, yuv_path, tmp_path, capsys):
+        out = tmp_path / "q.hdvb"
+        assert run_mencoder(yuv_path, out, "lavc", "-lavcopts", "vqscale=5:psnr") == 0
+        assert "PSNR" in capsys.readouterr().out
+
+    def test_frames_limit(self, yuv_path, tmp_path):
+        out = tmp_path / "limited.hdvb"
+        argv = [str(yuv_path), "-rawvideo", "fps=25:w=32:h=32",
+                "-o", str(out), "-ovc", "lavc", "--frames", "2"]
+        assert mencoder_main(argv) == 0
+        assert container.read_file(out).frame_count == 2
+
+    def test_unknown_ovc_fails(self, yuv_path, tmp_path, capsys):
+        assert run_mencoder(yuv_path, tmp_path / "x.hdvb", "vp8") == 1
+        assert "unknown -ovc" in capsys.readouterr().err
+
+    def test_missing_dimensions_fail(self, yuv_path, tmp_path, capsys):
+        argv = [str(yuv_path), "-rawvideo", "fps=25",
+                "-o", str(tmp_path / "x.hdvb"), "-ovc", "lavc"]
+        assert mencoder_main(argv) == 1
+
+    def test_merange_maps_to_search_range(self, yuv_path, tmp_path):
+        out = tmp_path / "range.hdvb"
+        assert run_mencoder(yuv_path, out, "x264", "-x264encopts",
+                            "qp=26:merange=6") == 0
+
+
+class TestPlayer:
+    @pytest.fixture(scope="class")
+    def stream_path(self, yuv_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("streams") / "clip.hdvb"
+        assert run_mencoder(yuv_path, path, "x264", "-x264encopts", "qp=26") == 0
+        return path
+
+    def test_benchmark_decode(self, stream_path, capsys):
+        argv = [str(stream_path), "-vc", "ffh264", "-nosound", "-vo", "null",
+                "-benchmark"]
+        assert player_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "BENCHMARKs" in out
+        assert "fps" in out
+
+    def test_auto_codec_selection(self, stream_path, capsys):
+        assert player_main([str(stream_path), "-vo", "null"]) == 0
+        assert "VIDEO: h264" in capsys.readouterr().out
+
+    def test_vc_mismatch_fails(self, stream_path, capsys):
+        assert player_main([str(stream_path), "-vc", "mpeg12", "-vo", "null"]) == 1
+        assert "contains" in capsys.readouterr().err
+
+    def test_yuv_output(self, stream_path, tmp_path):
+        out = tmp_path / "decoded.yuv"
+        assert player_main([str(stream_path), "-vo", f"yuv:{out}"]) == 0
+        decoded = read_yuv_file(out, 32, 32)
+        assert len(decoded) == 4
+
+    def test_unknown_vo_fails(self, stream_path, capsys):
+        assert player_main([str(stream_path), "-vo", "x11"]) == 1
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        missing = tmp_path / "nope.hdvb"
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            player_main([str(missing), "-vo", "null"])

@@ -1,0 +1,85 @@
+"""Tests for the one-pass CBR rate-control extension."""
+
+import pytest
+
+from repro.codecs import get_decoder
+from repro.common.metrics import bitrate_kbps, sequence_psnr
+from repro.errors import ConfigError
+from repro.ratecontrol import RateControlStep, cbr_encode, _next_qscale
+from tests.conftest import make_moving_sequence
+
+
+@pytest.fixture(scope="module")
+def video():
+    return make_moving_sequence(width=48, height=32, frames=18, dx=2, dy=1, seed=12)
+
+
+class TestController:
+    def test_over_budget_raises_qscale(self):
+        assert _next_qscale(5, 1.5) == 6
+        assert _next_qscale(5, 2.5) == 7
+
+    def test_under_budget_lowers_qscale(self):
+        assert _next_qscale(5, 0.7) == 4
+        assert _next_qscale(5, 0.3) == 3
+
+    def test_dead_band_holds(self):
+        assert _next_qscale(5, 1.0) == 5
+        assert _next_qscale(5, 0.9) == 5
+
+    def test_clamped_to_valid_range(self):
+        assert _next_qscale(1, 0.1) == 1
+        assert _next_qscale(31, 3.0) == 31
+
+    def test_step_fullness(self):
+        step = RateControlStep(0, 6, 5, bits_spent=1200, bits_budget=1000)
+        assert step.fullness == pytest.approx(1.2)
+
+
+class TestCbrEncode:
+    def test_tracks_low_vs_high_target(self, video):
+        fields = dict(width=video.width, height=video.height, search_range=4)
+        low, _ = cbr_encode("mpeg2", video, target_kbps=80, **fields)
+        high, _ = cbr_encode("mpeg2", video, target_kbps=600, **fields)
+        assert low.total_bytes < high.total_bytes
+        assert low.bitrate_kbps < 3 * 80           # within striking distance
+        assert high.bitrate_kbps > 80
+
+    def test_output_decodes(self, video):
+        fields = dict(width=video.width, height=video.height, search_range=4)
+        stream, trace = cbr_encode("mpeg4", video, target_kbps=200, **fields)
+        decoded = get_decoder("mpeg4").decode(stream)
+        assert len(decoded) == len(video)
+        assert sequence_psnr(video, decoded).y > 25.0
+        assert len(trace) >= 2
+
+    def test_trace_covers_sequence(self, video):
+        fields = dict(width=video.width, height=video.height, search_range=4)
+        _, trace = cbr_encode("mpeg2", video, target_kbps=150, **fields)
+        assert trace[0].start_frame == 0
+        assert trace[-1].stop_frame == len(video)
+        for a, b in zip(trace, trace[1:]):
+            assert a.stop_frame == b.start_frame
+
+    def test_controller_reacts(self, video):
+        # With a starving target the quantiser must rise over the run.
+        fields = dict(width=video.width, height=video.height, search_range=4)
+        _, trace = cbr_encode("mpeg2", video, target_kbps=20,
+                              initial_qscale=3, **fields)
+        assert trace[-1].qscale > trace[0].qscale
+
+    def test_h264_uses_equation1_mapping(self, video):
+        fields = dict(width=video.width, height=video.height, search_range=4)
+        stream, trace = cbr_encode("h264", video, target_kbps=150, **fields)
+        decoded = get_decoder("h264").decode(stream)
+        assert len(decoded) == len(video)
+
+    def test_quantiser_fields_rejected(self, video):
+        with pytest.raises(ConfigError):
+            cbr_encode("mpeg2", video, target_kbps=100, qscale=5,
+                       width=video.width, height=video.height)
+
+    def test_invalid_target(self, video):
+        with pytest.raises(ConfigError):
+            cbr_encode("mpeg2", video, target_kbps=0,
+                       width=video.width, height=video.height)

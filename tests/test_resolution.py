@@ -1,0 +1,96 @@
+"""Tests for resolution tiers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.common.resolution import (
+    DVD,
+    HD720,
+    HD1088,
+    PAPER_TIERS,
+    Resolution,
+    bench_tiers,
+    scaled_tier,
+    tier_by_name,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperTiers:
+    def test_paper_dimensions(self):
+        assert (DVD.width, DVD.height) == (720, 576)
+        assert (HD720.width, HD720.height) == (1280, 720)
+        assert (HD1088.width, HD1088.height) == (1920, 1088)
+
+    def test_tier_names_match_figure1_labels(self):
+        assert [tier.name for tier in PAPER_TIERS] == ["576p25", "720p25", "1088p25"]
+
+    def test_pixel_counts_increase(self):
+        pixels = [tier.pixels for tier in PAPER_TIERS]
+        assert pixels == sorted(pixels)
+
+    def test_macroblock_counts(self):
+        assert DVD.macroblocks == (720 // 16) * (576 // 16)
+        assert HD1088.mb_width == 120
+        assert HD1088.mb_height == 68
+
+
+class TestValidation:
+    def test_rejects_unaligned(self):
+        with pytest.raises(ConfigError):
+            Resolution("bad", 100, 64)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            Resolution("bad", 0, 16)
+
+    def test_str_includes_name_and_size(self):
+        assert "576p25" in str(DVD)
+        assert "720x576" in str(DVD)
+
+
+class TestScaling:
+    def test_identity_scale_returns_same(self):
+        assert scaled_tier(DVD, Fraction(1)) is DVD
+
+    def test_default_bench_tiers(self):
+        tiers = bench_tiers()
+        assert [(t.width, t.height) for t in tiers] == [(96, 80), (160, 96), (240, 144)]
+
+    def test_scaled_keeps_name(self):
+        assert scaled_tier(HD720, Fraction(1, 8)).name == "720p25"
+
+    def test_scaled_is_macroblock_aligned(self):
+        for denominator in (2, 3, 5, 7, 8, 16):
+            for tier in PAPER_TIERS:
+                scaled = scaled_tier(tier, Fraction(1, denominator))
+                assert scaled.width % 16 == 0
+                assert scaled.height % 16 == 0
+
+    def test_never_smaller_than_one_macroblock(self):
+        scaled = scaled_tier(DVD, Fraction(1, 100))
+        assert scaled.width >= 16 and scaled.height >= 16
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_tier(DVD, Fraction(-1, 2))
+
+    def test_pixel_ratio_roughly_preserved(self):
+        tiers = bench_tiers()
+        # Paper ratio 1088p/576p is ~5.0x; the scaled tiers keep it coarse.
+        ratio = tiers[2].pixels / tiers[0].pixels
+        assert 3.5 <= ratio <= 6.5
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert tier_by_name("720p25") is HD720
+
+    def test_lookup_scaled(self):
+        tier = tier_by_name("1088p25", Fraction(1, 8))
+        assert (tier.width, tier.height) == (240, 144)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            tier_by_name("480p30")

@@ -1,0 +1,137 @@
+"""Tests for the procedural HD-VideoBench input sequences."""
+
+import numpy as np
+import pytest
+
+from repro.common.resolution import Resolution
+from repro.errors import SequenceError
+from repro.sequences import (
+    SEQUENCE_NAMES,
+    generate_sequence,
+    get_generator,
+)
+
+SMALL = Resolution("test", 64, 48)
+
+
+def motion_energy(video) -> float:
+    """Mean absolute luma difference between consecutive frames."""
+    diffs = []
+    for previous, current in zip(video, video.frames[1:]):
+        diffs.append(np.mean(np.abs(current.y.astype(float) - previous.y.astype(float))))
+    return float(np.mean(diffs))
+
+
+def spatial_detail(video) -> float:
+    """Mean absolute horizontal gradient of the first frame."""
+    luma = video[0].y.astype(float)
+    return float(np.mean(np.abs(np.diff(luma, axis=1))))
+
+
+class TestRegistry:
+    def test_table3_names(self):
+        assert SEQUENCE_NAMES == ("blue_sky", "pedestrian_area", "riverbed", "rush_hour")
+
+    def test_all_generators_have_descriptions(self):
+        for name in SEQUENCE_NAMES:
+            generator = get_generator(name)
+            assert generator.name == name
+            assert len(generator.description) > 10
+
+    def test_unknown_sequence(self):
+        with pytest.raises(SequenceError):
+            get_generator("big_buck_bunny")
+
+    def test_unknown_resolution(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            generate_sequence("blue_sky", "2160p60")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", SEQUENCE_NAMES)
+    def test_dimensions_and_count(self, name):
+        video = generate_sequence(name, SMALL, frames=3)
+        assert len(video) == 3
+        assert (video.width, video.height) == (64, 48)
+        assert video[0].u.shape == (24, 32)
+
+    @pytest.mark.parametrize("name", SEQUENCE_NAMES)
+    def test_deterministic(self, name):
+        first = generate_sequence(name, SMALL, frames=2)
+        second = generate_sequence(name, SMALL, frames=2)
+        assert all(a == b for a, b in zip(first, second))
+
+    @pytest.mark.parametrize("name", SEQUENCE_NAMES)
+    def test_frames_not_static(self, name):
+        video = generate_sequence(name, SMALL, frames=3)
+        assert motion_energy(video) > 0.01
+
+    @pytest.mark.parametrize("name", SEQUENCE_NAMES)
+    def test_has_texture(self, name):
+        video = generate_sequence(name, SMALL, frames=1)
+        assert spatial_detail(video) > 0.5
+
+    def test_scaled_tier_names(self):
+        video = generate_sequence("rush_hour", "576p25", frames=1, scale=(1, 8))
+        assert (video.width, video.height) == (96, 80)
+
+    def test_fraction_scale(self):
+        from fractions import Fraction
+
+        video = generate_sequence("rush_hour", "576p25", frames=1, scale=Fraction(1, 8))
+        assert (video.width, video.height) == (96, 80)
+
+    def test_invalid_frame_count(self):
+        with pytest.raises(SequenceError):
+            generate_sequence("riverbed", SMALL, frames=0)
+
+
+class TestCharacteristics:
+    """The coding-relevant character of each clip (Table III / DESIGN.md)."""
+
+    @pytest.fixture(scope="class")
+    def clips(self):
+        return {
+            name: generate_sequence(name, SMALL, frames=5)
+            for name in SEQUENCE_NAMES
+        }
+
+    def test_riverbed_is_hardest_to_predict(self, clips):
+        # Temporal decorrelation: riverbed's frame difference dwarfs the
+        # coherent-motion clips' (it is "very hard to code").
+        energies = {name: motion_energy(video) for name, video in clips.items()}
+        assert energies["riverbed"] > energies["rush_hour"]
+        assert energies["riverbed"] > energies["pedestrian_area"]
+        assert energies["riverbed"] > energies["blue_sky"]
+
+    def test_rush_hour_moves_slowest(self, clips):
+        energies = {name: motion_energy(video) for name, video in clips.items()}
+        assert energies["rush_hour"] <= min(
+            energies["riverbed"], energies["pedestrian_area"]
+        )
+
+    def test_blue_sky_high_contrast(self, clips):
+        # Trees against sky: wide luma spread.
+        luma = clips["blue_sky"][0].y
+        assert int(luma.max()) - int(luma.min()) > 100
+
+    def test_blue_sky_small_sky_colour_differences(self, clips):
+        # The sky region (top rows) has low chroma variance.
+        top_u = clips["blue_sky"][0].u[:6, :]
+        assert float(np.std(top_u)) < 8.0
+
+    def test_pedestrian_area_has_large_movers(self, clips):
+        # Between first and last frame, a sizable fraction of pixels change
+        # notably (people "very close to the camera").
+        first = clips["pedestrian_area"][0].y.astype(float)
+        last = clips["pedestrian_area"][4].y.astype(float)
+        changed = np.mean(np.abs(last - first) > 10)
+        assert changed > 0.03
+
+    def test_rush_hour_background_static(self, clips):
+        # Upper half (buildings) barely changes: fixed camera.
+        first = clips["rush_hour"][0].y[:16].astype(float)
+        last = clips["rush_hour"][4].y[:16].astype(float)
+        assert float(np.mean(np.abs(last - first))) < 1.0

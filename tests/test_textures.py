@@ -1,0 +1,123 @@
+"""Tests for the procedural texture primitives."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.textures import (
+    downsample2,
+    ellipse_mask,
+    fractal_noise,
+    rotate_crop,
+    smoothstep,
+    translate_crop,
+    value_noise,
+    warp,
+)
+
+
+class TestSmoothstep:
+    def test_endpoints(self):
+        assert smoothstep(np.array(0.0)) == 0.0
+        assert smoothstep(np.array(1.0)) == 1.0
+
+    def test_midpoint(self):
+        assert smoothstep(np.array(0.5)) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        t = np.linspace(0, 1, 50)
+        values = smoothstep(t)
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestValueNoise:
+    def test_range_and_shape(self):
+        rng = np.random.default_rng(0)
+        noise = value_noise(40, 60, 8, rng)
+        assert noise.shape == (40, 60)
+        assert noise.min() >= 0.0
+        assert noise.max() <= 1.0
+
+    def test_feature_size_controls_smoothness(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        coarse = value_noise(64, 64, 16, rng1)
+        fine = value_noise(64, 64, 2, rng2)
+        grad_coarse = np.mean(np.abs(np.diff(coarse, axis=1)))
+        grad_fine = np.mean(np.abs(np.diff(fine, axis=1)))
+        assert grad_fine > grad_coarse
+
+    def test_deterministic_per_seed(self):
+        a = value_noise(16, 16, 4, np.random.default_rng(7))
+        b = value_noise(16, 16, 4, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_tiny_cell_clamped(self):
+        noise = value_noise(8, 8, 0.5, np.random.default_rng(2))
+        assert noise.shape == (8, 8)
+
+
+class TestFractalNoise:
+    def test_normalised(self):
+        noise = fractal_noise(32, 32, 8, np.random.default_rng(3), octaves=5)
+        assert noise.min() >= 0.0
+        assert noise.max() <= 1.0
+
+    def test_more_octaves_more_detail(self):
+        one = fractal_noise(64, 64, 16, np.random.default_rng(4), octaves=1)
+        five = fractal_noise(64, 64, 16, np.random.default_rng(4), octaves=5)
+        assert (np.mean(np.abs(np.diff(five, axis=1)))
+                > np.mean(np.abs(np.diff(one, axis=1))))
+
+
+class TestGeometry:
+    def test_rotate_zero_is_center_crop(self):
+        world = np.arange(100.0).reshape(10, 10)
+        out = rotate_crop(world, 0.0, 4, 4)
+        assert np.allclose(out, world[3:7, 3:7])
+
+    def test_rotate_small_angle_changes_output(self):
+        world = np.random.default_rng(5).random((40, 40))
+        zero = rotate_crop(world, 0.0, 16, 16)
+        turned = rotate_crop(world, 2.0, 16, 16)
+        assert not np.allclose(zero, turned)
+
+    def test_rotation_preserves_mean_roughly(self):
+        world = np.random.default_rng(6).random((60, 60))
+        zero = rotate_crop(world, 0.0, 20, 20)
+        turned = rotate_crop(world, 5.0, 20, 20)
+        assert abs(zero.mean() - turned.mean()) < 0.1
+
+    def test_translate_integer_offset(self):
+        world = np.arange(64.0).reshape(8, 8)
+        out = translate_crop(world, 1.0, 2.0, 4, 4)
+        assert np.allclose(out, world[1:5, 2:6])
+
+    def test_translate_subpixel_interpolates(self):
+        world = np.tile(np.arange(8.0), (8, 1))
+        out = translate_crop(world, 0.0, 0.5, 4, 4)
+        assert np.allclose(out[0, 0], 0.5)
+
+    def test_warp_identity(self):
+        plane = np.random.default_rng(7).random((16, 16))
+        zero = np.zeros((16, 16))
+        assert np.allclose(warp(plane, zero, zero), plane)
+
+
+class TestMasksAndSampling:
+    def test_ellipse_mask_center_full(self):
+        mask = ellipse_mask(32, 32, 16, 16, 8, 8)
+        assert mask[16, 16] == 1.0
+        assert mask[0, 0] == 0.0
+
+    def test_ellipse_mask_range(self):
+        mask = ellipse_mask(20, 30, 10, 15, 5, 9)
+        assert mask.min() >= 0.0
+        assert mask.max() <= 1.0
+
+    def test_downsample2(self):
+        plane = np.array([[1.0, 3.0], [5.0, 7.0]])
+        assert downsample2(plane)[0, 0] == pytest.approx(4.0)
+
+    def test_downsample2_shape(self):
+        plane = np.zeros((16, 24))
+        assert downsample2(plane).shape == (8, 12)

@@ -1,0 +1,125 @@
+"""Tests for YUV frames and raw-file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.common.yuv import YuvFrame, YuvSequence, read_yuv_file, write_yuv_file
+from repro.errors import SequenceError
+from tests.conftest import make_frame
+
+
+class TestYuvFrame:
+    def test_blank_dimensions(self):
+        frame = YuvFrame.blank(32, 16)
+        assert frame.width == 32
+        assert frame.height == 16
+        assert frame.u.shape == (8, 16)
+
+    def test_blank_default_is_video_black(self):
+        frame = YuvFrame.blank(16, 16)
+        assert int(frame.y[0, 0]) == 16
+        assert int(frame.u[0, 0]) == 128
+
+    def test_rejects_odd_luma(self):
+        with pytest.raises(SequenceError):
+            YuvFrame(
+                np.zeros((15, 16), dtype=np.uint8),
+                np.zeros((8, 8), dtype=np.uint8),
+                np.zeros((8, 8), dtype=np.uint8),
+            )
+
+    def test_rejects_wrong_chroma_shape(self):
+        with pytest.raises(SequenceError):
+            YuvFrame(
+                np.zeros((16, 16), dtype=np.uint8),
+                np.zeros((16, 16), dtype=np.uint8),
+                np.zeros((8, 8), dtype=np.uint8),
+            )
+
+    def test_non_uint8_coerced(self):
+        frame = YuvFrame(
+            np.zeros((4, 4), dtype=np.int64),
+            np.zeros((2, 2), dtype=np.int64),
+            np.zeros((2, 2), dtype=np.int64),
+        )
+        assert frame.y.dtype == np.uint8
+
+    def test_from_float_clips_and_rounds(self):
+        luma = np.array([[-5.0, 300.0], [127.4, 127.6]])
+        chroma = np.zeros((1, 1))
+        frame = YuvFrame.from_float(luma, chroma, chroma)
+        assert frame.y.tolist() == [[0, 255], [127, 128]]
+
+    def test_bytes_roundtrip(self):
+        frame = make_frame(16, 8, seed=1)
+        data = frame.to_bytes()
+        assert len(data) == YuvFrame.frame_size_bytes(16, 8)
+        assert YuvFrame.from_bytes(data, 16, 8) == frame
+
+    def test_from_bytes_rejects_wrong_size(self):
+        with pytest.raises(SequenceError):
+            YuvFrame.from_bytes(b"\x00" * 10, 16, 8)
+
+    def test_equality(self):
+        assert make_frame(8, 8, seed=2) == make_frame(8, 8, seed=2)
+        assert make_frame(8, 8, seed=2) != make_frame(8, 8, seed=3)
+
+    def test_copy_is_independent(self):
+        frame = make_frame(8, 8)
+        duplicate = frame.copy()
+        duplicate.y[0, 0] = 255 - duplicate.y[0, 0]
+        assert frame != duplicate
+
+
+class TestYuvSequence:
+    def test_length_and_iteration(self):
+        frames = [make_frame(16, 16, seed=i) for i in range(3)]
+        sequence = YuvSequence(frames, fps=25)
+        assert len(sequence) == 3
+        assert list(sequence) == frames
+        assert sequence[1] == frames[1]
+
+    def test_dimension_consistency_enforced(self):
+        with pytest.raises(SequenceError):
+            YuvSequence([make_frame(16, 16), make_frame(32, 16)])
+
+    def test_append_checks_dimensions(self):
+        sequence = YuvSequence([make_frame(16, 16)])
+        with pytest.raises(SequenceError):
+            sequence.append(make_frame(32, 32))
+
+    def test_duration(self):
+        sequence = YuvSequence([make_frame(16, 16, seed=i) for i in range(50)], fps=25)
+        assert sequence.duration_seconds == pytest.approx(2.0)
+
+    def test_empty_sequence_properties_raise(self):
+        with pytest.raises(SequenceError):
+            YuvSequence([]).width  # noqa: B018
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, tmp_path):
+        frames = [make_frame(32, 16, seed=i) for i in range(4)]
+        path = tmp_path / "clip.yuv"
+        written = write_yuv_file(path, frames)
+        assert written == 4 * YuvFrame.frame_size_bytes(32, 16)
+        loaded = read_yuv_file(path, 32, 16)
+        assert len(loaded) == 4
+        assert all(a == b for a, b in zip(loaded, frames))
+
+    def test_max_frames_limits(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv_file(path, [make_frame(16, 16, seed=i) for i in range(5)])
+        assert len(read_yuv_file(path, 16, 16, max_frames=2)) == 2
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "broken.yuv"
+        path.write_bytes(b"\x00" * (YuvFrame.frame_size_bytes(16, 16) + 7))
+        with pytest.raises(SequenceError):
+            read_yuv_file(path, 16, 16)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.yuv"
+        path.write_bytes(b"")
+        with pytest.raises(SequenceError):
+            read_yuv_file(path, 16, 16)
