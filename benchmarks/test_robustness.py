@@ -1,0 +1,45 @@
+"""Resilience benchmark: the full seeded fault sweep (>= 200 streams).
+
+40 seeded faults x 5 codecs = 200 corrupted streams.  Acceptance gates:
+
+* **graceful failures: 100 %** -- every strict decode either succeeds
+  (benign damage) or raises a :class:`ReproError` subclass carrying
+  codec, picture index and bit position; raw escapes are zero.
+* **concealment success: 100 %** -- every ``copy-last`` decode returns
+  the full frame count without raising.
+* the post-concealment PSNR delta vs the clean decode is reported.
+"""
+
+from __future__ import annotations
+
+from repro.robustness.bench import (
+    ALL_CODECS,
+    render_robustness,
+    run_robustness,
+)
+
+TRIALS = 40
+
+
+def test_fault_sweep_is_fully_graceful(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_robustness(codecs=ALL_CODECS, trials=TRIALS, seed=0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(render_robustness(reports))
+
+    total = sum(report.trials for report in reports)
+    assert total >= 200, f"sweep covered only {total} corrupted streams"
+    for report in reports:
+        assert report.raw_escapes == 0, (
+            f"{report.codec}: {report.raw_escapes} strict decodes escaped "
+            "without full decode context"
+        )
+        assert report.graceful_rate == 1.0, report
+        assert report.conceal_rate == 1.0, (
+            f"{report.codec}: only {report.conceal_successes}/{report.trials} "
+            "concealed decodes returned the full frame count"
+        )
+        # Concealment degrades quality; it must never *invent* quality.
+        assert report.mean_psnr_delta <= 0.0, report

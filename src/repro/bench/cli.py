@@ -94,6 +94,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     ch.add_argument("--codec", default="",
                     help="restrict to one codec (default: all three)")
 
+    rb = sub.add_parser("robustness",
+                        help="seeded fault sweep: graceful-failure and "
+                             "concealment-success rates per codec")
+    rb.add_argument("--codecs", default="",
+                    help="comma-separated codecs (default: all five)")
+    rb.add_argument("--trials", type=int, default=40,
+                    help="corrupted streams per codec")
+    rb.add_argument("--seed", type=int, default=0,
+                    help="fault-injection seed")
+    rb.add_argument("--frames", type=int, default=5,
+                    help="frames in the benchmark clip")
+    rb.add_argument("--conceal", default="copy-last",
+                    help="concealment strategy for the concealed pass")
+
     bd = sub.add_parser("bdrate",
                         help="Bjøntegaard deltas vs the MPEG-2 anchor "
                              "(quantiser sweep RD curves)")
@@ -139,6 +153,23 @@ def _dispatch(args) -> int:
             print(f"{operation} SIMD speed-ups:")
             for codec, value in simd_speedups(scalar, simd).items():
                 print(f"  {codec}: {value:.2f}x")
+    elif args.command == "robustness":
+        from repro.robustness.bench import (
+            ALL_CODECS,
+            render_robustness,
+            run_robustness,
+        )
+
+        codecs = tuple(args.codecs.split(",")) if args.codecs else ALL_CODECS
+        reports = run_robustness(
+            codecs=codecs,
+            trials=args.trials,
+            seed=args.seed,
+            frames=args.frames,
+            conceal=args.conceal,
+            progress=_progress,
+        )
+        print(render_robustness(reports))
     elif args.command == "characterize":
         _run_characterize(args)
     elif args.command == "bdrate":

@@ -6,6 +6,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.common.bitstream import BitReader
 from repro.common.gop import FrameType, GopStructure, PAPER_GOP
 from repro.common.metrics import bitrate_kbps
 from repro.common.resolution import FRAME_RATE
@@ -127,13 +128,60 @@ class VideoEncoder(abc.ABC):
 
 
 class VideoDecoder(abc.ABC):
-    """Base class of the three decoders."""
+    """Base class of the decoders.
+
+    Subclasses implement :meth:`decode_picture` (one coded picture ->
+    reconstructed frame); the sequence loop itself -- coding order,
+    reference management, duplicate detection -- lives in the hardened
+    decode engine (:mod:`repro.robustness.engine`), which also normalises
+    decode errors and optionally conceals corrupt pictures.
+    """
 
     codec_name = ""
 
+    def decode(self, stream: EncodedVideo, *, conceal=None,
+               on_event=None) -> YuvSequence:
+        """Decode ``stream`` and return frames in display order.
+
+        ``conceal`` selects an error-concealment strategy (``"skip"``,
+        ``"copy-last"``, ``"grey"``, ``"motion"`` or a
+        :class:`~repro.robustness.conceal.Concealer`); with the default
+        ``None`` any corrupt picture raises a normalised
+        :class:`~repro.errors.ReproError`.  ``on_event`` receives one
+        :class:`~repro.errors.ConcealmentEvent` per concealed picture.
+        """
+        from repro.robustness.engine import decode_stream
+
+        return decode_stream(self, stream, conceal=conceal, on_event=on_event).frames
+
     @abc.abstractmethod
-    def decode(self, stream: EncodedVideo) -> YuvSequence:
-        """Decode ``stream`` and return frames in display order."""
+    def decode_picture(self, stream: EncodedVideo, picture: EncodedPicture,
+                       references: Dict[int, "object"]):
+        """Decode one picture against ``references`` (display index -> frame).
+
+        Returns the reconstructed :class:`~repro.codecs.frames.WorkingFrame`.
+        The engine stores anchors into ``references`` and trims the window;
+        implementations only read it.
+        """
+
+    def reference_window(self) -> int:
+        """How many anchor frames the engine keeps as references."""
+        return 2
+
+    def begin_picture(self) -> None:
+        """Reset per-picture guard state (called by the engine)."""
+        self._active_reader = None
+
+    def _open_reader(self, payload: bytes) -> "BitReader":
+        """Create the payload reader, tracked for error bit positions."""
+        reader = BitReader(payload)
+        self._active_reader = reader
+        return reader
+
+    def bit_position(self) -> int:
+        """Bit position of the active payload reader (0 before any read)."""
+        reader = getattr(self, "_active_reader", None)
+        return reader.bit_position if reader is not None else 0
 
     def _check_stream(self, stream: EncodedVideo, expect_codec: Optional[str] = None) -> None:
         expected = expect_codec or self.codec_name

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.codecs.base import EncodedVideo, VideoDecoder
+from repro.codecs.base import EncodedPicture, EncodedVideo, VideoDecoder
 from repro.codecs.frames import WorkingFrame
 from repro.codecs.h264 import common, intra
 from repro.codecs.h264.cavlc import CavlcCoder
@@ -20,13 +20,15 @@ from repro.codecs.h264.motion import PARTITION_SHAPES, MvGrid4
 from repro.common.bitstream import BitReader
 from repro.common.expgolomb import read_se, read_ue
 from repro.common.gop import FrameType
-from repro.common.yuv import YuvFrame, YuvSequence
 from repro.errors import BitstreamError, CodecError
 from repro.kernels import get_kernels
 from repro.me.types import MotionVector
+from repro.robustness.guard import (
+    check_header,
+    check_motion_vector,
+    read_frame_type,
+)
 from repro.transform.zigzag import ZIGZAG_2X2, unscan, unscan4
-
-_TYPE_FROM_CODE = {0: FrameType.I, 1: FrameType.P, 2: FrameType.B}
 
 
 class H264Decoder(VideoDecoder):
@@ -37,51 +39,30 @@ class H264Decoder(VideoDecoder):
     def __init__(self, backend: str = "simd") -> None:
         self.kernels = get_kernels(backend)
         self.cavlc = CavlcCoder()
+        self._ref_frames = 0
 
-    def decode(self, stream: EncodedVideo) -> YuvSequence:
-        self._check_stream(stream)
-        references: Dict[int, WorkingFrame] = {}
-        decoded: Dict[int, YuvFrame] = {}
-        for picture in stream.pictures:
-            if picture.display_index in decoded:
-                raise CodecError(
-                    f"duplicate display index {picture.display_index} in stream"
-                )
-            recon, deblock_on, ref_frames = self._decode_picture(
-                stream, picture.payload, picture.display_index,
-                picture.frame_type, references,
-            )
-            if deblock_on:
-                DeblockFilter(self.kernels, self._qp).apply(recon, self._meta)
-            decoded[picture.display_index] = recon.to_yuv()
-            if picture.frame_type.is_anchor:
-                references[picture.display_index] = recon
-                for key in sorted(references)[: -(ref_frames + 2)]:
-                    del references[key]
-        frames = [decoded[index] for index in sorted(decoded)]
-        if sorted(decoded) != list(range(len(frames))):
-            raise CodecError("stream has missing or duplicate display indices")
-        return YuvSequence(frames, fps=stream.fps)
+    def reference_window(self) -> int:
+        """The stream's reference-frame count plus the B-picture anchors."""
+        return self._ref_frames + 2
 
-    # ------------------------------------------------------------------
-
-    def _decode_picture(
+    def decode_picture(
         self,
         stream: EncodedVideo,
-        payload: bytes,
-        display_index: int,
-        frame_type: FrameType,
+        picture: EncodedPicture,
         references: Dict[int, WorkingFrame],
-    ) -> Tuple[WorkingFrame, bool, int]:
-        reader = BitReader(payload)
-        coded_type = _TYPE_FROM_CODE[reader.read_bits(2)]
-        if coded_type is not frame_type:
-            raise BitstreamError("picture type disagrees with container metadata")
-        self._qp = reader.read_bits(6)
-        self._search_range = reader.read_bits(8)
+    ) -> WorkingFrame:
+        display_index = picture.display_index
+        frame_type = picture.frame_type
+        reader = self._open_reader(picture.payload)
+        read_frame_type(reader, expected=frame_type)
+        self._qp = check_header("qp", reader.read_bits(6), 0, 51)
+        self._search_range = check_header(
+            "search_range", reader.read_bits(8), 1, 255
+        )
         deblock_on = bool(reader.read_bit())
         ref_frames = reader.read_bits(4)
         l0_count = reader.read_bits(4)
+        self._ref_frames = ref_frames
 
         past = sorted(key for key in references if key < display_index)
         future = sorted(key for key in references if key > display_index)
@@ -127,7 +108,9 @@ class H264Decoder(VideoDecoder):
                     self._decode_p_mb(reader, l0, mbx, mby)
                 else:
                     self._decode_b_mb(reader, l0[0], l1, mbx, mby)
-        return recon, deblock_on, ref_frames
+        if deblock_on:
+            DeblockFilter(self.kernels, self._qp).apply(recon, self._meta)
+        return recon
 
     # ------------------------------------------------------------------
     # intra macroblocks
@@ -286,6 +269,7 @@ class H264Decoder(VideoDecoder):
             "v": np.zeros((8, 8), dtype=np.int64),
         }
         for (off_x, off_y, width, height), mv in assignments:
+            check_motion_vector(mv, search_range, 4)
             px, py = luma.offset(16 * mbx + off_x, 16 * mby + off_y)
             pred_y[off_y : off_y + height, off_x : off_x + width] = kernels.mc_qpel_h264(
                 luma.plane, px, py, width, height, mv.x, mv.y

@@ -4,14 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codecs.base import EncodedVideo, VideoDecoder
+from repro.codecs.base import EncodedPicture, EncodedVideo, VideoDecoder
 from repro.codecs.frames import WorkingFrame
 from repro.codecs.mjpeg import tables
 from repro.codecs.mjpeg.coefficients import decode_ac, decode_dc
-from repro.common.bitstream import BitReader
-from repro.common.yuv import YuvFrame, YuvSequence
-from repro.errors import CodecError
 from repro.kernels import get_kernels
+from repro.robustness.guard import check_header
 from repro.transform.zigzag import unscan8
 
 
@@ -23,26 +21,15 @@ class MjpegDecoder(VideoDecoder):
     def __init__(self, backend: str = "simd") -> None:
         self.kernels = get_kernels(backend)
 
-    def decode(self, stream: EncodedVideo) -> YuvSequence:
-        self._check_stream(stream)
-        decoded = {}
-        for picture in stream.pictures:
-            if picture.display_index in decoded:
-                raise CodecError(
-                    f"duplicate display index {picture.display_index} in stream"
-                )
-            decoded[picture.display_index] = self._decode_frame(
-                stream, picture.payload
-            ).to_yuv()
-        frames = [decoded[index] for index in sorted(decoded)]
-        if sorted(decoded) != list(range(len(frames))):
-            raise CodecError("stream has missing or duplicate display indices")
-        return YuvSequence(frames, fps=stream.fps)
+    def decode_picture(self, stream: EncodedVideo, picture: EncodedPicture,
+                       references) -> WorkingFrame:
+        """Intra-only: every picture decodes independently of references."""
+        return self._decode_frame(stream, picture.payload)
 
     def _decode_frame(self, stream: EncodedVideo, payload: bytes) -> WorkingFrame:
         kernels = self.kernels
-        reader = BitReader(payload)
-        quality = reader.read_bits(7)
+        reader = self._open_reader(payload)
+        quality = check_header("quality", reader.read_bits(7), 1, 100)
         luma_matrix = tables.scaled_matrix(tables.LUMA_MATRIX, quality)
         chroma_matrix = tables.scaled_matrix(tables.CHROMA_MATRIX, quality)
         recon = WorkingFrame.blank(stream.width, stream.height)

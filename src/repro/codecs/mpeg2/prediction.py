@@ -9,6 +9,7 @@ import numpy as np
 from repro.codecs.frames import WorkingFrame
 from repro.mc.chroma import chroma_mv_from_halfpel
 from repro.me.types import MotionVector
+from repro.robustness.guard import check_motion_vector
 
 
 def predict_mb(
@@ -20,6 +21,7 @@ def predict_mb(
     search_range: int,
 ) -> Dict[str, np.ndarray]:
     """Half-pel prediction of one macroblock (luma 16x16 + chroma 8x8)."""
+    check_motion_vector(mv, search_range, 2)
     luma = reference.padded("y", search_range)
     px, py = luma.offset(mbx * 16, mby * 16)
     prediction = {"y": kernels.mc_halfpel(luma.plane, px, py, 16, 16, mv.x, mv.y)}

@@ -6,7 +6,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.codecs.base import EncodedVideo, VideoDecoder
+from repro.codecs.base import EncodedPicture, EncodedVideo, VideoDecoder
 from repro.codecs.frames import WorkingFrame
 from repro.codecs.mpeg4 import tables
 from repro.codecs.mpeg4.acdc import AcDcStore, apply_ac_prediction, predict
@@ -21,13 +21,11 @@ from repro.codecs.mpeg2.prediction import predict_mb as predict_mb_halfpel
 from repro.common.bitstream import BitReader
 from repro.common.expgolomb import read_se
 from repro.common.gop import FrameType
-from repro.common.yuv import YuvFrame, YuvSequence
 from repro.errors import CodecError
 from repro.kernels import get_kernels
 from repro.me.types import MotionVector, ZERO_MV
+from repro.robustness.guard import check_header, read_frame_type
 from repro.transform.zigzag import unscan8
-
-_TYPE_FROM_CODE = {0: FrameType.I, 1: FrameType.P, 2: FrameType.B}
 
 
 class Mpeg4Decoder(VideoDecoder):
@@ -38,38 +36,18 @@ class Mpeg4Decoder(VideoDecoder):
     def __init__(self, backend: str = "simd") -> None:
         self.kernels = get_kernels(backend)
 
-    def decode(self, stream: EncodedVideo) -> YuvSequence:
-        self._check_stream(stream)
-        references: Dict[int, WorkingFrame] = {}
-        decoded: Dict[int, YuvFrame] = {}
-        for picture in stream.pictures:
-            if picture.display_index in decoded:
-                raise CodecError(
-                    f"duplicate display index {picture.display_index} in stream"
-                )
-            recon = self._decode_picture(stream, picture.payload, references)
-            decoded[picture.display_index] = recon.to_yuv()
-            if picture.frame_type.is_anchor:
-                references[picture.display_index] = recon
-                for key in sorted(references)[:-2]:
-                    del references[key]
-        frames = [decoded[index] for index in sorted(decoded)]
-        if sorted(decoded) != list(range(len(frames))):
-            raise CodecError("stream has missing or duplicate display indices")
-        return YuvSequence(frames, fps=stream.fps)
-
-    # ------------------------------------------------------------------
-
-    def _decode_picture(
+    def decode_picture(
         self,
         stream: EncodedVideo,
-        payload: bytes,
+        picture: EncodedPicture,
         references: Dict[int, WorkingFrame],
     ) -> WorkingFrame:
-        reader = BitReader(payload)
-        frame_type = _TYPE_FROM_CODE[reader.read_bits(2)]
-        self._qscale = reader.read_bits(5)
-        self._search_range = reader.read_bits(8)
+        reader = self._open_reader(picture.payload)
+        frame_type = read_frame_type(reader, expected=picture.frame_type)
+        self._qscale = check_header("qscale", reader.read_bits(5), 1, 31)
+        self._search_range = check_header(
+            "search_range", reader.read_bits(8), 1, 255
+        )
         self._qpel = bool(reader.read_bit())
         reader.read_bit()  # four_mv capability flag (informational)
 

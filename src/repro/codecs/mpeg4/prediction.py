@@ -9,6 +9,7 @@ import numpy as np
 from repro.codecs.frames import WorkingFrame
 from repro.mc.chroma import chroma_mv_from_qpel
 from repro.me.types import MotionVector
+from repro.robustness.guard import check_motion_vector
 
 
 def _div_to_zero(value: int, divisor: int) -> int:
@@ -24,6 +25,7 @@ def predict_mb_qpel(
     search_range: int,
 ) -> Dict[str, np.ndarray]:
     """One-MV prediction: quarter-pel luma, half-pel chroma."""
+    check_motion_vector(mv, search_range, 4)
     luma = reference.padded("y", search_range)
     px, py = luma.offset(mbx * 16, mby * 16)
     prediction = {"y": kernels.mc_qpel_bilinear(luma.plane, px, py, 16, 16, mv.x, mv.y)}
@@ -48,6 +50,8 @@ def predict_mb_4mv(
     The chroma vector is the rounded average of the four luma vectors, as
     in MPEG-4 ASP.
     """
+    for mv in mvs:
+        check_motion_vector(mv, search_range, 4)
     luma = reference.padded("y", search_range)
     assembled = np.zeros((16, 16), dtype=np.int64)
     for index, mv in enumerate(mvs):

@@ -7,7 +7,7 @@ MPEG and H.264 bitstream specifications.
 
 from __future__ import annotations
 
-from repro.errors import BitstreamError
+from repro.errors import BitstreamError, TruncationError
 
 
 class BitWriter:
@@ -49,7 +49,10 @@ class BitWriter:
         """Append ``count`` bits of ``value``, most significant bit first."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        if value < 0 or (count < 64 and value >> count):
+        # int() lifts numpy integers to Python ints so the range check is
+        # exact for every count (numpy shifts are undefined at >= 64 bits).
+        value = int(value)
+        if value < 0 or value >> count:
             raise ValueError(f"value {value} does not fit in {count} bits")
         for shift in range(count - 1, -1, -1):
             self.write_bit((value >> shift) & 1)
@@ -112,7 +115,7 @@ class BitReader:
 
     def read_bit(self) -> int:
         if self._pos >= 8 * len(self._data):
-            raise BitstreamError("read past end of bitstream")
+            raise TruncationError("read past end of bitstream")
         byte = self._data[self._pos >> 3]
         bit = (byte >> (7 - (self._pos & 7))) & 1
         self._pos += 1
@@ -125,7 +128,7 @@ class BitReader:
         if count == 0:
             return 0
         if count > self.bits_remaining:
-            raise BitstreamError(
+            raise TruncationError(
                 f"requested {count} bits but only {self.bits_remaining} remain"
             )
         position = self._pos
@@ -161,12 +164,18 @@ class BitReader:
 
     def skip_bits(self, count: int) -> None:
         if count > self.bits_remaining:
-            raise BitstreamError("skip past end of bitstream")
+            raise TruncationError("skip past end of bitstream")
         self._pos += count
 
     def align(self) -> int:
-        """Advance to the next byte boundary; returns bits skipped."""
+        """Advance to the next byte boundary; returns bits skipped.
+
+        Bounds-checked like :meth:`skip_bits`: aligning past the end of the
+        data raises instead of leaving the reader positioned out of range.
+        """
         skip = (8 - (self._pos & 7)) & 7
+        if skip > self.bits_remaining:
+            raise TruncationError("align past end of bitstream")
         self._pos += skip
         return skip
 
@@ -176,6 +185,6 @@ class BitReader:
             raise BitstreamError("read_bytes requires byte alignment")
         start = self._pos >> 3
         if start + count > len(self._data):
-            raise BitstreamError("read past end of bitstream")
+            raise TruncationError("read past end of bitstream")
         self._pos += 8 * count
         return self._data[start : start + count]

@@ -1,12 +1,121 @@
-"""Exception hierarchy for the HD-VideoBench reproduction."""
+"""Exception hierarchy for the HD-VideoBench reproduction.
+
+Hierarchy::
+
+    ReproError                  base of every library error; carries optional
+    |                           decode context (codec, picture index, frame
+    |                           type, bit position) filled in by the hardened
+    |                           decode path in :mod:`repro.robustness`
+    +-- BitstreamError          malformed bitstream input: bad syntax codes,
+    |   |                       out-of-range headers, wild motion vectors --
+    |   |                       the payload *parses wrongly*
+    |   +-- TruncationError     the payload *ends early*: any read past the
+    |                           end of the data (truncated download, dropped
+    |                           tail).  Distinguishable from semantic
+    |                           corruption so callers can decide to re-fetch
+    |                           instead of conceal.
+    +-- CodecError              encoding or decoding fails semantically
+    |                           (missing references, duplicate pictures,
+    |                           stream/decoder mismatch)
+    +-- ConfigError             invalid encoder/decoder/benchmark configuration
+    +-- SequenceError           an input sequence cannot be generated/loaded
+
+Errors raised while decoding untrusted payloads are normalised by
+:func:`repro.robustness.guard.normalize_decode_error` so that every escape
+is a :class:`ReproError` subclass carrying ``codec``, ``picture_index`` and
+``bit_position`` -- never a raw ``IndexError``/``KeyError``/numpy error.
+
+:class:`ConcealmentEvent` is not an exception: it is the record emitted by
+the error-concealment engine each time a corrupt picture is replaced
+instead of aborting the decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+def _rebuild_error(cls, message, context):
+    error = cls(message, **context)
+    return error
 
 
 class ReproError(Exception):
-    """Base class for all library errors."""
+    """Base class for all library errors.
+
+    Optional keyword-only context fields locate a decode failure inside a
+    stream; they default to ``None`` for errors raised outside the decode
+    path.  ``str(error)`` appends the context when present, so existing
+    ``pytest.raises(..., match=...)`` patterns keep matching the message
+    prefix.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        codec: Optional[str] = None,
+        picture_index: Optional[int] = None,
+        frame_type: Any = None,
+        bit_position: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.codec = codec
+        self.picture_index = picture_index
+        self.frame_type = frame_type
+        self.bit_position = bit_position
+
+    @property
+    def context(self) -> dict:
+        """The context fields as a dict (``None`` entries included)."""
+        return {
+            "codec": self.codec,
+            "picture_index": self.picture_index,
+            "frame_type": self.frame_type,
+            "bit_position": self.bit_position,
+        }
+
+    def has_decode_context(self) -> bool:
+        """True when the error locates a failure inside a stream."""
+        return (
+            self.codec is not None
+            and self.picture_index is not None
+            and self.bit_position is not None
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.codec is not None:
+            parts.append(f"codec={self.codec}")
+        if self.picture_index is not None:
+            parts.append(f"picture={self.picture_index}")
+        if self.frame_type is not None:
+            parts.append(f"type={self.frame_type}")
+        if self.bit_position is not None:
+            parts.append(f"bit={self.bit_position}")
+        if parts:
+            return f"{self.message} [{', '.join(parts)}]"
+        return self.message
+
+    def __reduce__(self):
+        # Default Exception pickling round-trips only ``args``; keep the
+        # context fields across process boundaries (parallel encoding).
+        return (_rebuild_error, (type(self), self.message, self.context))
 
 
 class BitstreamError(ReproError):
-    """Raised on malformed or truncated bitstream input."""
+    """Raised on malformed or corrupted bitstream input."""
+
+
+class TruncationError(BitstreamError):
+    """Raised when a bitstream ends before its syntax does.
+
+    A subclass of :class:`BitstreamError`, so existing handlers keep
+    working; callers that care can distinguish a short payload (re-fetch,
+    wait for more data) from semantic corruption (conceal, resync).
+    """
 
 
 class ConfigError(ReproError):
@@ -19,3 +128,35 @@ class CodecError(ReproError):
 
 class SequenceError(ReproError):
     """Raised when an input sequence cannot be generated or loaded."""
+
+
+@dataclass(frozen=True)
+class ConcealmentEvent:
+    """One concealed (or skipped) picture in a hardened decode.
+
+    Emitted by :mod:`repro.robustness.engine` through the ``on_event``
+    callback and collected in :class:`~repro.robustness.engine.DecodeResult`.
+
+    ``picture_index`` is the coding-order index (``None`` for display-order
+    holes filled after the main pass), ``error`` the normalised
+    :class:`ReproError` that triggered concealment (``None`` for holes).
+    """
+
+    codec: str
+    strategy: str
+    display_index: int
+    picture_index: Optional[int] = None
+    frame_type: Any = None
+    error: Optional[ReproError] = None
+
+    @property
+    def truncated(self) -> bool:
+        """True when the trigger was a short payload, not corruption."""
+        return isinstance(self.error, TruncationError)
+
+    def __str__(self) -> str:
+        cause = f": {self.error}" if self.error is not None else ": missing picture"
+        return (
+            f"concealed display frame {self.display_index} of {self.codec} "
+            f"with {self.strategy!r}{cause}"
+        )

@@ -19,14 +19,19 @@ parallel-encoding rate overhead, measurable with the scaling benchmark).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codecs import get_encoder
 from repro.codecs.base import EncodedPicture, EncodedVideo
 from repro.common.yuv import YuvSequence
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
+
+#: Per-chunk result timeout (seconds); generous, chunks are small.
+DEFAULT_CHUNK_TIMEOUT = 600.0
 
 
 def split_chunks(frame_count: int, chunks: int, min_chunk: int = 3) -> List[Tuple[int, int]]:
@@ -58,11 +63,33 @@ def _encode_chunk(codec: str, fields: Dict, frames, fps: int) -> EncodedVideo:
     return encoder.encode_sequence(YuvSequence(list(frames), fps=fps))
 
 
+def _run_pool(jobs, workers: int, chunk_timeout: float,
+              executor_factory) -> List[EncodedVideo]:
+    """Run the chunk jobs in one process pool, one result per job in order.
+
+    Raises :class:`BrokenProcessPool`/``TimeoutError``/``OSError`` on pool
+    failure; :class:`~repro.errors.ReproError` from a worker propagates
+    unchanged (a bad configuration does not become less bad on retry).
+    """
+    pool = executor_factory(max_workers=workers)
+    clean = False
+    try:
+        futures = [pool.submit(_encode_chunk, *job) for job in jobs]
+        results = [future.result(timeout=chunk_timeout) for future in futures]
+        clean = True
+        return results
+    finally:
+        # A timed-out future may never finish; don't block shutdown on it.
+        pool.shutdown(wait=clean, cancel_futures=not clean)
+
+
 def parallel_encode(
     codec: str,
     video: YuvSequence,
     workers: int = 2,
     chunks: int = 0,
+    chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+    executor_factory=ProcessPoolExecutor,
     **config_fields,
 ) -> EncodedVideo:
     """Encode ``video`` with GOP-level parallelism.
@@ -71,9 +98,18 @@ def parallel_encode(
     process.  ``config_fields`` are the usual encoder configuration fields
     (``width``/``height`` required).  Returns a stream indistinguishable
     in structure from a serial encode apart from the per-chunk I frames.
+
+    Pool failures (a crashed worker, a chunk exceeding ``chunk_timeout``
+    seconds, an OS-level spawn error) are retried once on a fresh pool;
+    if the retry also fails, the encode falls back to serial execution
+    with a :class:`RuntimeWarning`.  :class:`~repro.errors.ReproError`
+    raised by a worker (bad configuration, bad input) propagates
+    immediately -- it would fail identically on retry.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if chunk_timeout <= 0:
+        raise ConfigError(f"chunk_timeout must be positive, got {chunk_timeout}")
     if not chunks:
         chunks = workers
     spans = split_chunks(len(video), chunks)
@@ -85,8 +121,24 @@ def parallel_encode(
     if workers == 1 or len(jobs) == 1:
         results = [_encode_chunk(*job) for job in jobs]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_encode_chunk, *zip(*jobs)))
+        results = None
+        failure: Optional[BaseException] = None
+        for attempt in range(2):
+            try:
+                results = _run_pool(jobs, workers, chunk_timeout, executor_factory)
+                break
+            except ReproError:
+                raise
+            except (BrokenProcessPool, FutureTimeout, OSError) as error:
+                failure = error
+        if results is None:
+            warnings.warn(
+                f"parallel encode failed twice ({failure!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = [_encode_chunk(*job) for job in jobs]
 
     merged = EncodedVideo(
         codec=results[0].codec,

@@ -24,6 +24,22 @@ from repro.codecs import container, get_decoder, get_encoder
 from repro.common.metrics import sequence_psnr
 from repro.common.yuv import read_yuv_file, write_yuv_file
 from repro.errors import ReproError
+from repro.robustness import CONCEAL_STRATEGIES, FAULT_MODELS, FaultInjector
+
+
+def _inject_fault(stream, spec: str):
+    """Apply one ``--inject MODEL[:SEED]`` fault to the stream."""
+    model, _, seed_text = spec.partition(":")
+    if model not in FAULT_MODELS:
+        raise ReproError(f"unknown fault model {model!r} "
+                         f"(known: {', '.join(FAULT_MODELS)})")
+    try:
+        seed = int(seed_text) if seed_text else 0
+    except ValueError:
+        raise ReproError(f"--inject seed must be an integer, got {seed_text!r}")
+    corrupted, fault = FaultInjector(seed=seed).inject(stream, model=model)
+    print(f"hdvb-player: injected {fault}", file=sys.stderr)
+    return corrupted
 
 #: MPlayer ``-vc`` names -> codec registry names (Table IV).
 DECODER_ALIASES: Dict[str, str] = {
@@ -81,6 +97,13 @@ def player_main(argv: Optional[List[str]] = None) -> int:
                         help="time the decode and report frames per second")
     parser.add_argument("--backend", default="simd", choices=("scalar", "simd"),
                         help="kernel backend (scalar = plain build, simd = optimised)")
+    parser.add_argument("--conceal", default="none",
+                        choices=("none",) + CONCEAL_STRATEGIES,
+                        help="error-concealment strategy for corrupt pictures "
+                             "(none = strict: abort on the first error)")
+    parser.add_argument("--inject", default="", metavar="MODEL[:SEED]",
+                        help="inject one seeded fault before decoding; MODEL is "
+                             f"one of {', '.join(FAULT_MODELS)} (robustness testing)")
     args = parser.parse_args(argv)
 
     try:
@@ -91,9 +114,16 @@ def player_main(argv: Optional[List[str]] = None) -> int:
                 f"-vc {args.vc} selects codec {requested!r}, "
                 f"but {args.input} contains {stream.codec!r}"
             )
+        if args.inject:
+            stream = _inject_fault(stream, args.inject)
         decoder = get_decoder(stream.codec, backend=args.backend)
+        conceal = None if args.conceal == "none" else args.conceal
+
+        def on_event(event) -> None:
+            print(f"hdvb-player: {event}", file=sys.stderr)
+
         start = time.perf_counter()
-        video = decoder.decode(stream)
+        video = decoder.decode(stream, conceal=conceal, on_event=on_event)
         elapsed = time.perf_counter() - start
     except ReproError as error:
         print(f"hdvb-player: {error}", file=sys.stderr)

@@ -1,0 +1,71 @@
+"""Fault injection, decode hardening and error concealment.
+
+Production decode paths consume untrusted bytes: truncated downloads, bit
+errors and dropped packets are the norm, not the exception.  This package
+gives the library the three tools the adaptive-streaming literature
+assumes every deployed codec has:
+
+``inject``
+    Deterministic, seeded corruption models (bit flips, bursts, byte
+    truncation, payload erasure/swap, picture drop) operating on
+    :class:`~repro.codecs.base.EncodedVideo` streams.
+
+``guard`` / ``engine``
+    A hardened per-picture decode loop shared by every codec decoder.  Any
+    exception escaping a picture decode -- ``IndexError``, ``KeyError``,
+    numpy shape errors -- is normalised into a
+    :class:`~repro.errors.ReproError` subclass carrying codec, picture
+    index and bit position; decoded headers and motion vectors are
+    sanity-checked so garbage is detected instead of propagated.
+
+``conceal``
+    Pluggable error-concealment strategies (``skip``, ``copy-last``,
+    ``motion``, ``grey``) so one corrupt picture degrades the output
+    instead of aborting the stream, with resynchronisation at the next
+    intact I picture.
+
+``bench``
+    A seeded fuzz sweep per codec reporting graceful-failure rate,
+    concealment success rate and post-concealment PSNR delta -- the
+    regression-checkable resilience score (``hdvb-bench robustness``).
+"""
+
+from repro.errors import ConcealmentEvent, TruncationError
+from repro.robustness.conceal import (
+    CONCEAL_STRATEGIES,
+    Concealer,
+    get_concealer,
+)
+from repro.robustness.engine import DecodeResult, decode_stream
+from repro.robustness.guard import normalize_decode_error
+from repro.robustness.inject import (
+    FAULT_MODELS,
+    Fault,
+    FaultInjector,
+    burst_flip,
+    drop_picture,
+    erase_payload,
+    flip_bit,
+    swap_payloads,
+    truncate_payload,
+)
+
+__all__ = [
+    "CONCEAL_STRATEGIES",
+    "ConcealmentEvent",
+    "Concealer",
+    "DecodeResult",
+    "FAULT_MODELS",
+    "Fault",
+    "FaultInjector",
+    "TruncationError",
+    "burst_flip",
+    "decode_stream",
+    "drop_picture",
+    "erase_payload",
+    "flip_bit",
+    "get_concealer",
+    "normalize_decode_error",
+    "swap_payloads",
+    "truncate_payload",
+]

@@ -1,0 +1,215 @@
+"""Error-concealment strategies for corrupt or missing pictures.
+
+When the hardened decode loop (:mod:`repro.robustness.engine`) fails to
+decode a picture, a :class:`Concealer` synthesises a replacement frame so
+the stream degrades instead of aborting:
+
+``skip``       drop the picture from the output (frame count shrinks)
+``copy-last``  repeat the most recently decoded picture (freeze frame)
+``grey``       mid-grey fill -- the classic "lost I picture" fallback
+``motion``     motion-projected copy: estimate the global motion between
+               the two most recent reference frames and continue it one
+               frame forward; falls back to copy/grey where no references
+               exist (e.g. a lost leading I picture)
+
+Every strategy returns a *new* :class:`~repro.codecs.frames.WorkingFrame`
+(never an alias of a reference), so concealed frames can safely enter the
+reference chain for subsequent inter pictures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.codecs.frames import WorkingFrame
+from repro.errors import ConfigError
+
+#: Strategy names accepted by ``get_concealer`` (and the CLIs).
+CONCEAL_STRATEGIES: Tuple[str, ...] = ("skip", "copy-last", "grey", "motion")
+
+#: Mid-scale sample value used for grey fill.
+GREY_LEVEL = 128
+
+
+def _grey_frame(width: int, height: int) -> WorkingFrame:
+    return WorkingFrame(
+        np.full((height, width), GREY_LEVEL, dtype=np.int64),
+        np.full((height // 2, width // 2), GREY_LEVEL, dtype=np.int64),
+        np.full((height // 2, width // 2), GREY_LEVEL, dtype=np.int64),
+    )
+
+
+def _copy_frame(frame: WorkingFrame) -> WorkingFrame:
+    return WorkingFrame(frame.y.copy(), frame.u.copy(), frame.v.copy())
+
+
+def _shift_plane(plane: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    """Translate a plane by (dx, dy) with edge replication."""
+    if dx == 0 and dy == 0:
+        return plane.copy()
+    pad_y, pad_x = abs(dy), abs(dx)
+    padded = np.pad(plane, ((pad_y, pad_y), (pad_x, pad_x)), mode="edge")
+    y0 = pad_y - dy
+    x0 = pad_x - dx
+    height, width = plane.shape
+    return padded[y0 : y0 + height, x0 : x0 + width].copy()
+
+
+def estimate_global_motion(
+    previous: WorkingFrame, current: WorkingFrame, radius: int = 3
+) -> Tuple[int, int]:
+    """Estimate the dominant translation from ``previous`` to ``current``.
+
+    Exhaustive SAD search on 4x-decimated luma; returns full-pel (dx, dy).
+    Cheap by construction -- concealment runs on the error path, not the
+    hot path -- and good enough to carry a pan across a lost picture.
+    """
+    coarse_prev = previous.y[::4, ::4]
+    coarse_cur = current.y[::4, ::4]
+    best = (0, 0)
+    best_sad: Optional[int] = None
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            shifted = _shift_plane(coarse_prev, dx, dy)
+            sad = int(np.abs(shifted - coarse_cur).sum())
+            if best_sad is None or sad < best_sad:
+                best_sad = sad
+                best = (dx, dy)
+    return (4 * best[0], 4 * best[1])
+
+
+class Concealer(abc.ABC):
+    """Synthesises a replacement for a picture that failed to decode."""
+
+    name = ""
+
+    @abc.abstractmethod
+    def conceal(
+        self,
+        stream,
+        picture,
+        references: Dict[int, WorkingFrame],
+        last_recon: Optional[WorkingFrame],
+    ) -> Optional[WorkingFrame]:
+        """Return a replacement frame, or ``None`` to skip the picture."""
+
+    # ------------------------------------------------------------------
+
+    def _nearest_reference(
+        self, references: Dict[int, WorkingFrame]
+    ) -> Optional[WorkingFrame]:
+        if not references:
+            return None
+        return references[max(references)]
+
+    def fill_missing(
+        self,
+        stream,
+        display_index: int,
+        previous: Optional[WorkingFrame],
+    ) -> Optional[WorkingFrame]:
+        """Replacement for a display-order hole (a dropped picture).
+
+        Default: repeat the nearest earlier output frame, grey when the
+        hole is at the head of the stream.  ``skip`` overrides to ``None``.
+        """
+        if previous is not None:
+            return _copy_frame(previous)
+        return _grey_frame(stream.width, stream.height)
+
+
+class SkipConcealer(Concealer):
+    """Drop corrupt pictures; the output simply has fewer frames."""
+
+    name = "skip"
+
+    def conceal(self, stream, picture, references, last_recon):
+        return None
+
+    def fill_missing(self, stream, display_index, previous):
+        return None
+
+
+class CopyLastConcealer(Concealer):
+    """Freeze-frame: repeat the most recently decoded picture."""
+
+    name = "copy-last"
+
+    def conceal(self, stream, picture, references, last_recon):
+        source = last_recon or self._nearest_reference(references)
+        if source is None:
+            return _grey_frame(stream.width, stream.height)
+        return _copy_frame(source)
+
+
+class GreyConcealer(Concealer):
+    """Mid-grey fill: the visible-but-safe choice for lost I pictures."""
+
+    name = "grey"
+
+    def conceal(self, stream, picture, references, last_recon):
+        return _grey_frame(stream.width, stream.height)
+
+
+class MotionConcealer(Concealer):
+    """Motion-projected copy for P/B pictures, grey for lost I pictures."""
+
+    name = "motion"
+
+    def conceal(self, stream, picture, references, last_recon):
+        from repro.common.gop import FrameType
+
+        ordered = sorted(references)
+        if picture.frame_type is FrameType.I or not ordered:
+            # An I picture carries fresh content; projecting old motion
+            # into it is wrong.  Freeze on the last output if any, else
+            # grey fill.
+            if picture.frame_type is not FrameType.I and last_recon is not None:
+                return _copy_frame(last_recon)
+            if last_recon is None and not ordered:
+                return _grey_frame(stream.width, stream.height)
+            return _copy_frame(last_recon or references[ordered[-1]])
+        newest = references[ordered[-1]]
+        if len(ordered) < 2:
+            return _copy_frame(newest)
+        dx, dy = estimate_global_motion(references[ordered[-2]], newest)
+        # ``estimate_global_motion`` spans the anchor gap (bframes + 1
+        # display frames); scale down to one frame of continued motion.
+        span = max(1, ordered[-1] - ordered[-2])
+        step_x = int(round(dx / span))
+        step_y = int(round(dy / span))
+        return WorkingFrame(
+            _shift_plane(newest.y, step_x, step_y),
+            _shift_plane(newest.u, step_x // 2, step_y // 2),
+            _shift_plane(newest.v, step_x // 2, step_y // 2),
+        )
+
+
+_STRATEGIES = {
+    concealer.name: concealer
+    for concealer in (SkipConcealer, CopyLastConcealer, GreyConcealer, MotionConcealer)
+}
+
+
+def get_concealer(
+    strategy: Union[None, str, Concealer]
+) -> Optional[Concealer]:
+    """Resolve a strategy name to a :class:`Concealer` instance.
+
+    ``None``, ``"none"`` and ``"strict"`` select strict decoding (no
+    concealment); a :class:`Concealer` instance passes through unchanged.
+    """
+    if strategy is None or strategy in ("none", "strict"):
+        return None
+    if isinstance(strategy, Concealer):
+        return strategy
+    concealer_cls = _STRATEGIES.get(strategy)
+    if concealer_cls is None:
+        raise ConfigError(
+            f"unknown concealment strategy {strategy!r} "
+            f"(known: {', '.join(CONCEAL_STRATEGIES)})"
+        )
+    return concealer_cls()

@@ -1,0 +1,187 @@
+"""The hardened per-picture decode loop shared by every codec decoder.
+
+:meth:`repro.codecs.base.VideoDecoder.decode` delegates here.  The engine
+owns everything the five decoders used to duplicate -- the coding-order
+loop, duplicate/missing display-index detection, the reference window --
+and adds the robustness layer:
+
+* every ``decode_picture`` call runs inside a guard that normalises any
+  escaping exception into a :class:`~repro.errors.ReproError` subclass
+  carrying codec, picture index, frame type and bit position;
+* with a concealment strategy, a failed picture is replaced instead of
+  aborting the stream, the event is reported, and decoding resynchronises
+  at the next intact I picture;
+* display-order holes (dropped pictures) are filled after the main pass,
+  so concealed decodes keep the full frame count.
+
+Strict mode (``conceal=None``) reproduces the historical behaviour
+exactly, except that the error raised is always a normalised
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.common.gop import FrameType
+from repro.common.yuv import YuvFrame, YuvSequence
+from repro.errors import BitstreamError, CodecError, ConcealmentEvent, ReproError
+from repro.robustness.conceal import Concealer, get_concealer
+from repro.robustness.guard import (
+    check_payload_present,
+    check_stream_geometry,
+    normalize_decode_error,
+)
+
+EventCallback = Callable[[ConcealmentEvent], None]
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of a hardened decode: frames plus concealment telemetry."""
+
+    frames: YuvSequence
+    events: List[ConcealmentEvent] = field(default_factory=list)
+
+    @property
+    def concealed_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def clean(self) -> bool:
+        return not self.events
+
+
+def decode_stream(
+    decoder,
+    stream,
+    conceal: Union[None, str, Concealer] = None,
+    on_event: Optional[EventCallback] = None,
+) -> DecodeResult:
+    """Decode ``stream`` with ``decoder`` through the hardened loop."""
+    concealer = get_concealer(conceal)
+    codec = decoder.codec_name
+
+    decoder._check_stream(stream)
+    check_stream_geometry(stream.width, stream.height, stream.fps)
+
+    references: Dict[int, object] = {}
+    decoded: Dict[int, YuvFrame] = {}
+    events: List[ConcealmentEvent] = []
+    recon_by_display: Dict[int, object] = {}
+    last_recon = None
+    awaiting_resync = False
+
+    def report(event: ConcealmentEvent) -> None:
+        events.append(event)
+        if on_event is not None:
+            on_event(event)
+
+    for coding_index, picture in enumerate(stream.pictures):
+        decoder.begin_picture()
+        recon = None
+        failure: Optional[ReproError] = None
+        try:
+            if picture.display_index in decoded:
+                raise CodecError(
+                    f"duplicate display index {picture.display_index} in stream"
+                )
+            check_payload_present(picture.payload)
+            recon = decoder.decode_picture(stream, picture, references)
+            if recon.width != stream.width or recon.height != stream.height:
+                raise BitstreamError(
+                    f"decoded picture is {recon.width}x{recon.height}, "
+                    f"stream header says {stream.width}x{stream.height}"
+                )
+        except Exception as error:  # normalised below; never escapes raw
+            failure = normalize_decode_error(
+                error,
+                codec=codec,
+                picture_index=coding_index,
+                frame_type=picture.frame_type,
+                bit_position=decoder.bit_position(),
+            )
+
+        if failure is not None:
+            if concealer is None:
+                raise failure
+            replacement = concealer.conceal(stream, picture, references, last_recon)
+            report(
+                ConcealmentEvent(
+                    codec=codec,
+                    strategy=concealer.name,
+                    display_index=picture.display_index,
+                    picture_index=coding_index,
+                    frame_type=picture.frame_type,
+                    error=failure,
+                )
+            )
+            awaiting_resync = True
+            if replacement is None or picture.display_index in decoded:
+                continue
+            recon = replacement
+        elif awaiting_resync and picture.frame_type is FrameType.I:
+            # An intact I picture takes no references: prediction drift
+            # introduced by concealed anchors ends here.
+            awaiting_resync = False
+
+        decoded[picture.display_index] = recon.to_yuv()
+        recon_by_display[picture.display_index] = recon
+        last_recon = recon
+        if picture.frame_type.is_anchor:
+            references[picture.display_index] = recon
+            window = decoder.reference_window()
+            for key in sorted(references)[:-window]:
+                del references[key]
+
+    if concealer is not None and decoded:
+        _fill_display_holes(
+            decoder, stream, concealer, decoded, recon_by_display, report
+        )
+
+    frames = [decoded[index] for index in sorted(decoded)]
+    if concealer is None and sorted(decoded) != list(range(len(frames))):
+        missing = next(i for i in range(len(frames)) if i not in decoded)
+        raise CodecError(
+            f"stream is missing display index {missing}",
+            codec=codec,
+            picture_index=missing,
+            bit_position=0,
+        )
+    return DecodeResult(YuvSequence(frames, fps=stream.fps), events)
+
+
+def _fill_display_holes(
+    decoder,
+    stream,
+    concealer: Concealer,
+    decoded: Dict[int, YuvFrame],
+    recon_by_display: Dict[int, object],
+    report: EventCallback,
+) -> None:
+    """Fill display-order gaps left by dropped pictures.
+
+    A dropped *interior* picture leaves a hole in the display indices
+    (``0, 1, 3, 4``); after the main pass the concealer plugs each hole
+    from its nearest earlier neighbour so the sequence plays through at
+    full length.
+    """
+    previous = None
+    for index in range(max(decoded) + 1):
+        if index in decoded:
+            previous = recon_by_display[index]
+            continue
+        replacement = concealer.fill_missing(stream, index, previous)
+        if replacement is None:
+            continue
+        decoded[index] = replacement.to_yuv()
+        recon_by_display[index] = replacement
+        previous = replacement
+        report(
+            ConcealmentEvent(
+                codec=decoder.codec_name,
+                strategy=concealer.name,
+                display_index=index,
+            )
+        )

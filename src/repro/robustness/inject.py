@@ -1,0 +1,242 @@
+"""Deterministic, seeded fault injection on encoded streams.
+
+Corruption models (``FAULT_MODELS``):
+
+``bitflip``   flip one bit of one picture payload
+``burst``     flip a contiguous run of bits (burst error)
+``truncate``  cut a payload short (partial download)
+``erase``     replace a payload with zero bytes (lost packet; the picture's
+              scheduling metadata survives, as it would in a container)
+``swap``      exchange the payloads of two pictures (reordered packets)
+``drop``      remove a picture entirely from the stream
+
+Every function is pure: the input stream is never mutated, a corrupted
+copy is returned.  :class:`FaultInjector` drives the models from a seeded
+``random.Random`` so fuzz sweeps are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codecs.base import EncodedPicture, EncodedVideo
+from repro.errors import ConfigError
+
+FAULT_MODELS: Tuple[str, ...] = (
+    "bitflip",
+    "burst",
+    "truncate",
+    "erase",
+    "swap",
+    "drop",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A description of one injected fault (for logs and reports)."""
+
+    model: str
+    picture_index: int      # coding-order index of the (first) hit picture
+    display_index: int
+    position: int = 0       # bit offset (flips) or byte count kept (truncate)
+    length: int = 1         # bits flipped / pictures involved
+
+    def __str__(self) -> str:
+        detail = {
+            "bitflip": f"bit {self.position}",
+            "burst": f"bits {self.position}..{self.position + self.length - 1}",
+            "truncate": f"kept {self.position} bytes",
+            "erase": "payload erased",
+            "swap": f"swapped with picture {self.length}",
+            "drop": "picture removed",
+        }[self.model]
+        return (
+            f"{self.model} on picture {self.picture_index} "
+            f"(display {self.display_index}): {detail}"
+        )
+
+
+def _copy_with(stream: EncodedVideo, pictures: List[EncodedPicture]) -> EncodedVideo:
+    return EncodedVideo(
+        codec=stream.codec,
+        width=stream.width,
+        height=stream.height,
+        fps=stream.fps,
+        pictures=pictures,
+    )
+
+
+def _replace_payload(
+    stream: EncodedVideo, picture_index: int, payload: bytes
+) -> EncodedVideo:
+    pictures = list(stream.pictures)
+    old = pictures[picture_index]
+    pictures[picture_index] = EncodedPicture(payload, old.display_index, old.frame_type)
+    return _copy_with(stream, pictures)
+
+
+def _check_picture_index(stream: EncodedVideo, picture_index: int) -> EncodedPicture:
+    if not 0 <= picture_index < len(stream.pictures):
+        raise ConfigError(
+            f"picture index {picture_index} outside stream of "
+            f"{len(stream.pictures)} pictures"
+        )
+    return stream.pictures[picture_index]
+
+
+def flip_bit(stream: EncodedVideo, picture_index: int, bit: int) -> EncodedVideo:
+    """Flip one bit of one picture payload."""
+    return burst_flip(stream, picture_index, bit, 1)
+
+
+def burst_flip(
+    stream: EncodedVideo, picture_index: int, bit: int, length: int
+) -> EncodedVideo:
+    """Flip ``length`` consecutive bits starting at bit offset ``bit``."""
+    picture = _check_picture_index(stream, picture_index)
+    payload = bytearray(picture.payload)
+    total_bits = 8 * len(payload)
+    if length < 1:
+        raise ConfigError(f"burst length must be >= 1, got {length}")
+    if not 0 <= bit < total_bits:
+        raise ConfigError(
+            f"bit offset {bit} outside payload of {total_bits} bits"
+        )
+    for offset in range(bit, min(bit + length, total_bits)):
+        payload[offset >> 3] ^= 0x80 >> (offset & 7)
+    return _replace_payload(stream, picture_index, bytes(payload))
+
+
+def truncate_payload(
+    stream: EncodedVideo, picture_index: int, keep_bytes: int
+) -> EncodedVideo:
+    """Cut a payload down to its first ``keep_bytes`` bytes."""
+    picture = _check_picture_index(stream, picture_index)
+    if keep_bytes < 0:
+        raise ConfigError(f"keep_bytes must be >= 0, got {keep_bytes}")
+    return _replace_payload(stream, picture_index, picture.payload[:keep_bytes])
+
+
+def erase_payload(stream: EncodedVideo, picture_index: int) -> EncodedVideo:
+    """Replace a payload with zero bytes (a lost packet)."""
+    _check_picture_index(stream, picture_index)
+    return _replace_payload(stream, picture_index, b"")
+
+
+def swap_payloads(stream: EncodedVideo, first: int, second: int) -> EncodedVideo:
+    """Exchange the payloads of two pictures, keeping their metadata."""
+    a = _check_picture_index(stream, first)
+    b = _check_picture_index(stream, second)
+    pictures = list(stream.pictures)
+    pictures[first] = EncodedPicture(b.payload, a.display_index, a.frame_type)
+    pictures[second] = EncodedPicture(a.payload, b.display_index, b.frame_type)
+    return _copy_with(stream, pictures)
+
+
+def drop_picture(stream: EncodedVideo, picture_index: int) -> EncodedVideo:
+    """Remove one picture from the stream entirely."""
+    _check_picture_index(stream, picture_index)
+    pictures = list(stream.pictures)
+    del pictures[picture_index]
+    return _copy_with(stream, pictures)
+
+
+class FaultInjector:
+    """Seeded generator of corrupted streams.
+
+    >>> injector = FaultInjector(seed=7)
+    >>> corrupted, fault = injector.inject(stream)          # doctest: +SKIP
+
+    The same seed always produces the same sequence of faults, so a fuzz
+    failure is reproducible from its (seed, trial) pair alone.
+    """
+
+    def __init__(self, seed: int = 0, models: Optional[Sequence[str]] = None) -> None:
+        for model in models or ():
+            if model not in FAULT_MODELS:
+                raise ConfigError(
+                    f"unknown fault model {model!r} (known: {', '.join(FAULT_MODELS)})"
+                )
+        self.seed = seed
+        self.models: Tuple[str, ...] = tuple(models) if models else FAULT_MODELS
+        self._rng = random.Random(seed)
+
+    def _pick_payload_picture(self, stream: EncodedVideo) -> int:
+        """A random picture that still has payload bytes to corrupt."""
+        candidates = [
+            index
+            for index, picture in enumerate(stream.pictures)
+            if len(picture.payload) > 0
+        ]
+        if not candidates:
+            raise ConfigError("stream has no non-empty payloads to corrupt")
+        return self._rng.choice(candidates)
+
+    def _pick_droppable_picture(self, stream: EncodedVideo) -> int:
+        """A random picture other than the last display frame.
+
+        Losing the final display frame is indistinguishable from the
+        stream simply ending earlier, so ``drop`` keeps it intact; that
+        way concealment can always restore the full display length.
+        """
+        last_display = max(p.display_index for p in stream.pictures)
+        candidates = [
+            index
+            for index, picture in enumerate(stream.pictures)
+            if picture.display_index != last_display
+        ]
+        if not candidates:
+            raise ConfigError("stream too short to drop a picture from")
+        return self._rng.choice(candidates)
+
+    def inject(
+        self, stream: EncodedVideo, model: Optional[str] = None
+    ) -> Tuple[EncodedVideo, Fault]:
+        """Apply one randomly parameterised fault; returns (stream, fault)."""
+        rng = self._rng
+        model = model or rng.choice(self.models)
+        if model in ("bitflip", "burst"):
+            index = self._pick_payload_picture(stream)
+            picture = stream.pictures[index]
+            total_bits = 8 * len(picture.payload)
+            bit = rng.randrange(total_bits)
+            length = 1 if model == "bitflip" else rng.randint(2, 32)
+            corrupted = burst_flip(stream, index, bit, length)
+            fault = Fault(model, index, picture.display_index, bit, length)
+        elif model == "truncate":
+            index = self._pick_payload_picture(stream)
+            picture = stream.pictures[index]
+            keep = rng.randrange(len(picture.payload))
+            corrupted = truncate_payload(stream, index, keep)
+            fault = Fault(model, index, picture.display_index, keep)
+        elif model == "erase":
+            index = rng.randrange(len(stream.pictures))
+            picture = stream.pictures[index]
+            corrupted = erase_payload(stream, index)
+            fault = Fault(model, index, picture.display_index)
+        elif model == "swap":
+            if len(stream.pictures) < 2:
+                raise ConfigError("swap needs at least two pictures")
+            first, second = rng.sample(range(len(stream.pictures)), 2)
+            corrupted = swap_payloads(stream, first, second)
+            fault = Fault(
+                model, first, stream.pictures[first].display_index, length=second
+            )
+        elif model == "drop":
+            index = self._pick_droppable_picture(stream)
+            picture = stream.pictures[index]
+            corrupted = drop_picture(stream, index)
+            fault = Fault(model, index, picture.display_index)
+        else:
+            raise ConfigError(
+                f"unknown fault model {model!r} (known: {', '.join(FAULT_MODELS)})"
+            )
+        return corrupted, fault
+
+    def sweep(self, stream: EncodedVideo, trials: int):
+        """Yield ``trials`` independent (corrupted stream, fault) pairs."""
+        for _ in range(trials):
+            yield self.inject(stream)

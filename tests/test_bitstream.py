@@ -194,3 +194,68 @@ class TestRoundTrip:
         writer.write_bytes(data)
         reader = BitReader(writer.to_bytes())
         assert reader.read_bytes(len(data)) == data
+
+
+class TestWideFieldValidation:
+    """write_bits range checks at and past 64 bits (the numpy-shift edge)."""
+
+    def test_wide_values_roundtrip(self):
+        for count in (64, 65, 100):
+            value = (1 << count) - 1
+            writer = BitWriter()
+            writer.write_bits(value, count)
+            assert BitReader(writer.to_bytes()).read_bits(count) == value
+
+    def test_oversized_value_rejected_at_64_bits(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1 << 64, 64)
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1 << 70, 70)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(-1, 64)
+
+    def test_numpy_integers_accepted(self):
+        import numpy as np
+
+        writer = BitWriter()
+        writer.write_bits(np.int64(5), 8)
+        assert BitReader(writer.to_bytes()).read_bits(8) == 5
+
+
+class TestReaderBounds:
+    """align() and past-end reads must fail as TruncationError, in bounds."""
+
+    def test_align_past_end_raises(self):
+        from repro.errors import TruncationError
+
+        reader = BitReader(b"\xff")
+        reader.read_bits(3)
+        reader.align()  # still in bounds: consumes the padding
+        with pytest.raises(TruncationError):
+            reader.read_bit()
+
+    def test_align_with_no_remaining_padding_raises_cleanly(self):
+        from repro.errors import TruncationError
+
+        reader = BitReader(b"")
+        assert reader.align() == 0  # aligned already: nothing to skip
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        assert reader.align() == 0
+        with pytest.raises(TruncationError):
+            reader.read_bits(1)
+
+    def test_past_end_reads_raise_truncation_error(self):
+        from repro.errors import TruncationError
+
+        assert issubclass(TruncationError, BitstreamError)
+        with pytest.raises(TruncationError):
+            BitReader(b"").read_bit()
+        with pytest.raises(TruncationError):
+            BitReader(b"\x00").read_bits(9)
+        with pytest.raises(TruncationError):
+            BitReader(b"").skip_bits(1)
+        with pytest.raises(TruncationError):
+            BitReader(b"\x00").read_bytes(2)

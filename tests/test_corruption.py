@@ -117,3 +117,51 @@ class TestContainerCorruption:
                 container.unpack(bytes(mutated))
             except ReproError:
                 pass  # clean rejection is the expected common case
+
+
+@pytest.mark.parametrize("codec", CODEC_NAMES + EXTENSION_CODEC_NAMES)
+class TestErrorContext:
+    """Strict decode failures carry codec, picture index and bit position."""
+
+    def decode_error(self, codec, stream):
+        try:
+            get_decoder(codec).decode(stream)
+        except ReproError as error:
+            return error
+        return None
+
+    def test_empty_payload_error_has_full_context(self, codec, tiny_video):
+        stream = encoded(tiny_video, codec)
+        stream.pictures[0] = EncodedPicture(b"", 0, FrameType.I)
+        error = self.decode_error(codec, stream)
+        assert error is not None
+        assert error.has_decode_context()
+        assert error.codec == codec
+        assert error.picture_index == 0
+        assert f"codec={codec}" in str(error)
+
+    def test_truncation_is_distinguished(self, codec, tiny_video):
+        from repro.errors import TruncationError
+
+        stream = encoded(tiny_video, codec)
+        stream.pictures[0] = EncodedPicture(b"", 0, FrameType.I)
+        error = self.decode_error(codec, stream)
+        assert isinstance(error, TruncationError)
+
+    def test_bit_flip_error_context_points_at_picture(self, codec, tiny_video):
+        stream = encoded(tiny_video, codec)
+        for position in (1, 7, 19, 53):
+            pictures = list(stream.pictures)
+            payload = bytearray(pictures[1].payload)
+            if position < len(payload):
+                payload[position] ^= 0xFF
+            pictures[1] = EncodedPicture(bytes(payload), pictures[1].display_index,
+                                         pictures[1].frame_type)
+            corrupted = EncodedVideo(
+                codec=stream.codec, width=stream.width, height=stream.height,
+                fps=stream.fps, pictures=pictures,
+            )
+            error = self.decode_error(codec, corrupted)
+            if error is not None:
+                assert error.has_decode_context(), (position, repr(error))
+                assert error.codec == codec

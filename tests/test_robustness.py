@@ -1,0 +1,546 @@
+"""Unit tests for the robustness subsystem (repro.robustness).
+
+Covers the four layers: fault injection, decode guards / error
+normalisation, concealment strategies, and the hardened decode engine,
+plus the hardened parallel-encode fallback path.
+"""
+
+import pickle
+import warnings
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_decoder, get_encoder
+from repro.codecs.base import EncodedPicture
+from repro.codecs.frames import WorkingFrame
+from repro.common.gop import FrameType
+from repro.errors import (
+    BitstreamError,
+    CodecError,
+    ConcealmentEvent,
+    ConfigError,
+    ReproError,
+    TruncationError,
+)
+from repro.me.types import MotionVector
+from repro.parallel import parallel_encode
+from repro.robustness import (
+    CONCEAL_STRATEGIES,
+    FAULT_MODELS,
+    FaultInjector,
+    decode_stream,
+    get_concealer,
+    normalize_decode_error,
+)
+from repro.robustness.conceal import (
+    GREY_LEVEL,
+    CopyLastConcealer,
+    GreyConcealer,
+    MotionConcealer,
+    SkipConcealer,
+    estimate_global_motion,
+)
+from repro.robustness.guard import (
+    check_header,
+    check_motion_vector,
+    check_payload_present,
+    check_stream_geometry,
+    read_frame_type,
+)
+from repro.robustness.inject import (
+    burst_flip,
+    drop_picture,
+    erase_payload,
+    flip_bit,
+    swap_payloads,
+    truncate_payload,
+)
+from repro.common.bitstream import BitReader, BitWriter
+
+from conftest import make_moving_sequence
+
+
+def encode_tiny(tiny_video, codec="mpeg2"):
+    fields = dict(width=tiny_video.width, height=tiny_video.height, search_range=4)
+    if codec == "h264":
+        fields["qp"] = 26
+    elif codec == "mjpeg":
+        fields["quality"] = 80
+        del fields["search_range"]
+    else:
+        fields["qscale"] = 5
+    return get_encoder(codec, **fields).encode_sequence(tiny_video)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class TestInjection:
+    def test_functions_are_pure(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        before = [bytes(p.payload) for p in stream.pictures]
+        flip_bit(stream, 0, 3)
+        burst_flip(stream, 1, 0, 16)
+        truncate_payload(stream, 0, 4)
+        erase_payload(stream, 2)
+        swap_payloads(stream, 0, 1)
+        drop_picture(stream, 1)
+        assert [bytes(p.payload) for p in stream.pictures] == before
+
+    def test_flip_bit_flips_exactly_one_bit(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        corrupted = flip_bit(stream, 0, 10)
+        original = stream.pictures[0].payload
+        mutated = corrupted.pictures[0].payload
+        diff = [a ^ b for a, b in zip(original, mutated)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        assert diff[1] == 0x80 >> 2  # bit 10 = byte 1, bit 2 (MSB first)
+
+    def test_burst_clamps_at_payload_end(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        total_bits = 8 * len(stream.pictures[0].payload)
+        corrupted = burst_flip(stream, 0, total_bits - 4, 32)
+        assert len(corrupted.pictures[0].payload) == len(stream.pictures[0].payload)
+
+    def test_truncate_and_erase(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        assert len(truncate_payload(stream, 0, 5).pictures[0].payload) == 5
+        assert erase_payload(stream, 0).pictures[0].payload == b""
+
+    def test_swap_keeps_metadata(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        corrupted = swap_payloads(stream, 0, 1)
+        assert corrupted.pictures[0].payload == stream.pictures[1].payload
+        assert corrupted.pictures[0].display_index == stream.pictures[0].display_index
+        assert corrupted.pictures[0].frame_type is stream.pictures[0].frame_type
+
+    def test_drop_removes_one_picture(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        assert len(drop_picture(stream, 1).pictures) == len(stream.pictures) - 1
+
+    def test_out_of_range_indices_rejected(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        with pytest.raises(ConfigError):
+            flip_bit(stream, 99, 0)
+        with pytest.raises(ConfigError):
+            flip_bit(stream, 0, 10 ** 9)
+        with pytest.raises(ConfigError):
+            truncate_payload(stream, 0, -1)
+
+    def test_injector_is_deterministic(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        faults_a = [f for _, f in FaultInjector(seed=5).sweep(stream, 12)]
+        faults_b = [f for _, f in FaultInjector(seed=5).sweep(stream, 12)]
+        assert faults_a == faults_b
+        faults_c = [f for _, f in FaultInjector(seed=6).sweep(stream, 12)]
+        assert faults_a != faults_c
+
+    def test_injector_model_restriction(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        injector = FaultInjector(seed=0, models=("truncate",))
+        for _, fault in injector.sweep(stream, 5):
+            assert fault.model == "truncate"
+        with pytest.raises(ConfigError):
+            FaultInjector(models=("gamma-ray",))
+
+    def test_drop_never_hits_last_display_frame(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        last = max(p.display_index for p in stream.pictures)
+        injector = FaultInjector(seed=0, models=("drop",))
+        for corrupted, fault in injector.sweep(stream, 20):
+            assert fault.display_index != last
+            assert max(p.display_index for p in corrupted.pictures) == last
+
+    def test_every_model_reachable(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        injector = FaultInjector(seed=1)
+        seen = {fault.model for _, fault in injector.sweep(stream, 80)}
+        assert seen == set(FAULT_MODELS)
+
+
+# ---------------------------------------------------------------------------
+# Guards and error normalisation
+# ---------------------------------------------------------------------------
+
+class TestGuards:
+    def test_raw_exception_is_wrapped(self):
+        error = normalize_decode_error(
+            IndexError("boom"), codec="mpeg2", picture_index=3,
+            frame_type=FrameType.P, bit_position=17,
+        )
+        assert isinstance(error, BitstreamError)
+        assert isinstance(error.__cause__, IndexError)
+        assert error.codec == "mpeg2"
+        assert error.picture_index == 3
+        assert error.bit_position == 17
+        assert error.has_decode_context()
+
+    def test_repro_error_keeps_class_and_message(self):
+        original = TruncationError("payload ends early")
+        error = normalize_decode_error(
+            original, codec="h264", picture_index=0, bit_position=5,
+        )
+        assert error is original
+        assert isinstance(error, TruncationError)
+        assert error.message == "payload ends early"
+        assert error.has_decode_context()
+
+    def test_existing_context_not_overwritten(self):
+        original = BitstreamError("bad", codec="vc1", picture_index=9)
+        error = normalize_decode_error(
+            original, codec="mpeg2", picture_index=1, bit_position=2,
+        )
+        assert error.codec == "vc1"
+        assert error.picture_index == 9
+        assert error.bit_position == 2  # only the missing field is filled
+
+    def test_read_frame_type(self):
+        writer = BitWriter()
+        writer.write_bits(1, 2)  # P
+        writer.write_bits(3, 2)  # invalid code
+        reader = BitReader(writer.to_bytes())
+        assert read_frame_type(reader) is FrameType.P
+        with pytest.raises(BitstreamError, match="invalid picture type"):
+            read_frame_type(reader)
+
+    def test_read_frame_type_metadata_mismatch(self):
+        writer = BitWriter()
+        writer.write_bits(0, 2)  # I
+        reader = BitReader(writer.to_bytes())
+        with pytest.raises(BitstreamError, match="disagrees with container"):
+            read_frame_type(reader, expected=FrameType.B)
+
+    def test_check_header(self):
+        assert check_header("qscale", 5, 1, 31) == 5
+        with pytest.raises(BitstreamError, match="qscale=0"):
+            check_header("qscale", 0, 1, 31)
+
+    def test_check_motion_vector(self):
+        check_motion_vector(MotionVector(10, -10), search_range=4, pel_scale=2)
+        with pytest.raises(BitstreamError, match="exceeds search range"):
+            check_motion_vector(MotionVector(11, 0), search_range=4, pel_scale=2)
+        with pytest.raises(BitstreamError):
+            check_motion_vector(MotionVector(0, -21), search_range=4, pel_scale=4)
+
+    def test_check_stream_geometry(self):
+        check_stream_geometry(32, 32, 25)
+        for width, height, fps in ((0, 32, 25), (33, 32, 25), (32, 32, 0),
+                                   (32768, 32, 25)):
+            with pytest.raises(BitstreamError):
+                check_stream_geometry(width, height, fps)
+
+    def test_check_payload_present(self):
+        check_payload_present(b"\x00")
+        with pytest.raises(TruncationError):
+            check_payload_present(b"")
+
+
+class TestErrorContext:
+    def test_str_appends_context(self):
+        error = BitstreamError("bad header", codec="mpeg2", picture_index=2,
+                               bit_position=40)
+        text = str(error)
+        assert text.startswith("bad header")
+        assert "codec=mpeg2" in text and "picture=2" in text and "bit=40" in text
+        assert str(BitstreamError("plain")) == "plain"
+
+    def test_pickle_roundtrip_keeps_context(self):
+        error = TruncationError("short", codec="h264", picture_index=1,
+                                bit_position=9)
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is TruncationError
+        assert clone.message == "short"
+        assert clone.context == error.context
+
+    def test_truncation_is_bitstream_error(self):
+        assert issubclass(TruncationError, BitstreamError)
+        assert issubclass(BitstreamError, ReproError)
+
+    def test_concealment_event_truncated_flag(self):
+        plain = ConcealmentEvent(codec="mpeg2", strategy="grey", display_index=0,
+                                 error=BitstreamError("x"))
+        short = ConcealmentEvent(codec="mpeg2", strategy="grey", display_index=0,
+                                 error=TruncationError("x"))
+        hole = ConcealmentEvent(codec="mpeg2", strategy="grey", display_index=0)
+        assert not plain.truncated
+        assert short.truncated
+        assert not hole.truncated
+        assert "missing picture" in str(hole)
+
+
+# ---------------------------------------------------------------------------
+# Concealment strategies
+# ---------------------------------------------------------------------------
+
+def ramp_frame(width=32, height=32, shift=0):
+    base = np.arange(width, dtype=np.int64)[None, :] * 3
+    luma = np.tile(base, (height, 1))
+    luma = np.roll(luma, shift, axis=1)
+    return WorkingFrame(luma, luma[::2, ::2] // 2, luma[::2, ::2] // 2)
+
+
+class FakeStream:
+    width = 32
+    height = 32
+
+
+class FakePicture:
+    def __init__(self, frame_type):
+        self.frame_type = frame_type
+        self.display_index = 0
+
+
+class TestConcealment:
+    def test_get_concealer_resolution(self):
+        assert get_concealer(None) is None
+        assert get_concealer("none") is None
+        assert get_concealer("strict") is None
+        for name in CONCEAL_STRATEGIES:
+            assert get_concealer(name).name == name
+        instance = GreyConcealer()
+        assert get_concealer(instance) is instance
+        with pytest.raises(ConfigError, match="unknown concealment"):
+            get_concealer("psychic")
+
+    def test_skip_returns_none(self):
+        concealer = SkipConcealer()
+        assert concealer.conceal(FakeStream, FakePicture(FrameType.P), {}, None) is None
+        assert concealer.fill_missing(FakeStream, 0, ramp_frame()) is None
+
+    def test_grey_fill(self):
+        frame = GreyConcealer().conceal(FakeStream, FakePicture(FrameType.I), {}, None)
+        assert np.all(frame.y == GREY_LEVEL)
+        assert np.all(frame.u == GREY_LEVEL)
+
+    def test_copy_last_is_a_fresh_copy(self):
+        last = ramp_frame()
+        frame = CopyLastConcealer().conceal(
+            FakeStream, FakePicture(FrameType.P), {}, last
+        )
+        assert np.array_equal(frame.y, last.y)
+        assert frame.y is not last.y  # must not alias the reference chain
+        frame.y[0, 0] += 1
+        assert frame.y[0, 0] != last.y[0, 0]
+
+    def test_copy_last_falls_back_to_reference_then_grey(self):
+        reference = ramp_frame(shift=2)
+        concealer = CopyLastConcealer()
+        frame = concealer.conceal(
+            FakeStream, FakePicture(FrameType.P), {0: reference}, None
+        )
+        assert np.array_equal(frame.y, reference.y)
+        grey = concealer.conceal(FakeStream, FakePicture(FrameType.P), {}, None)
+        assert np.all(grey.y == GREY_LEVEL)
+
+    def test_estimate_global_motion_recovers_shift(self):
+        rng = np.random.default_rng(0)
+        coarse = rng.integers(0, 255, (12, 12))
+        world = np.kron(coarse, np.ones((8, 8))).astype(np.int64)
+        previous = WorkingFrame(world[8:72, 8:72],
+                                world[8:72:2, 8:72:2], world[8:72:2, 8:72:2])
+        current = WorkingFrame(world[8:72, 12:76],
+                               world[8:72:2, 12:76:2], world[8:72:2, 12:76:2])
+        dx, dy = estimate_global_motion(previous, current, radius=2)
+        assert (dx, dy) == (-4, 0)
+
+    def test_motion_concealer_projects_references(self):
+        rng = np.random.default_rng(1)
+        coarse = rng.integers(0, 255, (14, 14))
+        world = np.kron(coarse, np.ones((8, 8))).astype(np.int64)
+
+        def window(offset):
+            luma = world[8:40, 8 + offset : 40 + offset]
+            return WorkingFrame(luma, luma[::2, ::2], luma[::2, ::2])
+
+        references = {0: window(0), 1: window(4)}
+        projected = MotionConcealer().conceal(
+            FakeStream, FakePicture(FrameType.P), references, window(4)
+        )
+        expected = window(8)
+        # Edge replication differs from true content only at the border.
+        interior = slice(8, 24)
+        assert np.array_equal(projected.y[interior, interior],
+                              expected.y[interior, interior])
+
+    def test_motion_concealer_freezes_on_i_pictures(self):
+        last = ramp_frame()
+        frame = MotionConcealer().conceal(
+            FakeStream, FakePicture(FrameType.I), {0: ramp_frame(shift=3)}, last
+        )
+        assert np.array_equal(frame.y, last.y)
+
+
+# ---------------------------------------------------------------------------
+# The hardened decode engine
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_strict_matches_legacy_decode(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        result = decode_stream(get_decoder("mpeg2"), stream)
+        legacy = get_decoder("mpeg2").decode(stream)
+        assert result.clean and result.concealed_count == 0
+        assert len(result.frames) == len(legacy)
+        for ours, theirs in zip(result.frames, legacy):
+            assert np.array_equal(ours.y, theirs.y)
+
+    def test_erased_i_picture_conceals_full_length(self, tiny_video):
+        stream = erase_payload(encode_tiny(tiny_video), 0)
+        result = decode_stream(get_decoder("mpeg2"), stream, conceal="copy-last")
+        assert len(result.frames) == len(tiny_video)
+        assert result.concealed_count >= 1
+        assert result.events[0].truncated  # empty payload reports truncation
+
+    def test_skip_strategy_shrinks_output(self, tiny_video):
+        stream = erase_payload(encode_tiny(tiny_video), 0)
+        result = decode_stream(get_decoder("mpeg2"), stream, conceal="skip")
+        assert len(result.frames) < len(tiny_video)
+
+    def test_dropped_interior_picture_is_refilled(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        display_one = next(
+            i for i, p in enumerate(stream.pictures) if p.display_index == 1
+        )
+        corrupted = drop_picture(stream, display_one)
+        result = decode_stream(get_decoder("mpeg2"), corrupted, conceal="copy-last")
+        assert len(result.frames) == len(tiny_video)
+        assert any(event.display_index == 1 for event in result.events)
+
+    def test_on_event_callback_sees_every_event(self, tiny_video):
+        stream = erase_payload(encode_tiny(tiny_video), 0)
+        seen = []
+        result = decode_stream(
+            get_decoder("mpeg2"), stream, conceal="grey", on_event=seen.append
+        )
+        assert seen == result.events
+        assert all(event.strategy == "grey" for event in seen)
+
+    def test_strict_mode_raises_with_context(self, tiny_video):
+        stream = erase_payload(encode_tiny(tiny_video), 0)
+        with pytest.raises(ReproError) as excinfo:
+            decode_stream(get_decoder("mpeg2"), stream)
+        assert excinfo.value.has_decode_context()
+        assert excinfo.value.codec == "mpeg2"
+
+    def test_decoder_decode_accepts_conceal_keyword(self, tiny_video):
+        stream = erase_payload(encode_tiny(tiny_video), 0)
+        frames = get_decoder("mpeg2").decode(stream, conceal="copy-last")
+        assert len(frames) == len(tiny_video)
+
+    def test_bad_geometry_rejected_before_decoding(self, tiny_video):
+        stream = encode_tiny(tiny_video)
+        stream.width = 33
+        with pytest.raises(BitstreamError, match="not macroblock aligned"):
+            decode_stream(get_decoder("mpeg2"), stream)
+
+
+# ---------------------------------------------------------------------------
+# Hardened parallel encoding
+# ---------------------------------------------------------------------------
+
+class _RecordingPool:
+    """Stub executor: optionally fails, records shutdown arguments."""
+
+    instances = []
+
+    def __init__(self, max_workers):
+        self.shutdown_args = None
+        type(self).instances.append(self)
+
+    def submit(self, fn, *args):
+        return _ImmediateFuture(fn, args, self.failure)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_args = (wait, cancel_futures)
+
+
+class _ImmediateFuture:
+    def __init__(self, fn, args, failure):
+        self._fn = fn
+        self._args = args
+        self._failure = failure
+
+    def result(self, timeout=None):
+        if self._failure is not None:
+            raise self._failure
+        return self._fn(*self._args)
+
+
+def _pool_factory(failure):
+    class Pool(_RecordingPool):
+        pass
+
+    Pool.failure = failure
+    Pool.instances = []
+    return Pool
+
+
+class TestParallelHardening:
+    @pytest.fixture()
+    def six_frames(self):
+        return make_moving_sequence(width=32, height=32, frames=6, dx=1, dy=0)
+
+    def test_healthy_stub_pool_encodes(self, six_frames):
+        factory = _pool_factory(None)
+        stream = parallel_encode(
+            "mpeg2", six_frames, workers=2, executor_factory=factory,
+            qscale=5, search_range=4, width=32, height=32,
+        )
+        assert stream.frame_count == 6
+        assert len(factory.instances) == 1
+        assert factory.instances[0].shutdown_args == (True, False)
+
+    @pytest.mark.parametrize("failure", [
+        BrokenProcessPool("worker died"),
+        FutureTimeout(),
+        OSError("fork failed"),
+    ])
+    def test_pool_failure_retries_then_falls_back_serial(self, six_frames, failure):
+        factory = _pool_factory(failure)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            stream = parallel_encode(
+                "mpeg2", six_frames, workers=2, executor_factory=factory,
+                qscale=5, search_range=4, width=32, height=32,
+            )
+        # One retry: two pools were built before the serial fallback.
+        assert len(factory.instances) == 2
+        # Failed pools must not block shutdown on unfinished futures.
+        assert all(p.shutdown_args == (False, True) for p in factory.instances)
+        assert stream.frame_count == 6
+        decoded = get_decoder("mpeg2").decode(stream)
+        assert len(decoded) == 6
+
+    def test_repro_error_propagates_without_retry(self, six_frames):
+        factory = _pool_factory(ConfigError("bad knob"))
+        with pytest.raises(ConfigError, match="bad knob"):
+            parallel_encode(
+                "mpeg2", six_frames, workers=2, executor_factory=factory,
+                qscale=5, search_range=4, width=32, height=32,
+            )
+        assert len(factory.instances) == 1  # no second attempt
+
+    def test_bad_timeout_rejected(self, six_frames):
+        with pytest.raises(ConfigError, match="chunk_timeout"):
+            parallel_encode(
+                "mpeg2", six_frames, workers=2, chunk_timeout=0,
+                qscale=5, search_range=4, width=32, height=32,
+            )
+
+    def test_serial_fallback_matches_parallel_result(self, six_frames):
+        reference = parallel_encode(
+            "mpeg2", six_frames, workers=1, chunks=2,
+            qscale=5, search_range=4, width=32, height=32,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fallback = parallel_encode(
+                "mpeg2", six_frames, workers=2, chunks=2,
+                executor_factory=_pool_factory(BrokenProcessPool("x")),
+                qscale=5, search_range=4, width=32, height=32,
+            )
+        assert [p.payload for p in fallback.pictures] == \
+               [p.payload for p in reference.pictures]

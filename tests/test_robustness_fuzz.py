@@ -1,0 +1,45 @@
+"""Seeded fuzz smoke test: a small sweep over every codec.
+
+A fast CI-friendly slice of the full resilience benchmark
+(``benchmarks/test_robustness.py`` runs the >= 200-stream sweep): every
+corrupted stream must either decode (benign damage) or fail with a
+:class:`ReproError` carrying full decode context, and concealed decodes
+must always return the full frame count.
+"""
+
+import pytest
+
+from repro.codecs import CODEC_NAMES, EXTENSION_CODEC_NAMES, get_decoder, get_encoder
+from repro.errors import ReproError
+from repro.robustness import FaultInjector, decode_stream
+from repro.robustness.bench import encoder_fields, make_bench_clip
+
+ALL_CODECS = CODEC_NAMES + EXTENSION_CODEC_NAMES
+TRIALS = 8
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return make_bench_clip(width=32, height=32, frames=5)
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+def test_seeded_fuzz_smoke(codec, clip):
+    encoder = get_encoder(codec, **encoder_fields(codec, clip.width, clip.height))
+    stream = encoder.encode_sequence(clip)
+    injector = FaultInjector(seed=0)
+    for trial, (corrupted, fault) in enumerate(injector.sweep(stream, TRIALS)):
+        try:
+            get_decoder(codec).decode(corrupted)
+        except ReproError as error:
+            assert error.has_decode_context(), (
+                f"trial {trial} ({fault}): escaped without decode context: "
+                f"{error!r}"
+            )
+        # Any non-ReproError escape fails the test by raising through.
+
+        result = decode_stream(get_decoder(codec), corrupted, conceal="copy-last")
+        assert len(result.frames) == len(clip), (
+            f"trial {trial} ({fault}): concealed decode returned "
+            f"{len(result.frames)} of {len(clip)} frames"
+        )
