@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Validate a ``repro.telemetry`` trace export file.
+
+Accepts both export formats and auto-detects which one it is looking at:
+
+* Chrome trace-event JSON (``hdvb-bench performance --trace out.json``,
+  the default ``--trace-format chrome``): an object with a
+  ``traceEvents`` list of ``"ph": "X"`` complete events, loadable in
+  ``chrome://tracing`` / Perfetto;
+* the library's own span schema (``--trace-format json``):
+  ``{"schema": "repro.telemetry.trace/1", "spans": [...]}``.
+
+Exit status 0 when the file validates, 1 with a diagnostic otherwise.
+Used by the CI telemetry smoke job; importable for tests
+(:func:`validate_trace_file`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TRACE_SCHEMA = "repro.telemetry.trace/1"
+
+#: Required keys per Chrome event phase we emit.
+CHROME_COMPLETE_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class TraceValidationError(Exception):
+    """The file does not match either telemetry export schema."""
+
+
+def _fail(message: str) -> None:
+    raise TraceValidationError(message)
+
+
+def _check_number(value, label: str, minimum=None) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{label} must be a number, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        _fail(f"{label} must be >= {minimum}, got {value}")
+
+
+def validate_chrome(document: dict) -> int:
+    """Validate Chrome trace-event format; returns the span-event count."""
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        _fail("'traceEvents' must be a list")
+    spans = 0
+    for index, event in enumerate(events):
+        label = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            _fail(f"{label} must be an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            _fail(f"{label}: unexpected phase {phase!r} (emit only X and M)")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            _fail(f"{label}: 'name' must be a non-empty string")
+        _check_number(event.get("pid"), f"{label}.pid", minimum=0)
+        _check_number(event.get("tid"), f"{label}.tid", minimum=0)
+        if phase == "M":
+            continue
+        for key in CHROME_COMPLETE_KEYS:
+            if key not in event:
+                _fail(f"{label}: complete event missing {key!r}")
+        _check_number(event["ts"], f"{label}.ts", minimum=0)
+        _check_number(event["dur"], f"{label}.dur", minimum=0)
+        if "args" in event and not isinstance(event["args"], dict):
+            _fail(f"{label}: 'args' must be an object")
+        spans += 1
+    if spans == 0:
+        _fail("trace contains no span events")
+    other = document.get("otherData", {})
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        _fail(f"otherData.schema must be {TRACE_SCHEMA!r}")
+    return spans
+
+
+def validate_native(document: dict) -> int:
+    """Validate the library's own span schema; returns the span count."""
+    if document.get("schema") != TRACE_SCHEMA:
+        _fail(f"'schema' must be {TRACE_SCHEMA!r}, got {document.get('schema')!r}")
+    spans = document.get("spans")
+    if not isinstance(spans, list) or not spans:
+        _fail("'spans' must be a non-empty list")
+    ids = set()
+    for index, record in enumerate(spans):
+        label = f"spans[{index}]"
+        if not isinstance(record, dict):
+            _fail(f"{label} must be an object")
+        for key in ("id", "name", "start", "end", "duration", "pid", "tid", "attrs"):
+            if key not in record:
+                _fail(f"{label}: missing {key!r}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            _fail(f"{label}: 'name' must be a non-empty string")
+        _check_number(record["id"], f"{label}.id", minimum=1)
+        _check_number(record["start"], f"{label}.start")
+        _check_number(record["end"], f"{label}.end")
+        if record["end"] < record["start"]:
+            _fail(f"{label}: end precedes start")
+        if not isinstance(record["attrs"], dict):
+            _fail(f"{label}: 'attrs' must be an object")
+        ids.add(record["id"])
+    for index, record in enumerate(spans):
+        parent = record.get("parent")
+        if parent is not None and parent not in ids:
+            _fail(f"spans[{index}]: parent {parent} is not a recorded span id")
+    return len(spans)
+
+
+def validate_trace_file(path: str) -> str:
+    """Validate ``path``; returns a human-readable summary line."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise TraceValidationError(f"cannot load {path}: {error}") from error
+    if not isinstance(document, dict):
+        _fail("top level must be a JSON object")
+    if "traceEvents" in document:
+        count = validate_chrome(document)
+        return f"{path}: valid Chrome trace ({count} span events)"
+    count = validate_native(document)
+    return f"{path}: valid {TRACE_SCHEMA} trace ({count} spans)"
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        print(validate_trace_file(argv[1]))
+    except TraceValidationError as error:
+        print(f"check_trace: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

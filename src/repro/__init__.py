@@ -37,8 +37,10 @@ from repro.common import (
 from repro.kernels import BACKEND_NAMES, get_kernels
 from repro.sequences import SEQUENCE_NAMES, generate_sequence
 from repro.transform import h264_qp_from_mpeg
+from repro import telemetry
 
 __all__ = [
+    "telemetry",
     "BACKEND_NAMES",
     "CODEC_NAMES",
     "EXTENSION_CODEC_NAMES",

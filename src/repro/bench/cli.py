@@ -4,6 +4,8 @@
     hdvb-bench table5 [--scale 1/8 --frames 9]
     hdvb-bench figure1 [--part a|b|c|d|all] [--realtime]
     hdvb-bench speedups                      # SIMD speed-up aggregate
+    hdvb-bench performance [--operation encode|decode] [--backend simd]
+                           [--trace out.json]   # telemetry stage breakdown
 """
 
 from __future__ import annotations
@@ -17,7 +19,9 @@ from repro.bench import commands as commands_module
 from repro.bench import registry_tables
 from repro.bench.config import BenchConfig
 from repro.bench.performance import (
+    BACKENDS,
     FIGURE1_PARTS,
+    OPERATIONS,
     render_performance,
     run_figure1_part,
     run_performance,
@@ -87,6 +91,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sp = sub.add_parser("speedups", help="per-codec SIMD speed-ups (decode + encode)")
     _add_config_arguments(sp)
+
+    pf = sub.add_parser("performance",
+                        help="timed encode/decode run with the telemetry "
+                             "stage breakdown (where did the time go)")
+    _add_config_arguments(pf)
+    pf.add_argument("--operation", default="encode", choices=OPERATIONS,
+                    help="what to time (default: encode)")
+    pf.add_argument("--backend", default="simd", choices=BACKENDS,
+                    help="kernel backend (default: simd)")
+    pf.add_argument("--trace", default="", metavar="PATH",
+                    help="write the span trace to PATH as JSON")
+    pf.add_argument("--trace-format", default="chrome",
+                    choices=("chrome", "json"),
+                    help="chrome = chrome://tracing loadable (default), "
+                         "json = the library's own span schema")
 
     ch = sub.add_parser("characterize",
                         help="per-kernel workload breakdown (encode + decode)")
@@ -170,11 +189,53 @@ def _dispatch(args) -> int:
             progress=_progress,
         )
         print(render_robustness(reports))
+    elif args.command == "performance":
+        _run_performance_command(args)
     elif args.command == "characterize":
         _run_characterize(args)
     elif args.command == "bdrate":
         _run_bdrate(args)
     return 0
+
+
+def _run_performance_command(args) -> None:
+    """``hdvb-bench performance``: fps table + telemetry stage breakdown."""
+    import time
+
+    import repro.telemetry as telemetry
+    from repro.bench.report import render_telemetry_section
+
+    config = _config_from_args(args)
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        wall_start = time.perf_counter()
+        rows = run_performance(config, args.operation, args.backend,
+                               progress=_progress)
+        wall_seconds = time.perf_counter() - wall_start
+    finally:
+        telemetry.disable()
+
+    title = f"Performance: {args.operation}, {args.backend} backend"
+    print(render_performance(rows, title))
+    print()
+    print(render_telemetry_section(telemetry.current_trace(),
+                                   telemetry.registry(), wall_seconds))
+    if args.trace:
+        trace = telemetry.current_trace()
+        metadata = {
+            "tool": "hdvb-bench performance",
+            "operation": args.operation,
+            "backend": args.backend,
+        }
+        if args.trace_format == "chrome":
+            payload = trace.to_chrome_json(indent=2, metadata=metadata)
+        else:
+            payload = trace.to_json(indent=2)
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"trace written to {args.trace} ({args.trace_format} format, "
+              f"{len(trace)} spans)", file=sys.stderr)
 
 
 def _run_bdrate(args) -> None:

@@ -18,6 +18,7 @@ from repro.codecs import get_decoder, get_encoder
 from repro.common.metrics import mean
 from repro.errors import ConfigError
 from repro.sequences import generate_sequence
+from repro.telemetry.trace import span as telemetry_span
 
 OPERATIONS = ("decode", "encode")
 BACKENDS = ("scalar", "simd")
@@ -46,10 +47,17 @@ class FpsRow:
 
 def _measure(config: BenchConfig, operation: str, backend: str, codec: str,
              sequence_name: str, tier) -> Timing:
-    video = generate_sequence(
-        sequence_name, tier.name, frames=config.frames, scale=config.scale
-    )
+    with telemetry_span("bench.generate", sequence=sequence_name,
+                        tier=tier.name, frames=config.frames):
+        video = generate_sequence(
+            sequence_name, tier.name, frames=config.frames, scale=config.scale
+        )
     fields = config.encoder_fields(codec, tier, backend=backend)
+    # First-touch codec setup (module import, VLC table construction)
+    # happens here under its own span, so the stage table attributes it
+    # instead of losing it inside the first timed run.
+    with telemetry_span("bench.setup", codec=codec, backend=backend):
+        get_encoder(codec, **fields)
     if operation == "encode":
         def run():
             get_encoder(codec, **fields).encode_sequence(video)

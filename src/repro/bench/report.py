@@ -1,8 +1,8 @@
-"""Plain-text rendering of benchmark tables and bar charts."""
+"""Plain-text rendering of benchmark tables, bar charts and telemetry."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -50,3 +50,45 @@ def render_bars(labels: Sequence[str], values: Sequence[float],
     if reference and reference_label:
         lines.append(f"{'':{label_width}} ('|' marks {reference_label})")
     return "\n".join(lines)
+
+
+def render_telemetry_section(trace, registry,
+                             wall_seconds: Optional[float] = None) -> str:
+    """Render the telemetry section of a performance report.
+
+    ``trace`` is a :class:`repro.telemetry.Trace`, ``registry`` a
+    :class:`repro.telemetry.MetricsRegistry`.  Produces the Figure-1-style
+    stage table (where did the time go), a coverage line against
+    ``wall_seconds``, and the collected counters/gauges/histograms.
+    """
+    from repro.telemetry.profile import coverage, render_stage_table, stage_table
+
+    rows = stage_table(trace)
+    if not rows:
+        return "Telemetry: no spans recorded (is telemetry enabled?)"
+    parts = [render_stage_table(rows, title="Telemetry: stage profile")]
+    if wall_seconds is not None and wall_seconds > 0:
+        covered = coverage(trace, wall_seconds)
+        parts.append(
+            f"Stage coverage: root spans account for {100.0 * covered:.1f}% "
+            f"of {wall_seconds:.3f}s measured wall time"
+        )
+    metric_rows = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        data = instrument.to_dict()
+        if data["kind"] == "histogram":
+            value = (f"count={data['count']} sum={data['sum']:.0f} "
+                     f"mean={instrument.mean:.1f}")
+        elif data["kind"] == "gauge":
+            value = f"{data['value']} (max {data['max']})"
+        else:
+            value = str(data["value"])
+        metric_rows.append((name, data["kind"], value))
+    if metric_rows:
+        parts.append(render_table(["metric", "kind", "value"], metric_rows,
+                                  title="Telemetry: metrics"))
+    if trace.dropped:
+        parts.append(f"(note: {trace.dropped} spans dropped at the "
+                     f"{trace.max_spans}-span buffer cap)")
+    return "\n\n".join(parts)

@@ -12,6 +12,9 @@ from repro.common.metrics import bitrate_kbps
 from repro.common.resolution import FRAME_RATE
 from repro.common.yuv import YuvSequence
 from repro.errors import CodecError, ConfigError
+from repro.telemetry.instrument import traced_encode, traced_picture
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
 
 @dataclass(frozen=True)
@@ -104,10 +107,27 @@ class CodecConfig:
 
 
 class VideoEncoder(abc.ABC):
-    """Base class of the three encoders."""
+    """Base class of the three encoders.
+
+    Subclassing automatically instruments the telemetry seams: the
+    concrete ``encode_sequence`` gains a sequence-level span plus the
+    standard encode counters, and the per-picture method
+    (``_encode_picture``/``_encode_frame``) gains a per-picture span.
+    All of it is a single flag check while telemetry is disabled (see
+    :mod:`repro.telemetry.instrument`).
+    """
 
     #: codec registry name, e.g. ``"mpeg2"``; set by subclasses.
     codec_name = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if "encode_sequence" in cls.__dict__:
+            cls.encode_sequence = traced_encode(cls.__dict__["encode_sequence"])
+        for picture_method in ("_encode_picture", "_encode_frame"):
+            if picture_method in cls.__dict__:
+                cls_fn = cls.__dict__[picture_method]
+                setattr(cls, picture_method, traced_picture(cls_fn))
 
     def __init__(self, config: CodecConfig) -> None:
         self.config = config
@@ -152,7 +172,20 @@ class VideoDecoder(abc.ABC):
         """
         from repro.robustness.engine import decode_stream
 
-        return decode_stream(self, stream, conceal=conceal, on_event=on_event).frames
+        if not telemetry_state.enabled:
+            return decode_stream(self, stream, conceal=conceal, on_event=on_event).frames
+        with telemetry_span(
+            f"{self.codec_name}.decode",
+            codec=self.codec_name,
+            width=stream.width,
+            height=stream.height,
+            frames=stream.frame_count,
+        ):
+            result = decode_stream(self, stream, conceal=conceal, on_event=on_event)
+        reg = telemetry_registry()
+        reg.counter(f"decode.{self.codec_name}.pictures").inc(stream.frame_count)
+        reg.counter(f"decode.{self.codec_name}.bits").inc(8 * stream.total_bytes)
+        return result.frames
 
     @abc.abstractmethod
     def decode_picture(self, stream: EncodedVideo, picture: EncodedPicture,

@@ -16,6 +16,8 @@ from repro.errors import ConfigError
 from repro.kernels.api import KERNEL_NAMES, implements_kernel_api
 from repro.kernels.scalar import ScalarKernels
 from repro.kernels.simd import SimdKernels
+from repro.telemetry.instrument import InstrumentedKernels
+from repro.telemetry.trace import state as _telemetry_state
 
 #: Backend names in the order the paper presents them (Figure 1).
 BACKEND_NAMES: Tuple[str, ...] = ("scalar", "simd")
@@ -27,12 +29,21 @@ _BACKENDS = {
 
 
 def get_kernels(backend: str = "simd"):
-    """Return the kernel backend named ``backend`` ("scalar" or "simd")."""
+    """Return the kernel backend named ``backend`` ("scalar" or "simd").
+
+    While telemetry is enabled (:func:`repro.telemetry.enable`) the
+    backend is wrapped with per-kernel, per-backend call counters
+    (``kernels.<backend>.<kernel>.calls``); with telemetry disabled the
+    shared raw backend is returned, so the dispatch path is untouched.
+    """
     try:
-        return _BACKENDS[backend]
+        kernels = _BACKENDS[backend]
     except KeyError:
         known = ", ".join(sorted(_BACKENDS))
         raise ConfigError(f"unknown kernel backend {backend!r} (known: {known})") from None
+    if _telemetry_state.enabled:
+        return InstrumentedKernels(kernels, backend)
+    return kernels
 
 
 __all__ = [

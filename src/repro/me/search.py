@@ -17,6 +17,9 @@ from typing import Iterable, List, Sequence
 from repro.errors import ConfigError
 from repro.me.cost import MotionCost
 from repro.me.types import MotionVector, SearchResult, ZERO_MV
+from repro.telemetry.instrument import counting_cost
+from repro.telemetry.metrics import registry as _telemetry_registry
+from repro.telemetry.trace import state as _telemetry_state
 
 #: Small diamond used for final refinement by EPZS and hexagon search.
 SMALL_DIAMOND = (
@@ -119,10 +122,25 @@ ALGORITHM_NAMES = tuple(sorted(_ALGORITHMS))
 
 def run_search(algorithm: str, cost: MotionCost,
                extra_predictors: Sequence[MotionVector] = ()) -> SearchResult:
-    """Dispatch a search by algorithm name ("full", "epzs" or "hex")."""
+    """Dispatch a search by algorithm name ("full", "epzs" or "hex").
+
+    While telemetry is enabled, every dispatch tallies the search count
+    and the number of candidate points evaluated
+    (``me.search.calls`` / ``me.search.points`` plus per-algorithm
+    variants); disabled, the dispatch is a single flag check.
+    """
     try:
         search = _ALGORITHMS[algorithm]
     except KeyError:
         known = ", ".join(ALGORITHM_NAMES)
         raise ConfigError(f"unknown ME algorithm {algorithm!r} (known: {known})") from None
-    return search(cost, extra_predictors)
+    if not _telemetry_state.enabled:
+        return search(cost, extra_predictors)
+    counted = counting_cost(cost)
+    result = search(counted, extra_predictors)
+    reg = _telemetry_registry()
+    reg.counter("me.search.calls").inc()
+    reg.counter("me.search.points").inc(counted.points)
+    reg.counter(f"me.{algorithm}.calls").inc()
+    reg.counter(f"me.{algorithm}.points").inc(counted.points)
+    return result

@@ -15,20 +15,30 @@ single-threaded decoders.
 With one worker and one chunk the output is bit-identical to the serial
 encoder; with more chunks the stream carries extra I frames (the classic
 parallel-encoding rate overhead, measurable with the scaling benchmark).
+
+Telemetry: every chunk is timed inside its worker (the serial-fallback
+path included), and when :mod:`repro.telemetry` is enabled each worker
+ships a metrics-registry snapshot back with its chunk, which the parent
+folds into the process-global registry.  Pass ``return_stats=True`` to
+also receive the per-chunk stats dict (wall times, retry and fallback
+events).
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.codecs import get_encoder
 from repro.codecs.base import EncodedPicture, EncodedVideo
 from repro.common.yuv import YuvSequence
 from repro.errors import ConfigError, ReproError
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
 #: Per-chunk result timeout (seconds); generous, chunks are small.
 DEFAULT_CHUNK_TIMEOUT = 600.0
@@ -57,14 +67,49 @@ def split_chunks(frame_count: int, chunks: int, min_chunk: int = 3) -> List[Tupl
     return [span for span in spans if span[0] < span[1]]
 
 
-def _encode_chunk(codec: str, fields: Dict, frames, fps: int) -> EncodedVideo:
+@dataclass
+class ChunkResult:
+    """What one chunk encode returns from its worker (picklable)."""
+
+    stream: EncodedVideo
+    seconds: float
+    metrics: Optional[Dict] = None   # telemetry registry snapshot
+
+
+def _encode_chunk(codec: str, fields: Dict, frames, fps: int,
+                  telemetry_on: bool = False) -> ChunkResult:
     """Worker entry point (must be importable for multiprocessing)."""
+    if telemetry_on:
+        # Pool workers are reused across chunks (and, under fork, inherit
+        # the parent's enabled state): start from a clean registry so each
+        # snapshot is this chunk's delta only.
+        import repro.telemetry as telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+    start = time.perf_counter()
     encoder = get_encoder(codec, **fields)
-    return encoder.encode_sequence(YuvSequence(list(frames), fps=fps))
+    stream = encoder.encode_sequence(YuvSequence(list(frames), fps=fps))
+    seconds = time.perf_counter() - start
+    metrics = telemetry_registry().snapshot() if telemetry_on else None
+    return ChunkResult(stream, seconds, metrics)
+
+
+def _run_serial(jobs) -> List[ChunkResult]:
+    """Run the chunk jobs in this process, one after another.
+
+    Telemetry, if enabled here, records into the live trace and registry
+    directly, so the chunks must not reset it or ship snapshots back
+    (``telemetry_on`` is forced off) -- that is the worker protocol.
+    """
+    return [
+        _encode_chunk(codec, fields, frames, fps, False)
+        for codec, fields, frames, fps, _ in jobs
+    ]
 
 
 def _run_pool(jobs, workers: int, chunk_timeout: float,
-              executor_factory) -> List[EncodedVideo]:
+              executor_factory) -> List[ChunkResult]:
     """Run the chunk jobs in one process pool, one result per job in order.
 
     Raises :class:`BrokenProcessPool`/``TimeoutError``/``OSError`` on pool
@@ -90,14 +135,30 @@ def parallel_encode(
     chunks: int = 0,
     chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
     executor_factory=ProcessPoolExecutor,
+    return_stats: bool = False,
     **config_fields,
-) -> EncodedVideo:
+) -> Union[EncodedVideo, Tuple[EncodedVideo, Dict]]:
     """Encode ``video`` with GOP-level parallelism.
 
     ``chunks`` defaults to ``workers``; each chunk is encoded in its own
     process.  ``config_fields`` are the usual encoder configuration fields
     (``width``/``height`` required).  Returns a stream indistinguishable
     in structure from a serial encode apart from the per-chunk I frames.
+
+    With ``return_stats=True`` the call returns ``(stream, stats)`` where
+    ``stats`` is a dict carrying per-chunk encode wall time (measured
+    inside the worker, so the serial-fallback path keeps its timing too),
+    pool retry and fallback events, and the execution mode::
+
+        {"mode": "pool", "workers": 2, "retries": 0, "fallback": False,
+         "failures": [], "chunks": [{"span": [0, 5], "frames": 5,
+         "seconds": 0.41, "pictures": 5, "bytes": 7431}, ...],
+         "encode_seconds": ..., "wall_seconds": ...}
+
+    When :mod:`repro.telemetry` is enabled, each worker also ships a
+    metrics-registry snapshot which is merged into the parent's
+    process-global registry, and retry/fallback events are counted
+    (``parallel.retries`` / ``parallel.fallbacks``).
 
     Pool failures (a crashed worker, a chunk exceeding ``chunk_timeout``
     seconds, an OS-level spawn error) are retried once on a fresh pool;
@@ -113,41 +174,72 @@ def parallel_encode(
     if not chunks:
         chunks = workers
     spans = split_chunks(len(video), chunks)
+    telemetry_on = telemetry_state.enabled
 
     jobs = [
-        (codec, config_fields, video.frames[start:stop], video.fps)
+        (codec, config_fields, video.frames[start:stop], video.fps, telemetry_on)
         for start, stop in spans
     ]
-    if workers == 1 or len(jobs) == 1:
-        results = [_encode_chunk(*job) for job in jobs]
-    else:
-        results = None
-        failure: Optional[BaseException] = None
-        for attempt in range(2):
-            try:
-                results = _run_pool(jobs, workers, chunk_timeout, executor_factory)
-                break
-            except ReproError:
-                raise
-            except (BrokenProcessPool, FutureTimeout, OSError) as error:
-                failure = error
-        if results is None:
-            warnings.warn(
-                f"parallel encode failed twice ({failure!r}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            results = [_encode_chunk(*job) for job in jobs]
+    wall_start = time.perf_counter()
+    retries = 0
+    fallback = False
+    failures: List[str] = []
+    with telemetry_span("parallel.encode", codec=codec, workers=workers,
+                        chunks=len(jobs)):
+        if workers == 1 or len(jobs) == 1:
+            mode = "serial"
+            results = _run_serial(jobs)
+        else:
+            mode = "pool"
+            results = None
+            failure: Optional[BaseException] = None
+            for attempt in range(2):
+                try:
+                    results = _run_pool(jobs, workers, chunk_timeout, executor_factory)
+                    break
+                except ReproError:
+                    raise
+                except (BrokenProcessPool, FutureTimeout, OSError) as error:
+                    failure = error
+                    failures.append(repr(error))
+                    retries += 1
+            if results is None:
+                warnings.warn(
+                    f"parallel encode failed twice ({failure!r}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                mode = "pool-fallback-serial"
+                fallback = True
+                results = _run_serial(jobs)
+    wall_seconds = time.perf_counter() - wall_start
+
+    if telemetry_on:
+        reg = telemetry_registry()
+        for chunk in results:
+            if chunk.metrics is not None:
+                reg.merge(chunk.metrics)
+        if retries:
+            reg.counter("parallel.retries").inc(retries)
+        if fallback:
+            reg.counter("parallel.fallbacks").inc()
+        reg.counter("parallel.chunks").inc(len(results))
+        histogram = reg.histogram(
+            "parallel.chunk_seconds",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+        )
+        for chunk in results:
+            histogram.observe(chunk.seconds)
 
     merged = EncodedVideo(
-        codec=results[0].codec,
-        width=results[0].width,
-        height=results[0].height,
+        codec=results[0].stream.codec,
+        width=results[0].stream.width,
+        height=results[0].stream.height,
         fps=video.fps,
     )
-    for (start, _), chunk_stream in zip(spans, results):
-        for picture in chunk_stream.pictures:
+    for (start, _), chunk in zip(spans, results):
+        for picture in chunk.stream.pictures:
             merged.pictures.append(
                 EncodedPicture(
                     picture.payload,
@@ -155,4 +247,26 @@ def parallel_encode(
                     picture.frame_type,
                 )
             )
-    return merged
+    if not return_stats:
+        return merged
+
+    stats = {
+        "mode": mode,
+        "workers": workers,
+        "retries": retries,
+        "fallback": fallback,
+        "failures": failures,
+        "chunks": [
+            {
+                "span": [start, stop],
+                "frames": stop - start,
+                "seconds": chunk.seconds,
+                "pictures": chunk.stream.frame_count,
+                "bytes": chunk.stream.total_bytes,
+            }
+            for (start, stop), chunk in zip(spans, results)
+        ],
+        "encode_seconds": sum(chunk.seconds for chunk in results),
+        "wall_seconds": wall_seconds,
+    }
+    return merged, stats

@@ -104,7 +104,18 @@ def player_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject", default="", metavar="MODEL[:SEED]",
                         help="inject one seeded fault before decoding; MODEL is "
                              f"one of {', '.join(FAULT_MODELS)} (robustness testing)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-frame decode time, frame type and "
+                             "concealment events (repro.telemetry)")
     args = parser.parse_args(argv)
+
+    if args.stats:
+        import repro.telemetry as telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+
+    events = []
 
     try:
         stream = container.read_file(args.input)
@@ -120,6 +131,7 @@ def player_main(argv: Optional[List[str]] = None) -> int:
         conceal = None if args.conceal == "none" else args.conceal
 
         def on_event(event) -> None:
+            events.append(event)
             print(f"hdvb-player: {event}", file=sys.stderr)
 
         start = time.perf_counter()
@@ -128,6 +140,11 @@ def player_main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"hdvb-player: {error}", file=sys.stderr)
         return 1
+    finally:
+        if args.stats:
+            import repro.telemetry as telemetry
+
+            telemetry.disable()
 
     if args.vo.startswith("yuv:"):
         write_yuv_file(args.vo[4:], video)
@@ -142,7 +159,39 @@ def player_main(argv: Optional[List[str]] = None) -> int:
         fps = len(video) / elapsed if elapsed > 0 else float("inf")
         print(f"BENCHMARKs: VC: {elapsed:8.3f}s  => {fps:.2f} fps "
               f"({'real-time' if fps >= stream.fps else 'below real-time'})")
+    if args.stats:
+        print(_render_stats(stream, events, elapsed))
     return 0
+
+
+def _render_stats(stream, events, elapsed: float) -> str:
+    """Per-frame decode statistics from the telemetry picture spans."""
+    import repro.telemetry as telemetry
+    from repro.bench.report import render_table
+
+    concealed = {event.display_index: event.strategy for event in events}
+    spans = telemetry.current_trace().spans(f"{stream.codec}.decode.picture")
+    by_display = {}
+    for record in spans:
+        display = record.attrs.get("display_index")
+        if display is not None:
+            by_display[display] = record
+    rows = []
+    for display in sorted(by_display):
+        record = by_display[display]
+        rows.append((
+            display,
+            record.attrs.get("frame_type", "?"),
+            f"{record.duration * 1e3:.2f}",
+            concealed.get(display, "-"),
+        ))
+    table = render_table(["frame", "type", "decode ms", "concealed"], rows,
+                         title="STATS: per-frame decode")
+    total_ms = sum(record.duration for record in by_display.values()) * 1e3
+    summary = (f"STATS: {len(by_display)} pictures decoded in "
+               f"{total_ms:.2f} ms (pictures) / {elapsed * 1e3:.2f} ms (total), "
+               f"{len(events)} concealment event(s)")
+    return table + "\n" + summary
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,8 @@ from repro.robustness.guard import (
     check_stream_geometry,
     normalize_decode_error,
 )
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
 EventCallback = Callable[[ConcealmentEvent], None]
 
@@ -75,65 +77,79 @@ def decode_stream(
 
     def report(event: ConcealmentEvent) -> None:
         events.append(event)
+        if telemetry_state.enabled:
+            reg = telemetry_registry()
+            reg.counter("decode.concealments").inc()
+            reg.counter(f"decode.{codec}.concealments").inc()
         if on_event is not None:
             on_event(event)
 
     for coding_index, picture in enumerate(stream.pictures):
-        decoder.begin_picture()
-        recon = None
-        failure: Optional[ReproError] = None
-        try:
-            if picture.display_index in decoded:
-                raise CodecError(
-                    f"duplicate display index {picture.display_index} in stream"
-                )
-            check_payload_present(picture.payload)
-            recon = decoder.decode_picture(stream, picture, references)
-            if recon.width != stream.width or recon.height != stream.height:
-                raise BitstreamError(
-                    f"decoded picture is {recon.width}x{recon.height}, "
-                    f"stream header says {stream.width}x{stream.height}"
-                )
-        except Exception as error:  # normalised below; never escapes raw
-            failure = normalize_decode_error(
-                error,
-                codec=codec,
-                picture_index=coding_index,
-                frame_type=picture.frame_type,
-                bit_position=decoder.bit_position(),
-            )
-
-        if failure is not None:
-            if concealer is None:
-                raise failure
-            replacement = concealer.conceal(stream, picture, references, last_recon)
-            report(
-                ConcealmentEvent(
+        picture_span = telemetry_span(
+            f"{codec}.decode.picture",
+            codec=codec,
+            frame_type=picture.frame_type.name,
+            display_index=picture.display_index,
+            coding_index=coding_index,
+        )
+        with picture_span:
+            decoder.begin_picture()
+            recon = None
+            failure: Optional[ReproError] = None
+            try:
+                if picture.display_index in decoded:
+                    raise CodecError(
+                        f"duplicate display index {picture.display_index} in stream"
+                    )
+                check_payload_present(picture.payload)
+                recon = decoder.decode_picture(stream, picture, references)
+                if recon.width != stream.width or recon.height != stream.height:
+                    raise BitstreamError(
+                        f"decoded picture is {recon.width}x{recon.height}, "
+                        f"stream header says {stream.width}x{stream.height}"
+                    )
+            except Exception as error:  # normalised below; never escapes raw
+                failure = normalize_decode_error(
+                    error,
                     codec=codec,
-                    strategy=concealer.name,
-                    display_index=picture.display_index,
                     picture_index=coding_index,
                     frame_type=picture.frame_type,
-                    error=failure,
+                    bit_position=decoder.bit_position(),
                 )
-            )
-            awaiting_resync = True
-            if replacement is None or picture.display_index in decoded:
-                continue
-            recon = replacement
-        elif awaiting_resync and picture.frame_type is FrameType.I:
-            # An intact I picture takes no references: prediction drift
-            # introduced by concealed anchors ends here.
-            awaiting_resync = False
 
-        decoded[picture.display_index] = recon.to_yuv()
-        recon_by_display[picture.display_index] = recon
-        last_recon = recon
-        if picture.frame_type.is_anchor:
-            references[picture.display_index] = recon
-            window = decoder.reference_window()
-            for key in sorted(references)[:-window]:
-                del references[key]
+            if failure is not None:
+                picture_span.set(error=type(failure).__name__)
+                if concealer is None:
+                    raise failure
+                picture_span.set(concealed=concealer.name)
+                replacement = concealer.conceal(stream, picture, references, last_recon)
+                report(
+                    ConcealmentEvent(
+                        codec=codec,
+                        strategy=concealer.name,
+                        display_index=picture.display_index,
+                        picture_index=coding_index,
+                        frame_type=picture.frame_type,
+                        error=failure,
+                    )
+                )
+                awaiting_resync = True
+                if replacement is None or picture.display_index in decoded:
+                    continue
+                recon = replacement
+            elif awaiting_resync and picture.frame_type is FrameType.I:
+                # An intact I picture takes no references: prediction drift
+                # introduced by concealed anchors ends here.
+                awaiting_resync = False
+
+            decoded[picture.display_index] = recon.to_yuv()
+            recon_by_display[picture.display_index] = recon
+            last_recon = recon
+            if picture.frame_type.is_anchor:
+                references[picture.display_index] = recon
+                window = decoder.reference_window()
+                for key in sorted(references)[:-window]:
+                    del references[key]
 
     if concealer is not None and decoded:
         _fill_display_holes(

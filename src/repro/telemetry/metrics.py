@@ -1,0 +1,252 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+Complements :mod:`repro.telemetry.trace`: spans answer *where time went*,
+metrics answer *how much work happened* — bits written, macroblocks
+coded, motion-search points evaluated, concealment events.
+
+All instruments live in a :class:`MetricsRegistry`.  The process-global
+registry (:func:`registry`) is what the instrumented seams use; worker
+processes (``parallel_encode`` chunks) build their own registry, ship a
+:meth:`~MetricsRegistry.snapshot` back over the pool, and the parent
+folds it in with :meth:`~MetricsRegistry.merge`::
+
+    snap = remote_registry.snapshot()     # plain picklable dict
+    registry().merge(snap)                # counters add, histograms add
+
+Mutation is lock-protected, so instruments are safe to share between
+threads; cross-process aggregation is explicit via snapshot/merge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+]
+
+#: Schema identifier stamped into snapshots.
+METRICS_SCHEMA = "repro.telemetry.metrics/1"
+
+#: Default histogram bucket upper bounds (generic powers of four, useful
+#: for byte/bit/point counts); callers pick their own for specific data.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        with self._lock:
+            self.value += data["value"]
+
+
+class Gauge:
+    """A point-in-time value (last write wins, max remembered)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+        self.max = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.max:
+                self.max = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "max": self.max}
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        # Merging gauges from a worker: adopt the worker's last value and
+        # keep the high-water mark across both processes.
+        with self._lock:
+            self.value = data["value"]
+            self.max = max(self.max, data.get("max", data["value"]))
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus overflow)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +overflow
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        if list(data["buckets"]) != list(self.buckets):
+            raise ValueError(
+                f"histogram {self.name!r} bucket mismatch: "
+                f"{data['buckets']} vs {list(self.buckets)}"
+            )
+        with self._lock:
+            for index, count in enumerate(data["counts"]):
+                self.counts[index] += count
+            self.count += data["count"]
+            self.sum += data["sum"]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments with a picklable snapshot/merge API."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # get-or-create accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def _get(self, name: str, kind, *args):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, *args)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, requested {kind.__name__}"
+                )
+            return instrument
+
+    def get(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain picklable dict of every instrument's state."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            "schema": METRICS_SCHEMA,
+            "metrics": {name: instrument.to_dict()
+                        for name, instrument in instruments.items()},
+        }
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, Any]]) -> None:
+        """Fold ``other`` (a registry or a snapshot dict) into this one.
+
+        Counters and histograms add; gauges adopt the incoming value and
+        keep the joint high-water mark.  Unknown names are created.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.snapshot()
+        metrics = other.get("metrics", {})
+        for name, data in metrics.items():
+            kind = _KINDS.get(data.get("kind"))
+            if kind is None:
+                raise ValueError(f"snapshot metric {name!r} has unknown kind "
+                                 f"{data.get('kind')!r}")
+            if kind is Histogram:
+                instrument = self._get(name, Histogram, tuple(data["buckets"]))
+            else:
+                instrument = self._get(name, kind)
+            instrument.merge(data)
+
+    def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        """Convenience: the scalar value of a counter/gauge (0 if absent)."""
+        instrument = self.get(name)
+        if instrument is None:
+            return default
+        return instrument.value
+
+
+#: The process-global registry used by the instrumented seams.
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def reset_registry() -> None:
+    """Drop every instrument in the process-global registry."""
+    _registry.clear()

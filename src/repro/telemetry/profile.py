@@ -1,0 +1,132 @@
+"""Stage profiling: turn raw spans into a "where did the time go" table.
+
+This is the Figure-1-style attribution report: span records are grouped
+by name into *stages*, each stage reporting call count, total (inclusive)
+time, self (exclusive) time and its share of the traced wall time.  Self
+time subtracts the time of a span's direct children, so nested stages
+(``mpeg2.encode`` -> ``mpeg2.encode.picture`` -> ``me.search``) never
+double-count in the self-time column.
+
+    table = stage_table(current_trace())
+    print(render_stage_table(table))
+
+:func:`coverage` reports how much of a measured wall-clock interval the
+root spans account for — the acceptance gate for the bench harness is
+that the stage table explains >= 90% of encode wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.telemetry.trace import Trace
+
+__all__ = [
+    "StageRow",
+    "coverage",
+    "render_stage_table",
+    "stage_table",
+]
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """Aggregated timing for one span name."""
+
+    name: str
+    calls: int
+    total_seconds: float    # inclusive (children included)
+    self_seconds: float     # exclusive (direct children subtracted)
+    share: float            # self_seconds / sum of root totals
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+def stage_table(trace: Trace, prefix: str = "") -> List[StageRow]:
+    """Aggregate ``trace`` into per-stage rows, heaviest self-time first.
+
+    ``prefix`` restricts the table to span names starting with it (e.g.
+    ``"mpeg2."`` for one codec's stages).
+    """
+    records = trace.spans()
+    child_time: Dict[int, float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+
+    totals: Dict[str, List[float]] = {}
+    root_total = 0.0
+    for record in records:
+        if record.parent_id is None:
+            root_total += record.duration
+        if prefix and not record.name.startswith(prefix):
+            continue
+        entry = totals.setdefault(record.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record.duration
+        # Self time never goes below zero even if concurrent child
+        # threads overlap the parent wall time.
+        entry[2] += max(0.0, record.duration - child_time.get(record.span_id, 0.0))
+
+    denominator = root_total if root_total > 0 else 1.0
+    rows = [
+        StageRow(
+            name=name,
+            calls=int(calls),
+            total_seconds=total,
+            self_seconds=self_seconds,
+            share=self_seconds / denominator,
+        )
+        for name, (calls, total, self_seconds) in totals.items()
+    ]
+    rows.sort(key=lambda row: row.self_seconds, reverse=True)
+    return rows
+
+
+def coverage(trace: Trace, wall_seconds: float) -> float:
+    """Fraction of ``wall_seconds`` accounted for by root spans.
+
+    Root spans are those with no parent; their summed duration divided
+    by the measured wall time tells you how much of the run the trace
+    explains (1.0 = everything attributed).
+    """
+    if wall_seconds <= 0:
+        return 0.0
+    total = sum(record.duration for record in trace.spans()
+                if record.parent_id is None)
+    return total / wall_seconds
+
+
+def render_stage_table(rows: List[StageRow], title: str = "Stage profile",
+                       wall_seconds: Optional[float] = None) -> str:
+    """Render the stage table as aligned text (Figure-1-style report)."""
+    from repro.bench.report import render_table
+
+    body = [
+        (
+            row.name,
+            row.calls,
+            f"{row.total_seconds * 1e3:.2f}",
+            f"{row.self_seconds * 1e3:.2f}",
+            f"{row.mean_seconds * 1e3:.3f}",
+            f"{100.0 * row.share:.1f}%",
+        )
+        for row in rows
+    ]
+    text = render_table(
+        ["stage", "calls", "total ms", "self ms", "mean ms", "share"],
+        body,
+        title=title,
+    )
+    if wall_seconds is not None:
+        attributed = sum(row.self_seconds for row in rows)
+        text += (f"\n(attributed {attributed * 1e3:.2f} ms of "
+                 f"{wall_seconds * 1e3:.2f} ms wall, "
+                 f"{100.0 * attributed / wall_seconds:.1f}%)"
+                 if wall_seconds > 0 else "")
+    return text

@@ -1,0 +1,329 @@
+"""Nestable, thread- and process-safe tracing spans.
+
+The paper's headline output is *attribution* — Figure 1 only exists
+because time could be charged to codec stages.  This module provides the
+raw material for that attribution: lightweight spans recording wall time,
+nesting and user attributes into a per-session :class:`Trace` buffer.
+
+Telemetry is **off by default**.  When disabled, :func:`span` returns a
+shared no-op context manager without allocating anything, so the
+instrumented seams cost one flag check::
+
+    from repro.telemetry import enable, span
+
+    enable()
+    with span("mpeg2.encode", backend="simd") as sp:
+        with span("mpeg2.encode.picture", frame_type="I"):
+            ...
+        sp.set(frames=9)
+
+A span that exits through an exception still closes and records the
+exception class under the ``error`` attribute (the exception propagates).
+
+Each thread keeps its own span stack (parent links never cross threads);
+each process keeps its own :class:`Trace` buffer.  Worker processes ship
+their data back explicitly (see :meth:`Trace.snapshot` and
+:meth:`repro.telemetry.metrics.MetricsRegistry.merge`).
+
+Export formats:
+
+* :meth:`Trace.to_dict` / :meth:`Trace.to_json` — the library's own
+  schema (``{"schema": "repro.telemetry.trace/1", "spans": [...]}``);
+* :meth:`Trace.to_chrome` — Chrome trace-event JSON, loadable in
+  ``chrome://tracing`` / Perfetto (complete ``"ph": "X"`` events).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "SpanRecord",
+    "Trace",
+    "TelemetryState",
+    "current_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "reset",
+    "span",
+    "state",
+]
+
+#: Schema identifier stamped into the library's own JSON export.
+TRACE_SCHEMA = "repro.telemetry.trace/1"
+
+#: Default cap on buffered span records; beyond it spans are counted but
+#: dropped (the cap keeps long enabled runs from growing without bound).
+DEFAULT_MAX_SPANS = 250_000
+
+
+class SpanRecord:
+    """One completed span, as stored in the trace buffer."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "pid",
+                 "tid", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 start: float, end: float, pid: int, tid: int,
+                 attrs: Dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.pid = pid
+        self.tid = tid
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanRecord({self.name!r}, {self.duration * 1e3:.3f} ms, "
+                f"attrs={self.attrs})")
+
+
+class Trace:
+    """A per-session buffer of completed :class:`SpanRecord` objects."""
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._next_id = 1
+        self.max_spans = max_spans
+        self.dropped = 0
+        #: wall-clock (``time.time``) and monotonic (``perf_counter``)
+        #: origins, used to place spans on an absolute timeline.
+        self.epoch = time.time()
+        self.origin = time.perf_counter()
+
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    def spans(self, name: Optional[str] = None) -> List[SpanRecord]:
+        """Completed spans (optionally only those called ``name``)."""
+        with self._lock:
+            records = list(self._records)
+        if name is None:
+            return records
+        return [record for record in records if record.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The library's own JSON-serialisable schema."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "epoch": self.epoch,
+            "dropped": self.dropped,
+            "spans": [record.to_dict() for record in self.spans()],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def to_chrome(self, metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Chrome trace-event format (``chrome://tracing`` loadable).
+
+        Spans become complete events (``"ph": "X"``); timestamps are
+        microseconds relative to the trace origin.
+        """
+        events: List[Dict[str, Any]] = []
+        names_seen = set()
+        for record in self.spans():
+            if record.pid not in names_seen:
+                names_seen.add(record.pid)
+                events.append({
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": record.pid,
+                    "tid": record.tid,
+                    "args": {"name": f"repro pid {record.pid}"},
+                })
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (record.start - self.origin) * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": {key: _jsonable(value)
+                         for key, value in record.attrs.items()},
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(metadata or {}, schema=TRACE_SCHEMA,
+                              epoch=self.epoch, dropped=self.dropped),
+        }
+
+    def to_chrome_json(self, indent: Optional[int] = None,
+                       metadata: Optional[Dict[str, Any]] = None) -> str:
+        return json.dumps(self.to_chrome(metadata), indent=indent, default=str)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class TelemetryState:
+    """Process-global telemetry switch plus the active trace buffer."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.trace = Trace()
+        self._local = threading.local()
+
+    def stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+
+#: The process-global state.  Hot seams read ``state.enabled`` directly.
+state = TelemetryState()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span; use via ``with span(...)``."""
+
+    __slots__ = ("name", "attrs", "_state", "_span_id", "_parent_id", "_start")
+
+    def __init__(self, name: str, attrs: Dict[str, Any],
+                 telemetry_state: TelemetryState) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._state = telemetry_state
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update user attributes on the live span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        trace = self._state.trace
+        stack = self._state.stack()
+        self._span_id = trace.allocate_id()
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        stack = self._state.stack()
+        # Pop our own id even if an inner span leaked (defensive).
+        while stack and stack.pop() != self._span_id:
+            pass
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._state.trace.record(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self.name,
+                start=self._start,
+                end=end,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named ``name``; no-op when telemetry is disabled."""
+    if not state.enabled:
+        return NOOP_SPAN
+    return Span(name, attrs, state)
+
+
+def enable(max_spans: Optional[int] = None) -> None:
+    """Turn telemetry on (spans, metrics and instrumented seams)."""
+    if max_spans is not None:
+        state.trace.max_spans = max_spans
+    state.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off; buffered data is kept until :func:`reset`."""
+    state.enabled = False
+
+
+def enabled() -> bool:
+    return state.enabled
+
+
+def current_trace() -> Trace:
+    """The process-global trace buffer."""
+    return state.trace
+
+
+def reset() -> None:
+    """Discard buffered spans and restart the trace timeline."""
+    state.trace = Trace(max_spans=state.trace.max_spans)
