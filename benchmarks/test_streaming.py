@@ -1,0 +1,62 @@
+"""Streaming benchmark: the seeded lossy-transport sweep, gated.
+
+Every codec's stream crosses a loss rate x burst length x FEC grid of
+seeded Gilbert-Elliott channels.  Acceptance gates (the ISSUE 3 bar):
+
+* **graceful decodes >= 99 %** at 5 % burst loss with XOR FEC enabled --
+  no reception may escape with an unhandled exception;
+* **every lost picture slot recovered** -- FEC rebuilds what parity can,
+  concealment covers the rest, and each reception still plays out the
+  full frame count;
+* **bit-reproducible** -- the same seed produces the identical report
+  list, PSNR deltas included.
+"""
+
+from __future__ import annotations
+
+from repro.robustness.bench import ALL_CODECS
+from repro.transport.bench import render_streaming, run_streaming
+
+TRIALS = 3
+GATE_LOSS = 0.05
+GATE_BURST = 3.0
+GATE_FEC = 4
+
+
+def test_streaming_sweep_gates(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_streaming(codecs=ALL_CODECS, trials=TRIALS, seed=0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(render_streaming(reports))
+
+    assert len(reports) == len(ALL_CODECS) * 3 * 2 * 2
+    for report in reports:
+        # Nothing on the whole grid may escape ungracefully, and
+        # concealment must always restore the full display length.
+        assert report.graceful_rate == 1.0, (
+            f"{report.codec} @ loss {report.loss_rate:.0%} burst "
+            f"{report.burst_length:g} fec {report.fec_group}: only "
+            f"{report.graceful}/{report.trials} receptions decoded gracefully"
+        )
+        assert report.complete_rate == 1.0, (
+            f"{report.codec} @ loss {report.loss_rate:.0%}: lost picture "
+            "slots were not recovered"
+        )
+        # Loss concealment degrades quality; it must never invent quality.
+        assert report.mean_psnr_delta <= 0.0, report
+
+    gate = [r for r in reports
+            if (r.loss_rate, r.burst_length, r.fec_group)
+            == (GATE_LOSS, GATE_BURST, GATE_FEC)]
+    assert len(gate) == len(ALL_CODECS)
+    for report in gate:
+        assert report.graceful_rate >= 0.99, report
+        assert report.complete_rate == 1.0, report
+
+
+def test_streaming_sweep_is_bit_reproducible():
+    first = run_streaming(codecs=("mpeg2",), trials=2, seed=123)
+    second = run_streaming(codecs=("mpeg2",), trials=2, seed=123)
+    assert first == second

@@ -6,6 +6,8 @@
     hdvb-bench speedups                      # SIMD speed-up aggregate
     hdvb-bench performance [--operation encode|decode] [--backend simd]
                            [--trace out.json]   # telemetry stage breakdown
+    hdvb-bench streaming [--loss 0.02,0.05] [--burst 1,3] [--fec 0,4]
+                                             # lossy-transport sweep
 """
 
 from __future__ import annotations
@@ -127,6 +129,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     rb.add_argument("--conceal", default="copy-last",
                     help="concealment strategy for the concealed pass")
 
+    st = sub.add_parser("streaming",
+                        help="seeded lossy-transport sweep: loss rate x "
+                             "burst length x FEC overhead, reporting "
+                             "graceful-decode and FEC recovery rates")
+    st.add_argument("--codecs", default="",
+                    help="comma-separated codecs (default: all five)")
+    st.add_argument("--loss", default="0.02,0.05,0.10",
+                    help="comma-separated packet loss rates")
+    st.add_argument("--burst", default="1,3",
+                    help="comma-separated mean burst lengths (packets)")
+    st.add_argument("--fec", default="0,4",
+                    help="comma-separated FEC group sizes (0 = no FEC)")
+    st.add_argument("--trials", type=int, default=3,
+                    help="seeded channels per grid point")
+    st.add_argument("--seed", type=int, default=0,
+                    help="channel seed (same seed = same sweep, bit for bit)")
+    st.add_argument("--frames", type=int, default=5,
+                    help="frames in the benchmark clip")
+    st.add_argument("--conceal", default="copy-last",
+                    help="concealment strategy at the receiver")
+
     bd = sub.add_parser("bdrate",
                         help="Bjøntegaard deltas vs the MPEG-2 anchor "
                              "(quantiser sweep RD curves)")
@@ -189,6 +212,23 @@ def _dispatch(args) -> int:
             progress=_progress,
         )
         print(render_robustness(reports))
+    elif args.command == "streaming":
+        from repro.robustness.bench import ALL_CODECS
+        from repro.transport.bench import render_streaming, run_streaming
+
+        codecs = tuple(args.codecs.split(",")) if args.codecs else ALL_CODECS
+        reports = run_streaming(
+            codecs=codecs,
+            loss_rates=tuple(float(v) for v in args.loss.split(",")),
+            burst_lengths=tuple(float(v) for v in args.burst.split(",")),
+            fec_groups=tuple(int(v) for v in args.fec.split(",")),
+            trials=args.trials,
+            seed=args.seed,
+            frames=args.frames,
+            conceal=args.conceal,
+            progress=_progress,
+        )
+        print(render_streaming(reports))
     elif args.command == "performance":
         _run_performance_command(args)
     elif args.command == "characterize":

@@ -34,8 +34,14 @@ from repro.errors import BitstreamError
 MAGIC = b"HDVB"
 VERSION = 1
 
-_FRAME_TYPE_CODE = {FrameType.I: 0, FrameType.P: 1, FrameType.B: 2}
-_FRAME_TYPE_FROM_CODE = {code: ftype for ftype, code in _FRAME_TYPE_CODE.items()}
+#: Frame-type wire codes shared by the container's picture headers and the
+#: transport packetizer (:mod:`repro.transport.packetize`), so a packet
+#: header and a container header spell the same picture the same way.
+FRAME_TYPE_CODE = {FrameType.I: 0, FrameType.P: 1, FrameType.B: 2}
+FRAME_TYPE_FROM_CODE = {code: ftype for ftype, code in FRAME_TYPE_CODE.items()}
+
+_FRAME_TYPE_CODE = FRAME_TYPE_CODE
+_FRAME_TYPE_FROM_CODE = FRAME_TYPE_FROM_CODE
 
 PathLike = Union[str, Path]
 

@@ -46,7 +46,11 @@ class ReproError(Exception):
 
     Optional keyword-only context fields locate a decode failure inside a
     stream; they default to ``None`` for errors raised outside the decode
-    path.  ``str(error)`` appends the context when present, so existing
+    path.  ``packet_seq`` extends the taxonomy to the transport layer
+    (:mod:`repro.transport`): when a picture was damaged by packet loss,
+    it names the first lost transport sequence number, so bitstream faults
+    and network losses report through one error shape.  ``str(error)``
+    appends the context when present, so existing
     ``pytest.raises(..., match=...)`` patterns keep matching the message
     prefix.
     """
@@ -59,6 +63,7 @@ class ReproError(Exception):
         picture_index: Optional[int] = None,
         frame_type: Any = None,
         bit_position: Optional[int] = None,
+        packet_seq: Optional[int] = None,
     ) -> None:
         super().__init__(message)
         self.message = message
@@ -66,6 +71,7 @@ class ReproError(Exception):
         self.picture_index = picture_index
         self.frame_type = frame_type
         self.bit_position = bit_position
+        self.packet_seq = packet_seq
 
     @property
     def context(self) -> dict:
@@ -75,6 +81,7 @@ class ReproError(Exception):
             "picture_index": self.picture_index,
             "frame_type": self.frame_type,
             "bit_position": self.bit_position,
+            "packet_seq": self.packet_seq,
         }
 
     def has_decode_context(self) -> bool:
@@ -95,6 +102,8 @@ class ReproError(Exception):
             parts.append(f"type={self.frame_type}")
         if self.bit_position is not None:
             parts.append(f"bit={self.bit_position}")
+        if self.packet_seq is not None:
+            parts.append(f"packet={self.packet_seq}")
         if parts:
             return f"{self.message} [{', '.join(parts)}]"
         return self.message

@@ -26,6 +26,7 @@ events).
 
 from __future__ import annotations
 
+import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -40,8 +41,11 @@ from repro.errors import ConfigError, ReproError
 from repro.telemetry.metrics import registry as telemetry_registry
 from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
-#: Per-chunk result timeout (seconds); generous, chunks are small.
+#: Per-chunk result deadline (seconds); generous, chunks are small.
 DEFAULT_CHUNK_TIMEOUT = 600.0
+
+#: Base of the jittered exponential backoff between pool retries (seconds).
+DEFAULT_RETRY_BACKOFF = 0.25
 
 
 def split_chunks(frame_count: int, chunks: int, min_chunk: int = 3) -> List[Tuple[int, int]]:
@@ -112,6 +116,13 @@ def _run_pool(jobs, workers: int, chunk_timeout: float,
               executor_factory) -> List[ChunkResult]:
     """Run the chunk jobs in one process pool, one result per job in order.
 
+    ``chunk_timeout`` is a per-chunk *deadline* measured from submission:
+    every chunk must have produced its result within ``chunk_timeout``
+    seconds of the batch going in, so a stuck worker costs at most one
+    timeout even when many chunks queue behind it (the old behaviour —
+    a fresh timeout per sequential wait — let total stall time grow with
+    the chunk count).
+
     Raises :class:`BrokenProcessPool`/``TimeoutError``/``OSError`` on pool
     failure; :class:`~repro.errors.ReproError` from a worker propagates
     unchanged (a bad configuration does not become less bad on retry).
@@ -119,8 +130,12 @@ def _run_pool(jobs, workers: int, chunk_timeout: float,
     pool = executor_factory(max_workers=workers)
     clean = False
     try:
+        deadline = time.monotonic() + chunk_timeout
         futures = [pool.submit(_encode_chunk, *job) for job in jobs]
-        results = [future.result(timeout=chunk_timeout) for future in futures]
+        results = [
+            future.result(timeout=max(0.0, deadline - time.monotonic()))
+            for future in futures
+        ]
         clean = True
         return results
     finally:
@@ -134,6 +149,7 @@ def parallel_encode(
     workers: int = 2,
     chunks: int = 0,
     chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     executor_factory=ProcessPoolExecutor,
     return_stats: bool = False,
     **config_fields,
@@ -145,14 +161,23 @@ def parallel_encode(
     (``width``/``height`` required).  Returns a stream indistinguishable
     in structure from a serial encode apart from the per-chunk I frames.
 
+    ``chunk_timeout`` is the per-chunk deadline in seconds: every chunk
+    must deliver its result within that long of batch submission.
+    ``retry_backoff`` is the base of the jittered exponential backoff
+    slept between pool retries (``backoff * 2^attempt``, jittered by a
+    uniform 0.5-1.5x factor so restarted pools don't stampede a
+    contended machine; 0 disables the sleep).
+
     With ``return_stats=True`` the call returns ``(stream, stats)`` where
     ``stats`` is a dict carrying per-chunk encode wall time (measured
     inside the worker, so the serial-fallback path keeps its timing too),
-    pool retry and fallback events, and the execution mode::
+    pool retry and fallback events, the deadline and backoff actually
+    used, and the execution mode::
 
         {"mode": "pool", "workers": 2, "retries": 0, "fallback": False,
-         "failures": [], "chunks": [{"span": [0, 5], "frames": 5,
-         "seconds": 0.41, "pictures": 5, "bytes": 7431}, ...],
+         "failures": [], "chunk_timeout": 600.0, "backoff_seconds": [],
+         "chunks": [{"span": [0, 5], "frames": 5, "seconds": 0.41,
+         "pictures": 5, "bytes": 7431}, ...],
          "encode_seconds": ..., "wall_seconds": ...}
 
     When :mod:`repro.telemetry` is enabled, each worker also ships a
@@ -160,17 +185,20 @@ def parallel_encode(
     process-global registry, and retry/fallback events are counted
     (``parallel.retries`` / ``parallel.fallbacks``).
 
-    Pool failures (a crashed worker, a chunk exceeding ``chunk_timeout``
-    seconds, an OS-level spawn error) are retried once on a fresh pool;
-    if the retry also fails, the encode falls back to serial execution
-    with a :class:`RuntimeWarning`.  :class:`~repro.errors.ReproError`
-    raised by a worker (bad configuration, bad input) propagates
-    immediately -- it would fail identically on retry.
+    Pool failures (a crashed worker, a chunk missing its ``chunk_timeout``
+    deadline, an OS-level spawn error) are retried once on a fresh pool
+    after the backoff sleep; if the retry also fails, the encode falls
+    back to serial execution with a :class:`RuntimeWarning`.
+    :class:`~repro.errors.ReproError` raised by a worker (bad
+    configuration, bad input) propagates immediately -- it would fail
+    identically on retry.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     if chunk_timeout <= 0:
         raise ConfigError(f"chunk_timeout must be positive, got {chunk_timeout}")
+    if retry_backoff < 0:
+        raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
     if not chunks:
         chunks = workers
     spans = split_chunks(len(video), chunks)
@@ -184,6 +212,7 @@ def parallel_encode(
     retries = 0
     fallback = False
     failures: List[str] = []
+    backoffs: List[float] = []
     with telemetry_span("parallel.encode", codec=codec, workers=workers,
                         chunks=len(jobs)):
         if workers == 1 or len(jobs) == 1:
@@ -194,6 +223,15 @@ def parallel_encode(
             results = None
             failure: Optional[BaseException] = None
             for attempt in range(2):
+                if attempt:
+                    # Jittered exponential backoff before the fresh pool:
+                    # an immediate re-submit tends to hit the same starved
+                    # machine that broke the first pool.
+                    pause = (retry_backoff * (2 ** (attempt - 1))
+                             * random.uniform(0.5, 1.5))
+                    backoffs.append(pause)
+                    if pause > 0:
+                        time.sleep(pause)
                 try:
                     results = _run_pool(jobs, workers, chunk_timeout, executor_factory)
                     break
@@ -256,6 +294,8 @@ def parallel_encode(
         "retries": retries,
         "fallback": fallback,
         "failures": failures,
+        "chunk_timeout": chunk_timeout,
+        "backoff_seconds": backoffs,
         "chunks": [
             {
                 "span": [start, stop],

@@ -104,6 +104,18 @@ def player_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject", default="", metavar="MODEL[:SEED]",
                         help="inject one seeded fault before decoding; MODEL is "
                              f"one of {', '.join(FAULT_MODELS)} (robustness testing)")
+    parser.add_argument("--loss", type=float, default=0.0, metavar="RATE",
+                        help="simulate lossy streaming transport with this "
+                             "packet loss rate (0..1); --conceal copy-last "
+                             "recommended so playback survives the losses")
+    parser.add_argument("--burst", type=float, default=1.0, metavar="LEN",
+                        help="mean loss burst length in packets "
+                             "(Gilbert-Elliott channel; 1 = independent loss)")
+    parser.add_argument("--fec", type=int, default=0, metavar="K",
+                        help="XOR-parity FEC group size (one parity packet "
+                             "per K media packets; 0 = no FEC)")
+    parser.add_argument("--loss-seed", type=int, default=0,
+                        help="channel seed for --loss (reproducible runs)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-frame decode time, frame type and "
                              "concealment events (repro.telemetry)")
@@ -127,16 +139,20 @@ def player_main(argv: Optional[List[str]] = None) -> int:
             )
         if args.inject:
             stream = _inject_fault(stream, args.inject)
-        decoder = get_decoder(stream.codec, backend=args.backend)
         conceal = None if args.conceal == "none" else args.conceal
 
         def on_event(event) -> None:
             events.append(event)
             print(f"hdvb-player: {event}", file=sys.stderr)
 
-        start = time.perf_counter()
-        video = decoder.decode(stream, conceal=conceal, on_event=on_event)
-        elapsed = time.perf_counter() - start
+        if args.loss > 0 or args.fec > 0:
+            video, elapsed = _stream_over_lossy_transport(
+                stream, args, conceal, on_event)
+        else:
+            decoder = get_decoder(stream.codec, backend=args.backend)
+            start = time.perf_counter()
+            video = decoder.decode(stream, conceal=conceal, on_event=on_event)
+            elapsed = time.perf_counter() - start
     except ReproError as error:
         print(f"hdvb-player: {error}", file=sys.stderr)
         return 1
@@ -162,6 +178,35 @@ def player_main(argv: Optional[List[str]] = None) -> int:
     if args.stats:
         print(_render_stats(stream, events, elapsed))
     return 0
+
+
+def _stream_over_lossy_transport(stream, args, conceal, on_event):
+    """``--loss/--burst/--fec``: play the stream through the transport layer.
+
+    Imported lazily so plain playback never touches :mod:`repro.transport`.
+    """
+    from repro.transport import LossyChannel, simulate_transmission
+
+    channel = LossyChannel(loss_rate=args.loss, burst_length=args.burst,
+                           seed=args.loss_seed)
+    start = time.perf_counter()
+    result = simulate_transmission(
+        stream,
+        fec_group=args.fec,
+        fec_depth=max(1, round(args.burst)),
+        channel=channel,
+        conceal=conceal,
+        backend=args.backend,
+        on_event=on_event,
+    )
+    elapsed = time.perf_counter() - start
+    report = result.channel
+    print(f"hdvb-player: channel: {report.sent} packets sent, "
+          f"{report.lost} lost ({report.observed_loss_rate:.1%}), "
+          f"{report.duplicated} duplicated, {report.reordered} reordered",
+          file=sys.stderr)
+    print(f"hdvb-player: {result}", file=sys.stderr)
+    return result.frames, elapsed
 
 
 def _render_stats(stream, events, elapsed: float) -> str:

@@ -22,7 +22,7 @@ exactly, except that the error raised is always a normalised
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from repro.common.gop import FrameType
 from repro.common.yuv import YuvFrame, YuvSequence
@@ -60,8 +60,15 @@ def decode_stream(
     stream,
     conceal: Union[None, str, Concealer] = None,
     on_event: Optional[EventCallback] = None,
+    packet_context: Optional[Mapping[int, int]] = None,
 ) -> DecodeResult:
-    """Decode ``stream`` with ``decoder`` through the hardened loop."""
+    """Decode ``stream`` with ``decoder`` through the hardened loop.
+
+    ``packet_context`` maps a coding-order picture index to the first lost
+    transport packet sequence number behind its damage (supplied by
+    :mod:`repro.transport.receiver`); a failure on such a picture carries
+    that ``packet_seq`` in its normalised :class:`~repro.errors.ReproError`.
+    """
     concealer = get_concealer(conceal)
     codec = decoder.codec_name
 
@@ -115,10 +122,13 @@ def decode_stream(
                     picture_index=coding_index,
                     frame_type=picture.frame_type,
                     bit_position=decoder.bit_position(),
+                    packet_seq=(packet_context or {}).get(coding_index),
                 )
 
             if failure is not None:
                 picture_span.set(error=type(failure).__name__)
+                if failure.packet_seq is not None:
+                    picture_span.set(packet_seq=failure.packet_seq)
                 if concealer is None:
                     raise failure
                 picture_span.set(concealed=concealer.name)

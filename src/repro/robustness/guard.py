@@ -36,13 +36,17 @@ def normalize_decode_error(
     picture_index: int,
     frame_type: Any = None,
     bit_position: Optional[int] = None,
+    packet_seq: Optional[int] = None,
 ) -> ReproError:
     """Return ``error`` as a :class:`ReproError` with full decode context.
 
     An existing :class:`ReproError` keeps its class and message; missing
     context fields are filled in.  Anything else is wrapped in a
     :class:`BitstreamError` describing the original exception, so callers
-    can treat every decode failure uniformly.
+    can treat every decode failure uniformly.  ``packet_seq`` (from the
+    transport layer, :mod:`repro.transport`) names the first lost packet
+    behind the damage, so bitstream faults and network losses share one
+    error taxonomy.
     """
     if isinstance(error, ReproError):
         if error.codec is None:
@@ -53,6 +57,8 @@ def normalize_decode_error(
             error.frame_type = frame_type
         if error.bit_position is None:
             error.bit_position = bit_position if bit_position is not None else 0
+        if error.packet_seq is None:
+            error.packet_seq = packet_seq
         return error
     wrapped = BitstreamError(
         f"decoder raised {type(error).__name__}: {error}",
@@ -60,6 +66,7 @@ def normalize_decode_error(
         picture_index=picture_index,
         frame_type=frame_type,
         bit_position=bit_position if bit_position is not None else 0,
+        packet_seq=packet_seq,
     )
     wrapped.__cause__ = error
     return wrapped

@@ -1,0 +1,91 @@
+"""Resilient streaming transport: the encode → network → decode path.
+
+HD-VideoBench measures codecs in isolation, but its target applications —
+players, conferencing, streaming — deliver bitstreams over lossy
+networks.  This package carries any
+:class:`~repro.codecs.base.EncodedVideo` over a simulated channel and
+decodes what survives, so the hardened decoders of
+:mod:`repro.robustness` are exercised by realistic packet loss, bursts,
+reordering and late arrival instead of only synthetic bit flips.
+
+The path, sender to screen:
+
+``packetize``
+    Picture → MTU-sized fragments with sequence numbers and picture
+    headers; a wire format; loss-exact reassembly on the far side.
+
+``fec``
+    XOR-parity forward error correction over interleaved packet groups —
+    one loss per group is rebuilt before the decoder ever notices.
+
+``channel``
+    Seeded, reproducible network damage: i.i.d. and Gilbert–Elliott burst
+    loss, delay/jitter, reordering, duplication.
+
+``jitter``
+    A playout-deadline jitter buffer: packets later than their picture's
+    play-out time are dropped like any other loss.
+
+``receiver``
+    Jitter buffer → FEC → reassembly → the PR 1 hardened decode engine,
+    with losses reported through the one :class:`~repro.errors.ReproError`
+    taxonomy (``packet_seq`` context) and concealed by the existing
+    strategies.
+
+``bench``
+    The seeded loss-rate × burst × FEC sweep behind
+    ``hdvb-bench streaming`` (graceful-decode rate, FEC recovery rate,
+    post-concealment PSNR delta).
+
+Everything is off the plain encode/decode hot path: nothing in
+:mod:`repro.codecs` imports this package, and telemetry stays behind the
+usual no-op fast path.
+"""
+
+from repro.transport.channel import (
+    Arrival,
+    ChannelReport,
+    GilbertElliott,
+    LossyChannel,
+)
+from repro.transport.fec import FecReport, fec_decode, fec_encode
+from repro.transport.jitter import DEFAULT_DEPTH, JitterBuffer, JitterReport
+from repro.transport.packetize import (
+    DEFAULT_MTU,
+    Packet,
+    PacketRef,
+    PictureLoss,
+    StreamSession,
+    packet_from_bytes,
+    packetize,
+    reassemble,
+)
+from repro.transport.receiver import (
+    TransportResult,
+    receive,
+    simulate_transmission,
+)
+
+__all__ = [
+    "Arrival",
+    "ChannelReport",
+    "DEFAULT_DEPTH",
+    "DEFAULT_MTU",
+    "FecReport",
+    "GilbertElliott",
+    "JitterBuffer",
+    "JitterReport",
+    "LossyChannel",
+    "Packet",
+    "PacketRef",
+    "PictureLoss",
+    "StreamSession",
+    "TransportResult",
+    "fec_decode",
+    "fec_encode",
+    "packet_from_bytes",
+    "packetize",
+    "reassemble",
+    "receive",
+    "simulate_transmission",
+]

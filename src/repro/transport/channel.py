@@ -1,0 +1,170 @@
+"""Seeded, reproducible lossy-channel models.
+
+The channel turns a paced packet train into a set of *arrivals*: some
+packets vanish, some arrive twice, some arrive late enough to land behind
+their successors.  All randomness comes from one ``random.Random(seed)``,
+so a sweep configuration replays bit-identically — the same property the
+fault injector (:mod:`repro.robustness.inject`) guarantees for bitstream
+corruption.
+
+Loss follows the **Gilbert–Elliott** two-state Markov chain, the standard
+model for bursty packet loss on real networks: a *good* state that
+delivers and a *bad* state that drops.  The model is parameterised by the
+two numbers practitioners actually measure — the stationary loss rate
+``π`` and the mean burst length ``L`` — and derives the transition
+probabilities from them::
+
+    r = 1 / L                  (bad → good: bursts end after L packets on average)
+    p = r · π / (1 − π)        (good → bad: fixes the stationary loss rate)
+
+``burst_length=1`` degenerates to i.i.d. (Bernoulli) loss.  Delay is a
+base propagation delay plus exponentially distributed jitter; reordering
+emerges from jitter and from an explicit reorder probability that holds a
+packet back a few packet slots; duplication re-delivers a packet with an
+independent delay draw.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.transport.packetize import Packet
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One packet landing at the receiver at ``time`` seconds."""
+
+    packet: Packet
+    time: float
+
+
+class GilbertElliott:
+    """The two-state Markov loss process (good = deliver, bad = drop).
+
+    >>> model = GilbertElliott(loss_rate=0.05, burst_length=3.0, seed=1)
+    >>> sum(not model.survives() for _ in range(10000)) / 10000   # doctest: +SKIP
+    0.0487                                                        # ≈ loss_rate
+    """
+
+    def __init__(self, loss_rate: float, burst_length: float = 1.0,
+                 seed: int = 0, rng: Optional[random.Random] = None) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if burst_length < 1.0:
+            raise ConfigError(
+                f"burst_length must be >= 1 packet, got {burst_length}")
+        self.loss_rate = loss_rate
+        self.burst_length = burst_length
+        #: bad → good transition probability
+        self.r = 1.0 / burst_length
+        #: good → bad transition probability (clamped: very high loss with
+        #: very short bursts has no consistent chain)
+        self.p = min(1.0, self.r * loss_rate / (1.0 - loss_rate))
+        self._rng = rng if rng is not None else random.Random(seed)
+        # Start from the stationary distribution so short runs are unbiased.
+        self._bad = self._rng.random() < loss_rate
+
+    def survives(self) -> bool:
+        """Advance one packet; True when the packet is delivered."""
+        delivered = not self._bad
+        if self._bad:
+            if self._rng.random() < self.r:
+                self._bad = False
+        elif self._rng.random() < self.p:
+            self._bad = True
+        return delivered
+
+
+@dataclass
+class ChannelReport:
+    """What the channel did to one packet train."""
+
+    sent: int = 0
+    delivered: int = 0      # distinct packets that arrived at least once
+    lost: int = 0
+    duplicated: int = 0     # extra copies delivered
+    reordered: int = 0      # arrivals landing behind a later-sent packet
+    max_delay: float = 0.0  # worst single arrival delay (seconds)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+
+class LossyChannel:
+    """A composable lossy channel: loss, jitter, reordering, duplication.
+
+    ``transmit`` never mutates packets; it returns
+    ``(arrivals sorted by arrival time, report)``.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        burst_length: float = 1.0,
+        delay: float = 0.02,
+        jitter: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_depth: float = 3.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        for name, value in (("delay", delay), ("jitter", jitter)):
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+        for name, value in (("reorder_rate", reorder_rate),
+                            ("duplicate_rate", duplicate_rate)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if reorder_depth < 0:
+            raise ConfigError(f"reorder_depth must be >= 0, got {reorder_depth}")
+        self.delay = delay
+        self.jitter = jitter
+        self.reorder_rate = reorder_rate
+        self.reorder_depth = reorder_depth
+        self.duplicate_rate = duplicate_rate
+        self._rng = random.Random(seed)
+        self._loss = GilbertElliott(loss_rate, burst_length, rng=self._rng)
+
+    def _arrival_delay(self, packet_interval: float) -> float:
+        delay = self.delay
+        if self.jitter > 0:
+            delay += self._rng.expovariate(1.0 / self.jitter)
+        if self.reorder_rate and self._rng.random() < self.reorder_rate:
+            delay += self._rng.uniform(1.0, self.reorder_depth) * packet_interval
+        return delay
+
+    def transmit(self, packets: Sequence[Packet], packet_interval: float = 1e-3,
+                 ) -> Tuple[List[Arrival], ChannelReport]:
+        """Carry ``packets`` (paced ``packet_interval`` seconds apart)."""
+        if packet_interval <= 0:
+            raise ConfigError(
+                f"packet_interval must be positive, got {packet_interval}")
+        report = ChannelReport(sent=len(packets))
+        arrivals: List[Tuple[float, int, Packet]] = []
+        for position, packet in enumerate(packets):
+            send_time = position * packet_interval
+            if not self._loss.survives():
+                report.lost += 1
+                continue
+            report.delivered += 1
+            copies = 1
+            if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
+                copies = 2
+                report.duplicated += 1
+            for _ in range(copies):
+                delay = self._arrival_delay(packet_interval)
+                report.max_delay = max(report.max_delay, delay)
+                arrivals.append((send_time + delay, position, packet))
+        arrivals.sort(key=lambda item: item[0])
+        highest_position = -1
+        for _, position, _ in arrivals:
+            if position < highest_position:
+                report.reordered += 1
+            else:
+                highest_position = position
+        return [Arrival(packet, time) for time, _, packet in arrivals], report

@@ -1,0 +1,156 @@
+"""XOR-parity forward error correction over interleaved packet groups.
+
+The simplest FEC that actually works on real networks (RFC 5109-style
+single-parity): for every group of ``group_size`` media packets, send one
+parity packet whose payload is the XOR of the group's (zero-padded)
+payloads.  Any *one* loss inside a group is recoverable::
+
+    lost = parity XOR (all surviving group members)
+
+A burst of consecutive losses would defeat that, so groups are
+**interleaved**: with depth ``d``, a block of ``group_size × d``
+consecutive packets is split column-wise into ``d`` groups (packet ``i``
+of the block goes to group ``i mod d``).  A burst of up to ``d``
+consecutive losses then hits ``d`` *different* groups — one loss each —
+and every packet is recovered.  Overhead is ``1 / group_size`` extra
+packets regardless of depth.
+
+The parity packet carries a :class:`~repro.transport.packetize.PacketRef`
+per protected packet (sequence number, picture metadata, exact payload
+length), so a recovered packet is rebuilt in full — metadata included —
+from the parity packet plus the surviving members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.gop import FrameType
+from repro.errors import ConfigError
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import state as telemetry_state
+from repro.transport.packetize import PARITY, Packet, PacketRef
+
+
+def _xor_payloads(payloads: Iterable[bytes]) -> bytes:
+    """XOR byte strings together, zero-padding to the longest."""
+    result = bytearray()
+    for payload in payloads:
+        if len(payload) > len(result):
+            result.extend(b"\x00" * (len(payload) - len(result)))
+        for index, byte in enumerate(payload):
+            result[index] ^= byte
+    return bytes(result)
+
+
+def _parity_packet(seq: int, group: Sequence[Packet]) -> Packet:
+    # Picture fields are placeholders (not carried on the wire for parity);
+    # pin them so a wire round trip reproduces the packet exactly.
+    return Packet(
+        seq=seq, picture_index=0, display_index=0,
+        frame_type=FrameType.I, frag_index=0, frag_count=1,
+        payload=_xor_payloads(p.payload for p in group),
+        kind=PARITY, protects=tuple(p.ref() for p in group),
+    )
+
+
+def fec_encode(packets: Sequence[Packet], group_size: int = 4,
+               depth: int = 1) -> List[Packet]:
+    """Insert parity packets into a media packet train.
+
+    Returns the transmission order: each block of ``group_size × depth``
+    media packets is followed by its ``depth`` parity packets (so parity
+    travels close to what it protects and meets similar playout
+    deadlines).  ``group_size=0`` disables FEC and returns the packets
+    unchanged.  Parity sequence numbers continue after the media range.
+    """
+    if group_size < 0:
+        raise ConfigError(f"group_size must be >= 0, got {group_size}")
+    if depth < 1:
+        raise ConfigError(f"depth must be >= 1, got {depth}")
+    if group_size == 0 or not packets:
+        return list(packets)
+    parity_seq = max(packet.seq for packet in packets) + 1
+    out: List[Packet] = []
+    block_span = group_size * depth
+    parity_count = 0
+    for block_start in range(0, len(packets), block_span):
+        block = packets[block_start:block_start + block_span]
+        out.extend(block)
+        for column in range(depth):
+            group = block[column::depth]
+            if not group:
+                continue
+            out.append(_parity_packet(parity_seq, group))
+            parity_seq += 1
+            parity_count += 1
+    if telemetry_state.enabled and parity_count:
+        telemetry_registry().counter("transport.fec.parity_sent").inc(parity_count)
+    return out
+
+
+@dataclass
+class FecReport:
+    """Recovery accounting for one received packet train."""
+
+    parity_received: int = 0
+    groups_damaged: int = 0      # groups with at least one missing member
+    recovered: int = 0           # packets rebuilt from parity
+    unrecoverable: int = 0       # groups with >= 2 missing members
+    recovered_seqs: List[int] = field(default_factory=list)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Recovered fraction of the losses FEC could see (1.0 when clean)."""
+        lost = self.recovered + self.unrecoverable_losses
+        return self.recovered / lost if lost else 1.0
+
+    # unrecoverable counts *groups*; losses inside them can exceed one each,
+    # so track the packet-level figure separately for the rate.
+    unrecoverable_losses: int = 0
+
+
+def fec_decode(packets: Iterable[Packet]) -> Tuple[List[Packet], FecReport]:
+    """Recover what parity allows; returns (media packets, report).
+
+    Duplicates (same sequence number) are dropped first.  For every parity
+    packet whose group is missing exactly one member, the member is
+    rebuilt; groups missing two or more stay lost (single parity cannot
+    solve two unknowns).
+    """
+    media: Dict[int, Packet] = {}
+    parity: Dict[int, Packet] = {}
+    for packet in packets:
+        target = parity if packet.is_parity else media
+        target.setdefault(packet.seq, packet)
+
+    report = FecReport(parity_received=len(parity))
+    for parity_packet in parity.values():
+        missing = [ref for ref in parity_packet.protects
+                   if ref.seq not in media]
+        if not missing:
+            continue
+        report.groups_damaged += 1
+        if len(missing) > 1:
+            report.unrecoverable += 1
+            report.unrecoverable_losses += len(missing)
+            continue
+        ref = missing[0]
+        survivors = (media[other.seq].payload
+                     for other in parity_packet.protects
+                     if other.seq != ref.seq)
+        payload = _xor_payloads([parity_packet.payload, *survivors])[:ref.length]
+        media[ref.seq] = Packet(
+            ref.seq, ref.picture_index, ref.display_index, ref.frame_type,
+            ref.frag_index, ref.frag_count, payload,
+        )
+        report.recovered += 1
+        report.recovered_seqs.append(ref.seq)
+    if telemetry_state.enabled:
+        reg = telemetry_registry()
+        if report.recovered:
+            reg.counter("transport.fec.recovered").inc(report.recovered)
+        if report.unrecoverable:
+            reg.counter("transport.fec.unrecoverable").inc(report.unrecoverable)
+    return [media[seq] for seq in sorted(media)], report

@@ -1,0 +1,82 @@
+"""Playout-deadline jitter buffer.
+
+A streaming receiver cannot wait forever: display frame ``d`` must be on
+screen at ``t = depth + d / fps``, where ``depth`` is the buffering delay
+the player chose before starting playback.  The jitter buffer admits
+every packet that arrives before the deadline of the picture it belongs
+to and **drops late packets** — a packet that misses its playout deadline
+is as lost as one the network dropped, and is handed to the same
+loss-concealment machinery.
+
+Parity packets inherit the *latest* deadline among the packets they
+protect: parity is useful as long as at least one protected picture has
+not played out yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import state as telemetry_state
+from repro.transport.channel import Arrival
+from repro.transport.packetize import Packet
+
+#: Default playout buffering delay (seconds): five frames at 25 fps.
+DEFAULT_DEPTH = 0.2
+
+
+@dataclass
+class JitterReport:
+    """Admission accounting for one arrival train."""
+
+    admitted: int = 0
+    late_dropped: int = 0
+    max_lateness: float = 0.0   # worst miss past a deadline (seconds)
+    late_seqs: List[int] = field(default_factory=list)
+
+    @property
+    def late_rate(self) -> float:
+        total = self.admitted + self.late_dropped
+        return self.late_dropped / total if total else 0.0
+
+
+class JitterBuffer:
+    """Admit arrivals against per-picture playout deadlines."""
+
+    def __init__(self, fps: int, depth: float = DEFAULT_DEPTH) -> None:
+        if fps <= 0:
+            raise ConfigError(f"fps must be positive, got {fps}")
+        if depth < 0:
+            raise ConfigError(f"buffer depth must be >= 0, got {depth}")
+        self.fps = fps
+        self.depth = depth
+
+    def deadline(self, packet: Packet) -> float:
+        """The playout deadline of ``packet`` (seconds from stream start)."""
+        if packet.is_parity and packet.protects:
+            display = max(ref.display_index for ref in packet.protects)
+        else:
+            display = packet.display_index
+        return self.depth + display / self.fps
+
+    def admit(self, arrivals: Iterable[Arrival],
+              ) -> Tuple[List[Packet], JitterReport]:
+        """Split arrivals into admitted packets and late drops."""
+        report = JitterReport()
+        admitted: List[Packet] = []
+        for arrival in arrivals:
+            lateness = arrival.time - self.deadline(arrival.packet)
+            if lateness > 0:
+                report.late_dropped += 1
+                report.late_seqs.append(arrival.packet.seq)
+                report.max_lateness = max(report.max_lateness, lateness)
+                continue
+            report.admitted += 1
+            admitted.append(arrival.packet)
+        if telemetry_state.enabled and report.late_dropped:
+            telemetry_registry().counter("transport.jitter.late_drops").inc(
+                report.late_dropped)
+        return admitted, report

@@ -1,0 +1,150 @@
+"""The receive path: jitter buffer → FEC → reassembly → hardened decode.
+
+This is where the transport layer meets PR 1's robustness engine.  The
+receiver never invents a decoder of its own: whatever survives the
+network is reassembled into a (possibly damaged) stream and handed to
+:func:`repro.robustness.engine.decode_stream`, so packet loss exercises
+exactly the concealment and I-picture resynchronisation machinery that
+bitstream faults do.  A picture slot damaged by loss surfaces either
+concealed (with a :class:`~repro.errors.ConcealmentEvent`) or, in strict
+mode, as a :class:`~repro.errors.ReproError` whose ``packet_seq`` context
+names the first lost packet behind it — one error taxonomy for bit rot
+and network rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.codecs import get_decoder
+from repro.codecs.base import EncodedVideo
+from repro.common.yuv import YuvSequence
+from repro.errors import ConcealmentEvent
+from repro.robustness.engine import DecodeResult, decode_stream
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
+from repro.transport.channel import Arrival, ChannelReport, LossyChannel
+from repro.transport.fec import FecReport, fec_decode, fec_encode
+from repro.transport.jitter import DEFAULT_DEPTH, JitterBuffer, JitterReport
+from repro.transport.packetize import (
+    DEFAULT_MTU,
+    PictureLoss,
+    StreamSession,
+    packetize,
+    reassemble,
+)
+
+EventCallback = Callable[[ConcealmentEvent], None]
+
+
+@dataclass
+class TransportResult:
+    """Everything one simulated reception produced."""
+
+    session: StreamSession
+    decode: DecodeResult
+    losses: List[PictureLoss]
+    fec: FecReport
+    jitter: JitterReport
+    channel: Optional[ChannelReport] = None
+
+    @property
+    def frames(self) -> YuvSequence:
+        return self.decode.frames
+
+    @property
+    def concealed_count(self) -> int:
+        return self.decode.concealed_count
+
+    @property
+    def damaged_pictures(self) -> int:
+        """Picture slots still damaged after FEC recovery."""
+        return len(self.losses)
+
+    @property
+    def complete(self) -> bool:
+        """True when every display slot of the session came out."""
+        return len(self.decode.frames) == self.session.picture_count
+
+    def __str__(self) -> str:
+        return (
+            f"transport: {self.jitter.admitted} packets admitted "
+            f"({self.jitter.late_dropped} late), {self.fec.recovered} "
+            f"FEC-recovered, {self.damaged_pictures} damaged picture slot(s), "
+            f"{self.concealed_count} concealed"
+        )
+
+
+def receive(
+    session: StreamSession,
+    arrivals: Iterable[Arrival],
+    *,
+    conceal="copy-last",
+    jitter_depth: float = DEFAULT_DEPTH,
+    backend: str = "simd",
+    on_event: Optional[EventCallback] = None,
+) -> TransportResult:
+    """Receive ``arrivals`` and decode what survives.
+
+    With a concealment strategy (the default), the decode always returns
+    the session's full display length.  ``conceal=None`` is strict mode:
+    the first damaged picture raises a normalised
+    :class:`~repro.errors.ReproError` carrying ``packet_seq`` context.
+    """
+    with telemetry_span("transport.receive", codec=session.codec,
+                        pictures=session.picture_count):
+        buffer = JitterBuffer(fps=session.fps, depth=jitter_depth)
+        admitted, jitter_report = buffer.admit(arrivals)
+        media, fec_report = fec_decode(admitted)
+        stream, losses = reassemble(session, media)
+        packet_context = {
+            loss.picture_index: loss.lost_seqs[0] for loss in losses
+        }
+        if telemetry_state.enabled:
+            reg = telemetry_registry()
+            reg.counter("transport.packets.received").inc(jitter_report.admitted)
+            if losses:
+                reg.counter("transport.packets.lost").inc(
+                    sum(len(loss.lost_seqs) for loss in losses))
+        decoder = get_decoder(session.codec, backend=backend)
+        decode = decode_stream(decoder, stream, conceal=conceal,
+                               on_event=on_event, packet_context=packet_context)
+    return TransportResult(
+        session=session, decode=decode, losses=losses,
+        fec=fec_report, jitter=jitter_report,
+    )
+
+
+def simulate_transmission(
+    stream: EncodedVideo,
+    *,
+    mtu: int = DEFAULT_MTU,
+    fec_group: int = 4,
+    fec_depth: int = 1,
+    channel: Optional[LossyChannel] = None,
+    jitter_depth: float = DEFAULT_DEPTH,
+    conceal="copy-last",
+    backend: str = "simd",
+    on_event: Optional[EventCallback] = None,
+) -> TransportResult:
+    """End-to-end: packetize → FEC → lossy channel → receive → decode.
+
+    ``channel`` defaults to a perfect channel (no loss); pass a configured
+    :class:`~repro.transport.channel.LossyChannel` for anything meaner.
+    ``fec_group=0`` disables FEC.  Packets are paced uniformly across the
+    stream's real-time duration, so the jitter buffer's deadlines mean
+    what they would in a live player.
+    """
+    session, packets = packetize(stream, mtu=mtu)
+    packets = fec_encode(packets, group_size=fec_group, depth=fec_depth)
+    if channel is None:
+        channel = LossyChannel()
+    duration = session.picture_count / session.fps
+    packet_interval = duration / max(1, len(packets))
+    arrivals, channel_report = channel.transmit(packets, packet_interval)
+    result = receive(session, arrivals, conceal=conceal,
+                     jitter_depth=jitter_depth, backend=backend,
+                     on_event=on_event)
+    result.channel = channel_report
+    return result

@@ -71,3 +71,20 @@ class TestCampaigns:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStreaming:
+    def test_streaming_sweep(self, capsys):
+        assert main(["streaming", "--codecs", "mpeg2", "--loss", "0.05",
+                     "--burst", "3", "--fec", "0,4", "--trials", "1",
+                     "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming: seeded loss sweep" in out
+        assert "graceful" in out
+        assert "fec rec" in out
+        assert "mpeg2" in out
+
+    def test_streaming_rejects_bad_loss(self, capsys):
+        assert main(["streaming", "--codecs", "mpeg2", "--loss", "1.5",
+                     "--trials", "1", "--frames", "3"]) == 1
+        assert "hdvb-bench:" in capsys.readouterr().err

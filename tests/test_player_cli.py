@@ -129,3 +129,42 @@ class TestPlayer:
         missing = tmp_path / "nope.hdvb"
         with pytest.raises((SystemExit, FileNotFoundError)):
             player_main([str(missing), "-vo", "null"])
+
+
+class TestPlayerTransport:
+    @pytest.fixture(scope="class")
+    def stream_path(self, yuv_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("streams") / "clip.hdvb"
+        assert run_mencoder(yuv_path, path, "x264", "-x264encopts", "qp=26") == 0
+        return path
+
+    def test_lossy_playout_survives(self, stream_path, capsys):
+        argv = [str(stream_path), "-vo", "null", "--loss", "0.1",
+                "--burst", "3", "--fec", "4", "--loss-seed", "7"]
+        assert player_main(argv) == 0
+        captured = capsys.readouterr()
+        assert "hdvb-player: channel:" in captured.err
+        assert "hdvb-player: transport:" in captured.err
+
+    def test_lossy_yuv_output_keeps_frame_count(self, stream_path, tmp_path):
+        out = tmp_path / "lossy.yuv"
+        argv = [str(stream_path), "-vo", f"yuv:{out}", "--loss", "0.2",
+                "--burst", "2", "--fec", "4", "--loss-seed", "3"]
+        assert player_main(argv) == 0
+        # Losses are concealed, never dropped: full display length.
+        assert len(read_yuv_file(out, 32, 32)) == 4
+
+    def test_loss_seed_reproducible(self, stream_path, capsys):
+        argv = [str(stream_path), "-vo", "null", "--loss", "0.15",
+                "--fec", "4", "--loss-seed", "11"]
+        assert player_main(argv) == 0
+        first = capsys.readouterr().err
+        assert player_main(argv) == 0
+        second = capsys.readouterr().err
+        assert first == second
+
+    def test_fec_without_loss_is_clean(self, stream_path, capsys):
+        assert player_main([str(stream_path), "-vo", "null", "--fec", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "0 lost" in err
+        assert "0 concealed" in err

@@ -530,6 +530,41 @@ class TestParallelHardening:
                 qscale=5, search_range=4, width=32, height=32,
             )
 
+    def test_bad_backoff_rejected(self, six_frames):
+        with pytest.raises(ConfigError, match="retry_backoff"):
+            parallel_encode(
+                "mpeg2", six_frames, workers=2, retry_backoff=-0.1,
+                qscale=5, search_range=4, width=32, height=32,
+            )
+
+    def test_stats_surface_deadline_and_backoff(self, six_frames):
+        # A failing pool retries once: stats must record the deadline in
+        # force and the jittered backoff actually slept before the retry.
+        base = 0.01
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            stream, stats = parallel_encode(
+                "mpeg2", six_frames, workers=2, chunk_timeout=42.0,
+                retry_backoff=base,
+                executor_factory=_pool_factory(BrokenProcessPool("x")),
+                return_stats=True,
+                qscale=5, search_range=4, width=32, height=32,
+            )
+        assert stream.frame_count == 6
+        assert stats["chunk_timeout"] == 42.0
+        assert len(stats["backoff_seconds"]) == 1
+        # Jitter keeps the first pause within 0.5-1.5x of the base.
+        assert base * 0.5 <= stats["backoff_seconds"][0] <= base * 1.5
+
+    def test_healthy_pool_reports_empty_backoff(self, six_frames):
+        _, stats = parallel_encode(
+            "mpeg2", six_frames, workers=2,
+            executor_factory=_pool_factory(None), return_stats=True,
+            qscale=5, search_range=4, width=32, height=32,
+        )
+        assert stats["backoff_seconds"] == []
+        assert stats["chunk_timeout"] > 0
+        assert stats["retries"] == 0
+
     def test_serial_fallback_matches_parallel_result(self, six_frames):
         reference = parallel_encode(
             "mpeg2", six_frames, workers=1, chunks=2,

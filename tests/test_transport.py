@@ -1,0 +1,403 @@
+"""Tests for the streaming transport layer (repro.transport)."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import BitstreamError, ConfigError, ReproError, TruncationError
+from repro.robustness.bench import ALL_CODECS, encoder_fields, make_bench_clip
+from repro.codecs import get_encoder
+from repro.common.gop import FrameType
+from repro.transport import (
+    GilbertElliott,
+    JitterBuffer,
+    LossyChannel,
+    Packet,
+    fec_decode,
+    fec_encode,
+    packet_from_bytes,
+    packetize,
+    reassemble,
+    receive,
+    simulate_transmission,
+)
+from repro.transport.channel import Arrival
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """One small encoded stream per codec."""
+    video = make_bench_clip()
+    built = {}
+    for codec in ALL_CODECS:
+        encoder = get_encoder(codec, **encoder_fields(codec, 32, 32))
+        built[codec] = encoder.encode_sequence(video)
+    return built
+
+
+@pytest.fixture(scope="module")
+def video():
+    return make_bench_clip()
+
+
+# ---------------------------------------------------------------------------
+# packetize / reassemble
+# ---------------------------------------------------------------------------
+
+class TestPacketizeRoundTrip:
+    @pytest.mark.parametrize("codec", ALL_CODECS)
+    @pytest.mark.parametrize("mtu", (48, 1200))
+    def test_shuffle_duplicate_reassemble_is_lossless(self, streams, codec, mtu):
+        # The property: packetize -> arbitrary arrival order with duplicates
+        # -> reassemble reproduces every picture byte for byte.
+        stream = streams[codec]
+        session, packets = packetize(stream, mtu=mtu)
+        delivered = list(packets) + list(packets[::3])  # every 3rd twice
+        random.Random(codec + str(mtu)).shuffle(delivered)
+        rebuilt, losses = reassemble(session, delivered)
+        assert losses == []
+        assert rebuilt.codec == stream.codec
+        assert (rebuilt.width, rebuilt.height, rebuilt.fps) == (
+            stream.width, stream.height, stream.fps)
+        for original, copy in zip(stream.pictures, rebuilt.pictures):
+            assert copy.payload == original.payload
+            assert copy.display_index == original.display_index
+            assert copy.frame_type == original.frame_type
+
+    def test_fragments_respect_mtu(self, streams):
+        session, packets = packetize(streams["mpeg2"], mtu=48)
+        assert all(len(p.payload) <= 48 for p in packets)
+        assert [p.seq for p in packets] == list(range(len(packets)))
+        assert len(packets) == session.packet_count
+
+    def test_lost_tail_fragment_truncates_payload(self, streams):
+        stream = streams["mpeg2"]
+        session, packets = packetize(stream, mtu=48)
+        victim = next(p for p in packets
+                      if p.frag_count > 1 and p.frag_index == p.frag_count - 1)
+        survivors = [p for p in packets if p.seq != victim.seq]
+        rebuilt, losses = reassemble(session, survivors)
+        assert len(losses) == 1
+        loss = losses[0]
+        assert loss.picture_index == victim.picture_index
+        assert loss.lost_seqs == (victim.seq,)
+        assert not loss.erased
+        damaged = rebuilt.pictures[victim.picture_index]
+        original = stream.pictures[victim.picture_index]
+        assert damaged.payload == original.payload[:len(damaged.payload)]
+        assert 0 < len(damaged.payload) < len(original.payload)
+
+    def test_fully_lost_picture_becomes_erased_slot(self, streams):
+        stream = streams["mpeg2"]
+        session, packets = packetize(stream, mtu=48)
+        survivors = [p for p in packets if p.picture_index != 2]
+        rebuilt, losses = reassemble(session, survivors)
+        assert len(rebuilt.pictures) == len(stream.pictures)
+        assert rebuilt.pictures[2].payload == b""
+        (loss,) = losses
+        assert loss.erased
+        assert len(loss.lost_seqs) == session.pictures[2][2]
+
+    def test_invalid_mtu_rejected(self, streams):
+        with pytest.raises(ConfigError):
+            packetize(streams["mpeg2"], mtu=0)
+        with pytest.raises(ConfigError):
+            packetize(streams["mpeg2"], mtu=100_000)
+
+
+class TestWireFormat:
+    def test_media_packet_round_trip(self, streams):
+        _, packets = packetize(streams["h264"], mtu=48)
+        for packet in packets:
+            assert packet_from_bytes(packet.to_bytes()) == packet
+
+    def test_parity_packet_round_trip(self, streams):
+        _, packets = packetize(streams["h264"], mtu=48)
+        parity = [p for p in fec_encode(packets, group_size=4, depth=2)
+                  if p.is_parity]
+        assert parity
+        for packet in parity:
+            assert packet_from_bytes(packet.to_bytes()) == packet
+
+    def test_corrupt_wire_data_rejected(self, streams):
+        _, packets = packetize(streams["mpeg2"], mtu=48)
+        wire = packets[0].to_bytes()
+        with pytest.raises(BitstreamError, match="magic"):
+            packet_from_bytes(b"XX" + wire[2:])
+        with pytest.raises(BitstreamError, match="truncated"):
+            packet_from_bytes(wire[:-1])
+        with pytest.raises(BitstreamError, match="trailing"):
+            packet_from_bytes(wire + b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# channel models
+# ---------------------------------------------------------------------------
+
+class TestGilbertElliott:
+    def test_statistics_match_configuration(self):
+        # The satellite property test: empirical loss rate and mean burst
+        # length of the chain match the configured parameters.
+        model = GilbertElliott(loss_rate=0.10, burst_length=4.0, seed=42)
+        outcomes = [model.survives() for _ in range(200_000)]
+        losses = outcomes.count(False)
+        assert losses / len(outcomes) == pytest.approx(0.10, abs=0.01)
+
+        bursts = []
+        run = 0
+        for delivered in outcomes:
+            if not delivered:
+                run += 1
+            elif run:
+                bursts.append(run)
+                run = 0
+        mean_burst = sum(bursts) / len(bursts)
+        assert mean_burst == pytest.approx(4.0, rel=0.10)
+
+    def test_iid_degenerate_case(self):
+        model = GilbertElliott(loss_rate=0.2, burst_length=1.0, seed=7)
+        assert model.r == 1.0
+        outcomes = [model.survives() for _ in range(50_000)]
+        assert outcomes.count(False) / len(outcomes) == pytest.approx(0.2, abs=0.01)
+
+    def test_zero_loss_never_drops(self):
+        model = GilbertElliott(loss_rate=0.0, seed=0)
+        assert all(model.survives() for _ in range(1000))
+
+    def test_same_seed_same_sequence(self):
+        a = GilbertElliott(0.3, 2.0, seed=9)
+        b = GilbertElliott(0.3, 2.0, seed=9)
+        assert [a.survives() for _ in range(500)] == \
+               [b.survives() for _ in range(500)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            GilbertElliott(loss_rate=1.0)
+        with pytest.raises(ConfigError):
+            GilbertElliott(loss_rate=0.1, burst_length=0.5)
+
+
+class TestLossyChannel:
+    def test_perfect_channel_delivers_in_order(self, streams):
+        _, packets = packetize(streams["mpeg2"], mtu=48)
+        arrivals, report = LossyChannel(seed=1).transmit(packets, 1e-3)
+        assert [a.packet.seq for a in arrivals] == [p.seq for p in packets]
+        assert report.lost == 0 and report.reordered == 0
+        assert report.delivered == len(packets)
+
+    def test_loss_and_duplication_accounting(self, streams):
+        _, packets = packetize(streams["mpeg2"], mtu=48)
+        channel = LossyChannel(loss_rate=0.2, duplicate_rate=0.1, seed=3)
+        arrivals, report = channel.transmit(packets, 1e-3)
+        assert report.sent == len(packets)
+        assert report.delivered + report.lost == report.sent
+        assert len(arrivals) == report.delivered + report.duplicated
+
+    def test_jitter_causes_reordering(self, streams):
+        _, packets = packetize(streams["mpeg2"], mtu=48)
+        channel = LossyChannel(jitter=0.05, seed=5)
+        arrivals, report = channel.transmit(packets, 1e-3)
+        assert report.reordered > 0
+        assert [a.packet.seq for a in arrivals] != [p.seq for p in packets]
+
+    def test_same_seed_is_bit_reproducible(self, streams):
+        _, packets = packetize(streams["mpeg2"], mtu=48)
+        first = LossyChannel(loss_rate=0.1, jitter=0.01, duplicate_rate=0.05,
+                             seed=11).transmit(packets, 1e-3)
+        second = LossyChannel(loss_rate=0.1, jitter=0.01, duplicate_rate=0.05,
+                              seed=11).transmit(packets, 1e-3)
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# FEC
+# ---------------------------------------------------------------------------
+
+class TestFec:
+    def test_single_loss_per_group_recovered(self, streams):
+        _, packets = packetize(streams["mpeg4"], mtu=48)
+        protected = fec_encode(packets, group_size=4)
+        victim = packets[5]
+        received = [p for p in protected if p.seq != victim.seq]
+        media, report = fec_decode(received)
+        assert report.recovered == 1
+        assert report.recovered_seqs == [victim.seq]
+        recovered = next(p for p in media if p.seq == victim.seq)
+        assert recovered == victim
+
+    def test_double_loss_in_group_unrecoverable(self, streams):
+        _, packets = packetize(streams["mpeg4"], mtu=48)
+        protected = fec_encode(packets, group_size=4, depth=1)
+        parity = next(p for p in protected if p.is_parity)
+        doomed = {ref.seq for ref in parity.protects[:2]}
+        received = [p for p in protected if p.seq not in doomed]
+        media, report = fec_decode(received)
+        assert report.recovered == 0
+        assert report.unrecoverable == 1
+        assert report.unrecoverable_losses == 2
+        assert not any(p.seq in doomed for p in media)
+
+    def test_interleaving_absorbs_bursts(self, streams):
+        # A burst of `depth` consecutive losses hits `depth` different
+        # groups, one loss each: everything comes back.
+        _, packets = packetize(streams["mpeg4"], mtu=48)
+        depth = 3
+        protected = fec_encode(packets, group_size=3, depth=depth)
+        burst = {2, 3, 4}
+        received = [p for p in protected if p.seq not in burst]
+        media, report = fec_decode(received)
+        assert report.recovered == depth
+        assert {p.seq for p in media} >= burst
+
+    def test_overhead_is_one_over_group_size(self, streams):
+        _, packets = packetize(streams["h264"], mtu=48)
+        protected = fec_encode(packets, group_size=4, depth=1)
+        parity_count = sum(p.is_parity for p in protected)
+        assert parity_count == -(-len(packets) // 4)
+
+    def test_group_size_zero_disables_fec(self, streams):
+        _, packets = packetize(streams["h264"], mtu=48)
+        assert fec_encode(packets, group_size=0) == list(packets)
+
+    def test_recovery_across_payload_lengths(self):
+        # The short last fragment recovers at its exact length.
+        packets = [
+            Packet(seq, 0, 0, FrameType.I, seq, 3, payload)
+            for seq, payload in enumerate([b"abcdefgh", b"ijklmnop", b"qr"])
+        ]
+        protected = fec_encode(packets, group_size=3)
+        received = [p for p in protected if p.seq != 2]
+        media, report = fec_decode(received)
+        assert report.recovered == 1
+        assert next(p for p in media if p.seq == 2).payload == b"qr"
+
+
+# ---------------------------------------------------------------------------
+# jitter buffer
+# ---------------------------------------------------------------------------
+
+class TestJitterBuffer:
+    def _packet(self, seq, display):
+        return Packet(seq, display, display, FrameType.P, 0, 1, b"x")
+
+    def test_on_time_admitted_late_dropped(self):
+        buffer = JitterBuffer(fps=25, depth=0.2)
+        packets = [self._packet(0, 0), self._packet(1, 1)]
+        arrivals = [
+            Arrival(packets[0], 0.19),            # deadline 0.2: on time
+            Arrival(packets[1], 0.5),             # deadline 0.24: late
+        ]
+        admitted, report = buffer.admit(arrivals)
+        assert [p.seq for p in admitted] == [0]
+        assert report.late_dropped == 1
+        assert report.late_seqs == [1]
+        assert report.max_lateness == pytest.approx(0.26)
+
+    def test_parity_inherits_latest_protected_deadline(self):
+        buffer = JitterBuffer(fps=25, depth=0.2)
+        media = [self._packet(0, 0), self._packet(1, 5)]
+        parity = fec_encode(media, group_size=2)[-1]
+        assert parity.is_parity
+        # display 5 plays at 0.2 + 5/25 = 0.4: parity at 0.35 is on time.
+        admitted, report = buffer.admit([Arrival(parity, 0.35)])
+        assert admitted == [parity]
+        assert report.late_dropped == 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigError):
+            JitterBuffer(fps=0)
+        with pytest.raises(ConfigError):
+            JitterBuffer(fps=25, depth=-1)
+
+
+# ---------------------------------------------------------------------------
+# receiver: transport -> hardened decode engine
+# ---------------------------------------------------------------------------
+
+class TestReceiver:
+    def test_clean_channel_decodes_identically(self, streams):
+        stream = streams["mpeg2"]
+        from repro.codecs import get_decoder
+        reference = get_decoder("mpeg2").decode(stream)
+        result = simulate_transmission(stream, mtu=48, fec_group=0)
+        assert result.complete
+        assert result.concealed_count == 0
+        for a, b in zip(reference, result.frames):
+            assert (a.y == b.y).all()
+
+    @pytest.mark.parametrize("codec", ALL_CODECS)
+    def test_lossy_channel_conceals_to_full_length(self, streams, codec):
+        channel = LossyChannel(loss_rate=0.1, burst_length=3.0, seed=17)
+        result = simulate_transmission(
+            streams[codec], mtu=48, fec_group=4, fec_depth=3, channel=channel)
+        assert result.complete
+        assert len(result.frames) == streams[codec].frame_count
+
+    def test_strict_mode_error_carries_packet_seq(self, streams):
+        stream = streams["mpeg2"]
+        session, packets = packetize(stream, mtu=48)
+        victim = next(p for p in packets if p.picture_index == 1)
+        survivors = [p for p in packets if p.seq != victim.seq]
+        damaged, losses = reassemble(session, survivors)
+        assert losses
+        arrivals = [Arrival(p, 0.0) for p in survivors]
+        with pytest.raises(ReproError) as excinfo:
+            receive(session, arrivals, conceal=None)
+        error = excinfo.value
+        assert error.packet_seq == losses[0].lost_seqs[0]
+        assert f"packet={error.packet_seq}" in str(error)
+
+    def test_fec_repairs_before_the_decoder_notices(self, streams):
+        stream = streams["h264"]
+        session, packets = packetize(stream, mtu=48)
+        protected = fec_encode(packets, group_size=4)
+        victim = packets[3]
+        arrivals = [Arrival(p, 0.0) for p in protected if p.seq != victim.seq]
+        result = receive(session, arrivals)
+        assert result.fec.recovered == 1
+        assert result.damaged_pictures == 0
+        assert result.concealed_count == 0
+
+    def test_telemetry_counters_behind_fast_path(self, streams):
+        import repro.telemetry as telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            channel = LossyChannel(loss_rate=0.3, burst_length=2.0, seed=2)
+            simulate_transmission(streams["mpeg2"], mtu=48, fec_group=4,
+                                  channel=channel)
+            registry = telemetry.registry()
+            assert registry.value("transport.packets.sent") > 0
+            assert registry.value("transport.packets.received") > 0
+            spans = telemetry.current_trace().spans("transport.receive")
+            assert len(spans) == 1
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+# ---------------------------------------------------------------------------
+# the shared error taxonomy
+# ---------------------------------------------------------------------------
+
+class TestPacketSeqContext:
+    def test_str_appends_packet_context(self):
+        error = TruncationError("payload ends early", codec="mpeg2",
+                                picture_index=3, bit_position=17, packet_seq=41)
+        assert "packet=41" in str(error)
+
+    def test_context_dict_includes_packet_seq(self):
+        error = ReproError("x", packet_seq=7)
+        assert error.context["packet_seq"] == 7
+
+    def test_pickle_round_trip_keeps_packet_seq(self):
+        error = TruncationError("lost", codec="h264", picture_index=1,
+                                bit_position=0, packet_seq=99)
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, TruncationError)
+        assert clone.packet_seq == 99
+        assert clone.codec == "h264"
