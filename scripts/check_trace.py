@@ -13,12 +13,25 @@ Accepts both export formats and auto-detects which one it is looking at:
 Exit status 0 when the file validates, 1 with a diagnostic otherwise.
 Used by the CI telemetry smoke job; importable for tests
 (:func:`validate_trace_file`).
+
+Diagnostics are reported through the shared finding/reporter helpers of
+:mod:`repro.analysis` (rule id ``TRACE100``), so ``--format json`` emits
+the same ``repro.analysis.findings/1`` document the lint engine does and
+downstream tooling parses one schema for both gates.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
+from pathlib import Path
+
+try:
+    from repro.analysis import Finding, render_human, render_json
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis import Finding, render_human, render_json
 
 TRACE_SCHEMA = "repro.telemetry.trace/1"
 
@@ -124,17 +137,41 @@ def validate_trace_file(path: str) -> str:
     return f"{path}: valid {TRACE_SCHEMA} trace ({count} spans)"
 
 
-def main(argv) -> int:
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} TRACE.json", file=sys.stderr)
-        return 2
-    try:
-        print(validate_trace_file(argv[1]))
-    except TraceValidationError as error:
-        print(f"check_trace: {error}", file=sys.stderr)
-        return 1
-    return 0
+def finding_from_error(path: str, error: TraceValidationError) -> Finding:
+    """Render a validation failure as a shared analysis finding."""
+    return Finding(
+        rule_id="TRACE100",
+        path=path,
+        module=Path(path).name,
+        line=1,
+        message=str(error),
+        hint="regenerate the file with hdvb-bench performance --trace",
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_trace",
+        description="Validate a repro.telemetry trace export file.",
+    )
+    parser.add_argument("traces", nargs="+", metavar="TRACE.json")
+    parser.add_argument("--format", choices=("human", "json"), default="human")
+    options = parser.parse_args(argv)
+
+    findings = []
+    for path in options.traces:
+        try:
+            summary = validate_trace_file(path)
+        except TraceValidationError as error:
+            findings.append(finding_from_error(path, error))
+        else:
+            if options.format == "human":
+                print(summary)
+    render = render_json if options.format == "json" else render_human
+    if findings or options.format == "json":
+        print(render(findings, files_scanned=len(options.traces)))
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

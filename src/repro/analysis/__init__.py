@@ -1,0 +1,59 @@
+"""``repro.analysis``: the codec-invariant static-analysis engine.
+
+An AST-based lint pass (``hdvb-lint``) that enforces the repo-specific
+invariants the benchmark's trustworthiness rests on — seeded determinism
+in simulation paths, the ReproError taxonomy in decode paths, scalar/SIMD
+kernel parity, process-pool pickle safety, centralised bitstream parsing
+and telemetry span discipline.  See ``docs/ANALYSIS.md`` for the rule
+catalogue and workflow.
+
+Public surface::
+
+    from repro.analysis import run, Finding, all_rules
+    result = run(["src"])          # LintResult
+    result.findings                # list[Finding], baseline applied
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    empty_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintResult, canonical_module, run, suppressed_ids
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.reporters import (
+    FINDINGS_SCHEMA,
+    findings_document,
+    render_human,
+    render_json,
+    summarize,
+)
+from repro.analysis.rules import ModuleUnit, Project, ProjectRule, Rule, all_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FINDINGS_SCHEMA",
+    "Finding",
+    "LintResult",
+    "ModuleUnit",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "canonical_module",
+    "empty_baseline",
+    "findings_document",
+    "load_baseline",
+    "render_human",
+    "render_json",
+    "run",
+    "sort_findings",
+    "summarize",
+    "suppressed_ids",
+    "write_baseline",
+]

@@ -1,0 +1,131 @@
+"""``hdvb-lint``: the codec-invariant static-analysis gate.
+
+Usage::
+
+    hdvb-lint [paths ...] [--format human|json] [--baseline FILE]
+              [--no-baseline] [--write-baseline] [--select IDS]
+              [--ignore IDS] [--list-rules]
+
+Exit codes: 0 — clean (every finding suppressed or baselined); 1 — at
+least one non-baselined finding; 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    empty_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintResult, run
+from repro.analysis.reporters import render_human, render_json
+from repro.analysis.rules import all_rules
+
+
+def _parse_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-lint",
+        description="AST lint pass enforcing the HD-VideoBench reproduction "
+                    "invariants (determinism, error taxonomy, kernel parity, "
+                    "pickle safety, bitstream seams, telemetry discipline).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--format", choices=("human", "json"), default="human",
+                        help="report format (default: human)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} "
+                             f"when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file and "
+                             "exit 0 (each entry still needs a hand-written "
+                             "reason)")
+    parser.add_argument("--select", metavar="IDS", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", metavar="IDS", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id} {rule.name}")
+        lines.append(f"    {rule.rationale}")
+        if rule.hint:
+            lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_rule_catalogue())
+        return 0
+
+    paths = options.paths or (["src"] if Path("src").is_dir() else ["."])
+
+    baseline_path = Path(options.baseline) if options.baseline else Path(
+        DEFAULT_BASELINE_NAME
+    )
+    baseline = empty_baseline()
+    if not options.no_baseline and not options.write_baseline:
+        if options.baseline or baseline_path.is_file():
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as error:
+                print(f"hdvb-lint: {error}", file=sys.stderr)
+                return 2
+
+    try:
+        result: LintResult = run(
+            paths,
+            baseline=baseline,
+            select=_parse_ids(options.select),
+            ignore=_parse_ids(options.ignore),
+        )
+    except FileNotFoundError as error:
+        print(f"hdvb-lint: {error}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"hdvb-lint: wrote {len(result.findings)} entr"
+              f"{'y' if len(result.findings) == 1 else 'ies'} to "
+              f"{baseline_path} -- add a reason to each before committing")
+        return 0
+
+    stats = {
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": len(result.baselined),
+        "stale_baseline": result.stale_descriptions(),
+    }
+    if options.format == "json":
+        print(render_json(result.findings, **stats))
+    else:
+        print(render_human(result.findings, **stats))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

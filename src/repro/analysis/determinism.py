@@ -1,0 +1,138 @@
+"""Determinism rules: no hidden global RNG state, no wall-clock reads.
+
+Every robustness and transport result in this repository is gated on
+bit-reproducibility from a seed (``FaultInjector(seed)``,
+``LossyChannel(seed=...)``, the loss-sweep benchmarks).  One call to a
+module-state RNG (``random.uniform``, ``np.random.rand``) or to the wall
+clock inside a codec or simulation path silently breaks that guarantee:
+the sweep still runs, the numbers just stop being comparable between
+machines and reruns.  These rules pin the invariant down statically.
+
+Scope: ``codecs/``, ``me/``, ``transform/``, ``robustness/``,
+``transport/``.  The telemetry package is deliberately out of scope —
+timing spans *must* read the clock — as are the benchmark CLIs outside
+these directories (``perf_counter`` for measurement is always allowed;
+only calendar time is flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, register
+
+#: Directories whose results must be reproducible from a seed alone.
+DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "codecs/", "me/", "transform/", "robustness/", "transport/",
+)
+
+#: ``random`` module-state functions (instance methods on the shared
+#: global ``Random``).  ``random.Random(seed)`` is the sanctioned form.
+UNSEEDED_RANDOM_FUNCS = frozenset({
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "betavariate", "expovariate", "gammavariate",
+    "gauss", "lognormvariate", "normalvariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: ``numpy.random`` attributes that are fine: explicit-seed constructors.
+SEEDED_NUMPY_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+    "MT19937", "SFC64", "BitGenerator", "RandomState",
+})
+
+#: Wall-clock reads (calendar time); monotonic/perf counters are allowed.
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+@register
+class UnseededRngRule(Rule):
+    """HDVB101: module-state RNG calls in deterministic code."""
+
+    rule_id = "HDVB101"
+    name = "unseeded-rng"
+    rationale = (
+        "codec, motion, robustness and transport paths must be "
+        "bit-reproducible from an explicit seed; module-state RNG calls "
+        "draw from hidden global state that reruns cannot replay"
+    )
+    hint = "draw from an explicit random.Random(seed) / np.random.default_rng(seed)"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None or not in_scope(unit.module, DETERMINISM_SCOPE):
+            return
+        aliases = unit.module_aliases()
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            base, rest = dotted.split(".", 1)
+            origin = aliases.get(base)
+            if origin == "random" and rest in UNSEEDED_RANDOM_FUNCS:
+                yield self.finding(
+                    unit, node,
+                    f"call to module-state RNG random.{rest} in "
+                    f"deterministic path",
+                )
+            elif origin == "numpy" and rest.startswith("random."):
+                attr = rest.split(".", 1)[1]
+                if attr.split(".")[0] not in SEEDED_NUMPY_OK:
+                    yield self.finding(
+                        unit, node,
+                        f"call to module-state RNG numpy.random.{attr} in "
+                        f"deterministic path",
+                    )
+            elif origin == "numpy.random" and rest.split(".")[0] not in SEEDED_NUMPY_OK:
+                yield self.finding(
+                    unit, node,
+                    f"call to module-state RNG numpy.random.{rest} in "
+                    f"deterministic path",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """HDVB102: calendar-time reads in deterministic code."""
+
+    rule_id = "HDVB102"
+    name = "wall-clock"
+    rationale = (
+        "decode, simulation and sweep outcomes must not depend on when "
+        "they run; calendar time leaking into a deterministic path makes "
+        "results non-replayable (perf_counter/monotonic stay legal: "
+        "measuring duration is not deciding behaviour)"
+    )
+    hint = "thread a timestamp in as an argument, or move timing to telemetry"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None or not in_scope(unit.module, DETERMINISM_SCOPE):
+            return
+        aliases = unit.module_aliases()
+        imported = unit.imported_names()
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = dotted
+            base = dotted.split(".", 1)[0]
+            if base in aliases:
+                resolved = aliases[base] + dotted[len(base):]
+            elif base in imported:
+                resolved = imported[base] + dotted[len(base):]
+            if resolved in WALLCLOCK_CALLS:
+                yield self.finding(
+                    unit, node,
+                    f"wall-clock read {resolved}() in deterministic path",
+                )

@@ -1,0 +1,172 @@
+"""The lint engine: file collection, rule dispatch, suppressions, baseline.
+
+Pipeline::
+
+    paths -> ModuleUnits -> per-module rules + project rules
+          -> inline `# hdvb: disable=ID` suppressions
+          -> baseline partition
+          -> LintResult
+
+Module canonicalisation: every scanned file gets a *module path* relative
+to its scan root with leading ``src/`` and ``repro/`` segments stripped,
+so ``hdvb-lint src/``, ``hdvb-lint src/repro`` and a test fixture tree
+that mimics the package layout (``tmp/codecs/evil.py``) all address the
+same rule scopes (``codecs/``, ``transport/``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import determinism, parity, picklesafety, seams, spans, taxonomy  # noqa: F401 -- rule registration
+from repro.analysis.baseline import Baseline, BaselineEntry, empty_baseline
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import ModuleUnit, Project, ProjectRule, Rule, all_rules
+
+#: Rule id reserved for files the engine cannot parse.
+PARSE_RULE_ID = "HDVB100"
+
+_PRAGMA = re.compile(r"#\s*hdvb:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Directory names never scanned.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Everything one engine run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def stale_descriptions(self) -> List[str]:
+        return [
+            f"{entry.rule} {entry.module}: {entry.message}"
+            for entry in self.stale_baseline
+        ]
+
+
+def canonical_module(relative: Path) -> str:
+    """Strip leading ``src``/``repro`` wrapper segments from a posix path."""
+    parts = list(relative.parts)
+    for wrapper in ("src", "repro"):
+        if parts and parts[0] == wrapper:
+            parts.pop(0)
+    return "/".join(parts) if parts else relative.name
+
+
+def collect_files(paths: Sequence[str]) -> List[Tuple[Path, str, str]]:
+    """Expand path arguments into (absolute, display, module) triples."""
+    collected: List[Tuple[Path, str, str]] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            absolute = root.resolve()
+            if absolute not in seen and absolute.suffix == ".py":
+                seen.add(absolute)
+                collected.append(
+                    (absolute, str(root), canonical_module(Path(root.name)))
+                )
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".")
+                   for part in candidate.relative_to(root).parts[:-1]):
+                continue
+            absolute = candidate.resolve()
+            if absolute in seen:
+                continue
+            seen.add(absolute)
+            relative = candidate.relative_to(root)
+            collected.append(
+                (absolute, str(Path(raw) / relative), canonical_module(relative))
+            )
+    return collected
+
+
+def suppressed_ids(line: str) -> Set[str]:
+    """Rule ids disabled by an inline ``# hdvb: disable=...`` pragma."""
+    match = _PRAGMA.search(line)
+    if not match:
+        return set()
+    return {token.strip() for token in match.group(1).split(",") if token.strip()}
+
+
+def _is_suppressed(finding: Finding, unit: ModuleUnit) -> bool:
+    ids = suppressed_ids(unit.line_text(finding.line))
+    return finding.rule_id in ids or "all" in ids
+
+
+def _select_rules(select: Optional[Iterable[str]],
+                  ignore: Optional[Iterable[str]]) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rules = [rule for rule in rules if rule.rule_id not in unwanted]
+    return rules
+
+
+def run(paths: Sequence[str], *,
+        baseline: Optional[Baseline] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None) -> LintResult:
+    """Lint ``paths`` and return the full result."""
+    baseline = baseline if baseline is not None else empty_baseline()
+    rules = _select_rules(select, ignore)
+    units: List[ModuleUnit] = []
+    raw_findings: List[Finding] = []
+    units_by_module = {}
+    for absolute, display, module in collect_files(paths):
+        unit = ModuleUnit.load(absolute, display, module)
+        units.append(unit)
+        units_by_module[unit.module] = unit
+        if unit.tree is None:
+            raw_findings.append(Finding(
+                rule_id=PARSE_RULE_ID,
+                path=display,
+                module=module,
+                line=1,
+                message="file does not parse as Python; no rule can check it",
+                hint="fix the syntax error",
+            ))
+
+    project = Project(units=units)
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw_findings.extend(rule.check_project(project))
+        else:
+            for unit in units:
+                raw_findings.extend(rule.check(unit))
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw_findings:
+        unit = units_by_module.get(finding.module)
+        if unit is not None and _is_suppressed(finding, unit):
+            suppressed += 1
+            continue
+        kept.append(finding)
+
+    fresh, matched, stale = baseline.split(kept)
+    return LintResult(
+        findings=sort_findings(fresh),
+        baselined=sort_findings(matched),
+        stale_baseline=stale,
+        suppressed=suppressed,
+        files_scanned=len(units),
+    )

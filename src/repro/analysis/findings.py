@@ -1,0 +1,65 @@
+"""The finding record shared by every analysis rule and reporter.
+
+A :class:`Finding` locates one invariant violation: which rule fired,
+where (display path for humans and editors, canonical module path for
+baselines), and what to do about it (``hint``).  Findings are plain
+frozen dataclasses so rules stay trivially testable and reporters can be
+reused outside the lint engine (``scripts/check_trace.py`` renders its
+trace-schema diagnostics through the same record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the path as given on the command line (clickable in
+    editors); ``module`` is the canonical package-relative posix path
+    (``codecs/base.py``) that stays stable however the tree was invoked,
+    which is what suppression baselines match against.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    module: str = ""
+    column: int = 0
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.module or self.path, self.line, self.column, self.rule_id)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers drift)."""
+        return (self.rule_id, self.module or self.path, self.message)
+
+    def render(self) -> str:
+        """The canonical one-line human rendering."""
+        location = f"{self.path}:{self.line}:{self.column}"
+        text = f"{location}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda finding: finding.sort_key)

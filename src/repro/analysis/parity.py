@@ -1,0 +1,175 @@
+"""Kernel-parity rule: scalar and SIMD backends expose the same surface.
+
+The paper's scalar-vs-SIMD axis (Section VI) only measures anything when
+both backends implement the *same* kernels with the *same* signatures and
+the dispatch layer knows about all of them.  A kernel added to one
+backend, or a signature drifting between them, silently skews the
+speed-up numbers (property tests catch value divergence, but not a
+missing or unregistered kernel, because they iterate ``KERNEL_NAMES``).
+HDVB120 closes the loop statically:
+
+* every public method of ``ScalarKernels`` exists on ``SimdKernels`` and
+  vice versa;
+* matching methods have identical signatures — parameter names, order,
+  kinds and default values (annotations are exempt: the scalar backend
+  types in list-of-list blocks, the SIMD backend in ndarrays);
+* the method set equals the ``KERNEL_NAMES`` dispatch table in
+  ``kernels/api.py`` exactly, in both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Project, ProjectRule, register
+
+SCALAR_MODULE = "kernels/scalar.py"
+SIMD_MODULE = "kernels/simd.py"
+API_MODULE = "kernels/api.py"
+
+
+def _unparse(node: Optional[ast.AST]) -> str:
+    return "" if node is None else ast.unparse(node)
+
+
+def _signature(fn: ast.FunctionDef) -> Dict[str, object]:
+    """Annotation-free signature shape for comparison and diagnostics."""
+    args = fn.args
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    defaults = [_unparse(d) for d in args.defaults]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    kw_defaults = [_unparse(d) for d in args.kw_defaults]
+    return {
+        "positional": positional,
+        "defaults": defaults,
+        "kwonly": kwonly,
+        "kw_defaults": kw_defaults,
+        "vararg": args.vararg.arg if args.vararg else None,
+        "kwarg": args.kwarg.arg if args.kwarg else None,
+    }
+
+
+def _describe(signature: Dict[str, object]) -> str:
+    parts: List[str] = list(signature["positional"])  # type: ignore[arg-type]
+    if signature["vararg"]:
+        parts.append(f"*{signature['vararg']}")
+    parts.extend(signature["kwonly"])  # type: ignore[arg-type]
+    if signature["kwarg"]:
+        parts.append(f"**{signature['kwarg']}")
+    return "(" + ", ".join(str(p) for p in parts) + ")"
+
+
+def _public_methods(unit: ModuleUnit,
+                    class_suffix: str) -> Dict[str, ast.FunctionDef]:
+    """Public methods of the first ``*Kernels``-style class in the module."""
+    if unit.tree is None:
+        return {}
+    for node in unit.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name.endswith(class_suffix):
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+                and not item.name.startswith("_")
+            }
+    return {}
+
+
+def _kernel_names(unit: ModuleUnit) -> Tuple[Optional[ast.AST], List[str]]:
+    """The ``KERNEL_NAMES`` assignment node and its entries."""
+    if unit.tree is None:
+        return None, []
+    for node in unit.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        else:
+            continue
+        if "KERNEL_NAMES" in targets and value is not None:
+            try:
+                names = list(ast.literal_eval(value))
+            except (ValueError, SyntaxError):
+                return node, []
+            return node, [str(name) for name in names]
+    return None, []
+
+
+@register
+class KernelParityRule(ProjectRule):
+    """HDVB120: scalar/SIMD kernel surfaces and dispatch table agree."""
+
+    rule_id = "HDVB120"
+    name = "kernel-parity"
+    rationale = (
+        "the scalar-vs-SIMD benchmark axis is only meaningful when both "
+        "backends implement identical kernel surfaces and the dispatch "
+        "table registers every kernel; gaps skew speed-up results silently"
+    )
+    hint = "mirror the kernel in the other backend and register it in KERNEL_NAMES"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        scalar_unit = project.find(SCALAR_MODULE)
+        simd_unit = project.find(SIMD_MODULE)
+        api_unit = project.find(API_MODULE)
+        if scalar_unit is None or simd_unit is None:
+            return  # tree does not contain the kernel package
+        scalar = _public_methods(scalar_unit, "Kernels")
+        simd = _public_methods(simd_unit, "Kernels")
+
+        for missing in sorted(set(scalar) - set(simd)):
+            yield self.finding(
+                scalar_unit, scalar[missing],
+                f"public kernel '{missing}' exists in the scalar backend "
+                f"but not in the SIMD backend",
+            )
+        for missing in sorted(set(simd) - set(scalar)):
+            yield self.finding(
+                simd_unit, simd[missing],
+                f"public kernel '{missing}' exists in the SIMD backend "
+                f"but not in the scalar backend",
+            )
+        for name in sorted(set(scalar) & set(simd)):
+            scalar_sig = _signature(scalar[name])
+            simd_sig = _signature(simd[name])
+            if scalar_sig != simd_sig:
+                yield self.finding(
+                    simd_unit, simd[name],
+                    f"kernel '{name}' signature diverges between backends: "
+                    f"scalar {_describe(scalar_sig)} vs "
+                    f"simd {_describe(simd_sig)}",
+                    hint="make parameter names, order and defaults identical",
+                )
+
+        if api_unit is None:
+            return
+        table_node, registered = _kernel_names(api_unit)
+        if table_node is None:
+            yield Finding(
+                rule_id=self.rule_id,
+                path=api_unit.display_path,
+                module=api_unit.module,
+                line=1,
+                message="kernels/api.py has no KERNEL_NAMES dispatch table",
+                hint=self.hint,
+            )
+            return
+        implemented = set(scalar) & set(simd)
+        for name in sorted(implemented - set(registered)):
+            yield self.finding(
+                api_unit, table_node,
+                f"kernel '{name}' is implemented by both backends but "
+                f"missing from the KERNEL_NAMES dispatch table",
+            )
+        for name in sorted(set(registered) - implemented):
+            yield self.finding(
+                api_unit, table_node,
+                f"KERNEL_NAMES registers '{name}' but no such public "
+                f"kernel exists in both backends",
+                hint="drop the stale entry or implement the kernel",
+            )

@@ -1,0 +1,142 @@
+"""Parallel-safety rule: work submitted to process pools must pickle.
+
+``repro.parallel.parallel_encode`` ships chunk jobs to
+``ProcessPoolExecutor`` workers.  Everything crossing that boundary is
+pickled, and pickle can only move *importable* callables: a lambda or a
+function defined inside another function raises ``PicklingError`` at
+submit time — but only on the code path that actually reaches the pool,
+which the serial fast path (``workers == 1``) and the serial fallback
+never do.  That makes the bug invisible to most test runs; HDVB130 makes
+it visible at lint time instead.
+
+The rule fires in any module that imports ``ProcessPoolExecutor`` and
+checks every ``*.submit(...)`` call:
+
+* the submitted callable must be a module-level function (or an imported
+  name) — lambdas, locally-defined functions and bound-attribute
+  callables are flagged;
+* no argument to ``submit`` may itself be a lambda or a generator
+  expression (both unpicklable).
+
+This is a static approximation: argument *values* whose types are
+unpicklable can still slip through, but every regression this repo has
+actually had came from the callable side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, register
+
+
+def _imports_process_pool(unit: ModuleUnit) -> bool:
+    if unit.tree is None:
+        return False
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.startswith("concurrent.futures") and any(
+                name.name == "ProcessPoolExecutor" for name in node.names
+            ):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(name.name.startswith("concurrent.futures")
+                   for name in node.names):
+                return True
+    return False
+
+
+def _module_level_callables(unit: ModuleUnit) -> Set[str]:
+    names: Set[str] = set()
+    if unit.tree is None:
+        return names
+    for node in unit.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    names.update(unit.imported_names())
+    names.update(unit.module_aliases())
+    return names
+
+
+def _local_defs_and_lambdas(unit: ModuleUnit) -> Set[str]:
+    """Names bound to nested functions or lambdas anywhere in the module."""
+    names: Set[str] = set()
+    if unit.tree is None:
+        return names
+    module_level = {id(node) for node in unit.tree.body}
+    for node in ast.walk(unit.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if id(node) not in module_level:
+                names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@register
+class PickleSafetyRule(Rule):
+    """HDVB130: process-pool submissions must be picklable."""
+
+    rule_id = "HDVB130"
+    name = "parallel-pickle"
+    rationale = (
+        "ProcessPoolExecutor pickles the callable and every argument; a "
+        "lambda or closure fails only on the pool path, which the serial "
+        "fast path and fallback hide from most test runs"
+    )
+    hint = "submit a module-level function; pass data, not code, as arguments"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None or not _imports_process_pool(unit):
+            return
+        module_callables = _module_level_callables(unit)
+        locals_and_lambdas = _local_defs_and_lambdas(unit)
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"):
+                continue
+            if node.args:
+                target = node.args[0]
+                if isinstance(target, ast.Lambda):
+                    yield self.finding(
+                        unit, target,
+                        "lambda submitted to a process pool is not picklable",
+                    )
+                elif isinstance(target, ast.Name):
+                    if target.id in locals_and_lambdas:
+                        yield self.finding(
+                            unit, target,
+                            f"'{target.id}' submitted to a process pool is "
+                            f"defined inside a function (closures are not "
+                            f"picklable)",
+                        )
+                    elif target.id not in module_callables:
+                        yield self.finding(
+                            unit, target,
+                            f"cannot verify '{target.id}' is a module-level "
+                            f"callable; process pools require importable "
+                            f"functions",
+                            hint="bind the worker entry point at module level",
+                        )
+                elif isinstance(target, ast.Attribute):
+                    yield self.finding(
+                        unit, target,
+                        "bound-attribute callable submitted to a process "
+                        "pool; instance methods drag their whole object "
+                        "through pickle",
+                    )
+            for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, (ast.Lambda, ast.GeneratorExp)):
+                    kind = ("lambda" if isinstance(arg, ast.Lambda)
+                            else "generator expression")
+                    yield self.finding(
+                        unit, arg,
+                        f"{kind} passed as a process-pool argument is not "
+                        f"picklable",
+                    )

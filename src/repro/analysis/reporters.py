@@ -1,0 +1,77 @@
+"""Human and JSON reporters for analysis findings.
+
+Both reporters take a plain list of
+:class:`~repro.analysis.findings.Finding` records plus optional run
+statistics, so they are reusable outside the lint engine —
+``scripts/check_trace.py`` renders its trace-schema diagnostics through
+the same helpers and the test suite validates the JSON schema directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+
+FINDINGS_SCHEMA = "repro.analysis.findings/1"
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Per-rule finding counts, e.g. ``{"HDVB111": 3}``."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_human(findings: Sequence[Finding], *,
+                 files_scanned: Optional[int] = None,
+                 suppressed: int = 0,
+                 baselined: int = 0,
+                 stale_baseline: Sequence[str] = ()) -> str:
+    """One line per finding plus a summary footer."""
+    ordered = sort_findings(findings)
+    lines: List[str] = [finding.render() for finding in ordered]
+    for entry in stale_baseline:
+        lines.append(f"warning: stale baseline entry no longer matches: {entry}")
+    tail = []
+    if files_scanned is not None:
+        tail.append(f"{files_scanned} file(s) scanned")
+    if ordered:
+        by_rule = ", ".join(f"{rule} x{count}"
+                            for rule, count in summarize(ordered).items())
+        tail.append(f"{len(ordered)} finding(s): {by_rule}")
+    else:
+        tail.append("no findings")
+    if suppressed:
+        tail.append(f"{suppressed} suppressed inline")
+    if baselined:
+        tail.append(f"{baselined} baselined")
+    lines.append("; ".join(tail))
+    return "\n".join(lines)
+
+
+def findings_document(findings: Sequence[Finding], *,
+                      files_scanned: Optional[int] = None,
+                      suppressed: int = 0,
+                      baselined: int = 0,
+                      stale_baseline: Sequence[str] = ()) -> Dict[str, Any]:
+    """The JSON report as a plain dict (stable schema for tooling)."""
+    ordered = sort_findings(findings)
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "findings": [finding.to_dict() for finding in ordered],
+        "summary": {
+            "total": len(ordered),
+            "by_rule": summarize(ordered),
+            "files_scanned": files_scanned,
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "stale_baseline_entries": list(stale_baseline),
+        },
+    }
+
+
+def render_json(findings: Sequence[Finding], **stats: Any) -> str:
+    return json.dumps(findings_document(findings, **stats), indent=2)

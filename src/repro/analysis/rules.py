@@ -1,0 +1,170 @@
+"""Rule plugin framework for the ``hdvb-lint`` static-analysis engine.
+
+A rule is a class with an ``HDVB1xx`` id that inspects parsed modules and
+yields :class:`~repro.analysis.findings.Finding` records.  Two kinds
+exist:
+
+* :class:`Rule` — checked once per module (``check(unit)``);
+* :class:`ProjectRule` — checked once per tree (``check_project(project)``),
+  for cross-file invariants such as scalar/SIMD kernel parity.
+
+Rules register themselves with :func:`register`; the engine instantiates
+every registered rule.  Each rule carries its rationale so the
+``--list-rules`` catalogue and ``docs/ANALYSIS.md`` stay in sync with
+the implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source module handed to per-module rules."""
+
+    path: Path                #: absolute filesystem path
+    display_path: str         #: path as the user typed it (for reporting)
+    module: str               #: canonical package-relative posix path
+    source: str
+    tree: Optional[ast.Module]      #: None when the module failed to parse
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, display_path: str, module: str) -> "ModuleUnit":
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree: Optional[ast.Module] = ast.parse(source)
+        except SyntaxError:
+            tree = None
+        return cls(
+            path=path,
+            display_path=display_path,
+            module=module,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    # -- import maps shared by several rules --------------------------------
+
+    def module_aliases(self) -> Dict[str, str]:
+        """Map of local alias -> imported module (``import numpy as np``)."""
+        aliases: Dict[str, str] = {}
+        if self.tree is None:
+            return aliases
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    aliases[name.asname or name.name.split(".")[0]] = name.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for name in node.names:
+                    # ``from numpy import random`` binds a module too.
+                    aliases.setdefault(
+                        name.asname or name.name, f"{node.module}.{name.name}"
+                    )
+        return aliases
+
+    def imported_names(self) -> Dict[str, str]:
+        """Map of local name -> fully qualified origin for from-imports."""
+        names: Dict[str, str] = {}
+        if self.tree is None:
+            return names
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for name in node.names:
+                    names[name.asname or name.name] = f"{node.module}.{name.name}"
+        return names
+
+
+@dataclass
+class Project:
+    """The whole scanned tree, for cross-module rules."""
+
+    units: List[ModuleUnit]
+
+    def find(self, module: str) -> Optional[ModuleUnit]:
+        for unit in self.units:
+            if unit.module == module:
+                return unit
+        return None
+
+
+class Rule:
+    """Base class: one invariant, checked per module."""
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, unit: ModuleUnit, node: ast.AST, message: str,
+                hint: str = "") -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=unit.display_path,
+            module=unit.module,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class: one invariant, checked once over the whole tree."""
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the engine's registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"rule {rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute chain (``np.random.rand``) or name as a string."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def in_scope(module: str, prefixes: Tuple[str, ...],
+             files: Tuple[str, ...] = ()) -> bool:
+    """True when ``module`` falls under any scoped directory or file."""
+    return module in files or any(module.startswith(p) for p in prefixes)

@@ -1,0 +1,94 @@
+"""Bitstream-safety rule: untrusted bytes are parsed only at guarded seams.
+
+The repo's defence against corrupt payloads is *centralisation*: raw
+bytes become structured data at a small set of seams that validate as
+they parse and report failures through the ReproError taxonomy —
+
+* ``common/bitstream.py`` — defines ``BitReader`` itself;
+* ``codecs/base.py`` — ``VideoDecoder._open_reader``, the tracked-reader
+  seam that gives every decode error its bit position;
+* ``codecs/container.py`` — the container wire format;
+* ``transport/packetize.py`` — the transport wire format;
+* ``robustness/guard.py`` — the guard layer.
+
+A decoder that constructs its own ``BitReader`` bypasses bit-position
+tracking (errors lose their ``bit_position`` context); a stray
+``struct.unpack`` outside the wire-format modules is an unguarded parse
+of attacker-controlled bytes.  HDVB140 flags both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, register
+
+#: Modules allowed to construct readers / unpack wire bytes.
+GUARDED_SEAMS: Tuple[str, ...] = (
+    "common/bitstream.py",
+    "codecs/base.py",
+    "codecs/container.py",
+    "transport/packetize.py",
+    "robustness/guard.py",
+)
+
+#: ``struct`` entry points that parse raw bytes.
+STRUCT_PARSERS = frozenset({"unpack", "unpack_from", "iter_unpack", "Struct"})
+
+
+@register
+class BitstreamSeamRule(Rule):
+    """HDVB140: BitReader construction and struct parsing stay at seams."""
+
+    rule_id = "HDVB140"
+    name = "bitstream-seam"
+    rationale = (
+        "payload parsing is centralised at validated seams so every "
+        "decode error carries bit-position context and every wire format "
+        "has exactly one guarded parser; ad-hoc BitReader/struct.unpack "
+        "use reopens the unguarded-parse hole the robustness layer closed"
+    )
+    hint = (
+        "decoders: use self._open_reader(payload); wire formats: parse in "
+        "codecs/container.py or transport/packetize.py"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None or unit.module in GUARDED_SEAMS:
+            return
+        aliases = unit.module_aliases()
+        imported = unit.imported_names()
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted == "BitReader" and imported.get(
+                "BitReader", ""
+            ).endswith("bitstream.BitReader"):
+                yield self.finding(
+                    unit, node,
+                    "BitReader constructed outside a guarded seam loses "
+                    "bit-position error context",
+                )
+                continue
+            base = dotted.split(".", 1)[0]
+            if aliases.get(base) == "struct" and "." in dotted:
+                attr = dotted.split(".", 1)[1].split(".")[0]
+                if attr in STRUCT_PARSERS:
+                    yield self.finding(
+                        unit, node,
+                        f"struct.{attr} outside a wire-format seam parses "
+                        f"raw bytes without guard-layer validation",
+                    )
+            elif imported.get(base, "").startswith("struct."):
+                attr = imported[base].split(".", 1)[1]
+                if attr in STRUCT_PARSERS:
+                    yield self.finding(
+                        unit, node,
+                        f"struct.{attr} outside a wire-format seam parses "
+                        f"raw bytes without guard-layer validation",
+                    )

@@ -11,7 +11,7 @@ difference at equal quality (BD-rate, percent).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Any, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ def bd_rate(anchor: Sequence[RdPoint], test: Sequence[RdPoint]) -> float:
     return (math.pow(10.0, delta) - 1.0) * 100.0
 
 
-def rd_points_from_rows(rows, codec: str, sequence: str,
+def rd_points_from_rows(rows: Iterable[Any], codec: str, sequence: str,
                         resolution: str) -> List[RdPoint]:
     """Extract (bitrate, combined-PSNR) points from RdRow records."""
     points = [

@@ -3,6 +3,15 @@
 Every codec in the library serialises its syntax through these two classes.
 Bits are written MSB-first within each byte, matching the convention of the
 MPEG and H.264 bitstream specifications.
+
+Both directions report through the :mod:`repro.errors` taxonomy
+(``hdvb-lint`` rule HDVB110): a read past the end of the data raises
+:class:`TruncationError`, every other misuse — a count or value that
+cannot be represented, reading whole bytes while unaligned — raises
+:class:`BitstreamError`, because the stream it would produce or consume
+is malformed either way.  Decode loops can therefore catch
+``BitstreamError`` and know they have seen *every* failure class this
+layer can emit; nothing escapes as a raw ``ValueError``.
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ class BitWriter:
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
-            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+            raise BitstreamError(f"bit must be 0 or 1, got {bit!r}")
         self._accum = (self._accum << 1) | bit
         self._nbits += 1
         if self._nbits == 8:
@@ -48,23 +57,23 @@ class BitWriter:
     def write_bits(self, value: int, count: int) -> None:
         """Append ``count`` bits of ``value``, most significant bit first."""
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise BitstreamError(f"count must be non-negative, got {count}")
         # int() lifts numpy integers to Python ints so the range check is
         # exact for every count (numpy shifts are undefined at >= 64 bits).
         value = int(value)
         if value < 0 or value >> count:
-            raise ValueError(f"value {value} does not fit in {count} bits")
+            raise BitstreamError(f"value {value} does not fit in {count} bits")
         for shift in range(count - 1, -1, -1):
             self.write_bit((value >> shift) & 1)
 
     def write_signed(self, value: int, count: int) -> None:
         """Append ``value`` as ``count``-bit two's complement."""
         if count < 1:
-            raise ValueError("count must be >= 1 for signed values")
+            raise BitstreamError("count must be >= 1 for signed values")
         lo = -(1 << (count - 1))
         hi = (1 << (count - 1)) - 1
         if not lo <= value <= hi:
-            raise ValueError(f"value {value} does not fit in {count} signed bits")
+            raise BitstreamError(f"value {value} does not fit in {count} signed bits")
         self.write_bits(value & ((1 << count) - 1), count)
 
     def write_bytes(self, data: bytes) -> None:
@@ -124,7 +133,7 @@ class BitReader:
     def read_bits(self, count: int) -> int:
         """Read ``count`` bits, MSB first, returned as an unsigned int."""
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise BitstreamError(f"count must be non-negative, got {count}")
         if count == 0:
             return 0
         if count > self.bits_remaining:
@@ -143,7 +152,7 @@ class BitReader:
     def read_signed(self, count: int) -> int:
         """Read a ``count``-bit two's-complement value."""
         if count < 1:
-            raise ValueError("count must be >= 1 for signed values")
+            raise BitstreamError("count must be >= 1 for signed values")
         raw = self.read_bits(count)
         if raw >= 1 << (count - 1):
             raw -= 1 << count

@@ -8,12 +8,13 @@ come first: 0, 1, -1, 2, -2, ...
 from __future__ import annotations
 
 from repro.common.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
 
 
 def write_ue(writer: BitWriter, value: int) -> None:
     """Write an unsigned Exp-Golomb code."""
     if value < 0:
-        raise ValueError(f"ue(v) requires v >= 0, got {value}")
+        raise BitstreamError(f"ue(v) requires v >= 0, got {value}")
     code = value + 1
     nbits = code.bit_length()
     writer.write_bits(0, nbits - 1)

@@ -33,10 +33,11 @@ instead of aborting the decode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple, Type
 
 
-def _rebuild_error(cls, message, context):
+def _rebuild_error(cls: Type["ReproError"], message: str,
+                   context: Dict[str, Any]) -> "ReproError":
     error = cls(message, **context)
     return error
 
@@ -74,7 +75,7 @@ class ReproError(Exception):
         self.packet_seq = packet_seq
 
     @property
-    def context(self) -> dict:
+    def context(self) -> Dict[str, Any]:
         """The context fields as a dict (``None`` entries included)."""
         return {
             "codec": self.codec,
@@ -108,7 +109,7 @@ class ReproError(Exception):
             return f"{self.message} [{', '.join(parts)}]"
         return self.message
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # Default Exception pickling round-trips only ``args``; keep the
         # context fields across process boundaries (parallel encoding).
         return (_rebuild_error, (type(self), self.message, self.context))

@@ -20,7 +20,7 @@ Exposed through ``hdvb-bench robustness`` and exercised by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,6 +96,17 @@ class RobustnessReport:
     concealed_pictures: int = 0
     #: combined-PSNR delta of each concealed decode vs the clean decode (dB)
     psnr_deltas: List[float] = field(default_factory=list)
+    #: repr() of the first few raw escapes / concealment crashes, so a
+    #: non-zero raw count in a sweep is diagnosable from the report alone
+    failure_examples: List[str] = field(default_factory=list)
+
+    #: cap on retained examples; the counters keep the full totals
+    MAX_FAILURE_EXAMPLES: ClassVar[int] = 5
+
+    def record_failure(self, kind: str, error: BaseException) -> None:
+        """Keep a bounded sample of unexpected errors for diagnosis."""
+        if len(self.failure_examples) < self.MAX_FAILURE_EXAMPLES:
+            self.failure_examples.append(f"{kind}: {error!r}")
 
     @property
     def graceful_rate(self) -> float:
@@ -164,8 +175,9 @@ def _strict_trial(codec: str, corrupted, report: RobustnessReport) -> None:
             report.graceful_failures += 1
         else:
             report.raw_escapes += 1
-    except Exception:  # noqa: BLE001 -- the metric counts raw escapes
+    except Exception as error:  # noqa: BLE001 -- the metric counts raw escapes
         report.raw_escapes += 1
+        report.record_failure("raw escape", error)
     else:
         report.benign += 1
 
@@ -176,7 +188,8 @@ def _conceal_trial(codec: str, corrupted, video: YuvSequence,
         result = decode_stream(
             get_decoder(codec), corrupted, conceal=report.conceal
         )
-    except Exception:  # noqa: BLE001 -- concealment must never raise
+    except Exception as error:  # noqa: BLE001 -- concealment must never raise
+        report.record_failure("concealment raised", error)
         return
     if len(result.frames) != len(video):
         return

@@ -22,10 +22,12 @@ delta.  Exposed through ``hdvb-bench streaming`` and gated by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
 
 from repro.codecs import get_decoder, get_encoder
+from repro.codecs.base import EncodedVideo
 from repro.common.metrics import PSNR_IDENTICAL, sequence_psnr
+from repro.common.yuv import YuvSequence
 from repro.robustness.bench import ALL_CODECS, encoder_fields, make_bench_clip
 from repro.robustness.engine import decode_stream
 from repro.transport.channel import LossyChannel
@@ -57,6 +59,16 @@ class StreamingReport:
     damaged_pictures: int = 0    # picture slots the decoder saw damaged
     concealed_pictures: int = 0
     psnr_deltas: List[float] = field(default_factory=list)
+    #: repr() of the first few non-graceful receptions, for diagnosis
+    failure_examples: List[str] = field(default_factory=list)
+
+    #: cap on retained examples; ``graceful`` keeps the full total
+    MAX_FAILURE_EXAMPLES: ClassVar[int] = 5
+
+    def record_failure(self, error: BaseException) -> None:
+        """Keep a bounded sample of unexpected reception errors."""
+        if len(self.failure_examples) < self.MAX_FAILURE_EXAMPLES:
+            self.failure_examples.append(repr(error))
 
     @property
     def graceful_rate(self) -> float:
@@ -128,7 +140,8 @@ def run_streaming(
     return reports
 
 
-def _run_trial(stream, video, clean_psnr: float, report: StreamingReport,
+def _run_trial(stream: EncodedVideo, video: YuvSequence,
+               clean_psnr: float, report: StreamingReport,
                conceal: str, mtu: int, trial_seed: int) -> None:
     channel = LossyChannel(
         loss_rate=report.loss_rate,
@@ -141,7 +154,8 @@ def _run_trial(stream, video, clean_psnr: float, report: StreamingReport,
             fec_depth=max(1, round(report.burst_length)),
             channel=channel, conceal=conceal,
         )
-    except Exception:  # noqa: BLE001 -- the metric counts raw escapes
+    except Exception as error:  # noqa: BLE001 -- the metric counts raw escapes
+        report.record_failure(error)
         return
     report.graceful += 1
     report.packets_sent += result.channel.sent

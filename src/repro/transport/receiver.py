@@ -15,12 +15,13 @@ and network rot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Union
 
 from repro.codecs import get_decoder
 from repro.codecs.base import EncodedVideo
 from repro.common.yuv import YuvSequence
 from repro.errors import ConcealmentEvent
+from repro.robustness.conceal import Concealer
 from repro.robustness.engine import DecodeResult, decode_stream
 from repro.telemetry.metrics import registry as telemetry_registry
 from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
@@ -80,7 +81,7 @@ def receive(
     session: StreamSession,
     arrivals: Iterable[Arrival],
     *,
-    conceal="copy-last",
+    conceal: Union[None, str, Concealer] = "copy-last",
     jitter_depth: float = DEFAULT_DEPTH,
     backend: str = "simd",
     on_event: Optional[EventCallback] = None,
@@ -124,7 +125,7 @@ def simulate_transmission(
     fec_depth: int = 1,
     channel: Optional[LossyChannel] = None,
     jitter_depth: float = DEFAULT_DEPTH,
-    conceal="copy-last",
+    conceal: Union[None, str, Concealer] = "copy-last",
     backend: str = "simd",
     on_event: Optional[EventCallback] = None,
 ) -> TransportResult:

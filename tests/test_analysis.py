@@ -1,0 +1,606 @@
+"""Tests for ``repro.analysis`` — the hdvb-lint static-analysis engine.
+
+Every shipped rule gets a planted-violation fixture and a corrected twin:
+the rule must catch the former and stay silent on the latter.  On top of
+that: inline-suppression and baseline round-trips, the JSON reporter
+schema, CLI exit codes, and the self-lint gate asserting the shipped
+tree is clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FINDINGS_SCHEMA,
+    BaselineError,
+    all_rules,
+    canonical_module,
+    empty_baseline,
+    findings_document,
+    load_baseline,
+    render_human,
+    run,
+    suppressed_ids,
+    write_baseline,
+)
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_tree(tmp_path, files, **kwargs):
+    """Write {relpath: source} under tmp_path and lint the tree."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return run([str(tmp_path)], **kwargs)
+
+
+def rule_ids(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestEngineBasics:
+    def test_rule_catalogue_is_complete(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert {"HDVB101", "HDVB102", "HDVB110", "HDVB111", "HDVB120",
+                "HDVB130", "HDVB140", "HDVB150"} <= set(ids)
+        for rule in all_rules():
+            assert rule.name and rule.rationale, rule.rule_id
+
+    def test_canonical_module_strips_wrappers(self):
+        assert canonical_module(Path("src/repro/codecs/base.py")) == "codecs/base.py"
+        assert canonical_module(Path("repro/me/search.py")) == "me/search.py"
+        assert canonical_module(Path("codecs/base.py")) == "codecs/base.py"
+
+    def test_unparsable_file_reports_hdvb100(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/broken.py": "def broken(:\n"})
+        assert rule_ids(result) == ["HDVB100"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run(["no/such/tree"])
+
+    def test_select_and_ignore_filter_rules(self, tmp_path):
+        files = {
+            "codecs/evil.py": """
+                import random
+
+                def jitter():
+                    return random.random()
+
+                def parse(value):
+                    raise ValueError(value)
+            """,
+        }
+        both = lint_tree(tmp_path, files)
+        assert sorted(rule_ids(both)) == ["HDVB101", "HDVB110"]
+        only = lint_tree(tmp_path, files, select=["HDVB101"])
+        assert rule_ids(only) == ["HDVB101"]
+        skipped = lint_tree(tmp_path, files, ignore=["HDVB101"])
+        assert rule_ids(skipped) == ["HDVB110"]
+
+
+class TestDeterminismRules:
+    def test_hdvb101_catches_module_state_random(self, tmp_path):
+        result = lint_tree(tmp_path, {"robustness/evil.py": """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """})
+        assert rule_ids(result) == ["HDVB101"]
+        assert "random.choice" in result.findings[0].message
+
+    def test_hdvb101_catches_numpy_module_state(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/evil.py": """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """})
+        assert rule_ids(result) == ["HDVB101"]
+
+    def test_hdvb101_clean_twin_seeded_generators(self, tmp_path):
+        result = lint_tree(tmp_path, {"robustness/clean.py": """
+            import random
+            import numpy as np
+
+            def pick(items, seed):
+                return random.Random(seed).choice(items)
+
+            def noise(n, seed):
+                return np.random.default_rng(seed).normal(size=n)
+        """})
+        assert result.clean
+
+    def test_hdvb101_out_of_scope_module_allowed(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/jitterutil.py": """
+            import random
+
+            def pause():
+                return random.uniform(0.5, 1.5)
+        """})
+        assert result.clean
+
+    def test_hdvb102_catches_wall_clock(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/clock.py": """
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+        """})
+        assert sorted(rule_ids(result)) == ["HDVB102", "HDVB102"]
+
+    def test_hdvb102_clean_twin_perf_counter(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/clock.py": """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """})
+        assert result.clean
+
+
+class TestTaxonomyRules:
+    def test_hdvb110_catches_builtin_raise_in_decode_path(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/dec.py": """
+            def parse_header(value):
+                if value < 0:
+                    raise ValueError(f"bad header {value}")
+                return value
+        """})
+        assert rule_ids(result) == ["HDVB110"]
+
+    def test_hdvb110_clean_twin_taxonomy_raise(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/dec.py": """
+            from repro.errors import BitstreamError
+
+            def parse_header(value):
+                if value < 0:
+                    raise BitstreamError(f"bad header {value}")
+                return value
+        """})
+        assert result.clean
+
+    def test_hdvb110_out_of_scope_module_allowed(self, tmp_path):
+        result = lint_tree(tmp_path, {"common/yuvish.py": """
+            def check(value):
+                raise ValueError(value)
+        """})
+        assert result.clean
+
+    def test_hdvb110_reraise_of_bound_name_allowed(self, tmp_path):
+        result = lint_tree(tmp_path, {"robustness/eng.py": """
+            def guarded(failure):
+                if failure is not None:
+                    raise failure
+        """})
+        assert result.clean
+
+    def test_hdvb111_catches_bare_except(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            def trial(fn):
+                try:
+                    fn()
+                except:
+                    pass
+        """})
+        assert rule_ids(result) == ["HDVB111"]
+
+    def test_hdvb111_catches_blind_exception_swallow(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            def trial(fn):
+                try:
+                    fn()
+                except Exception:
+                    return None
+        """})
+        assert rule_ids(result) == ["HDVB111"]
+
+    def test_hdvb111_clean_twins(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            def rethrow(fn):
+                try:
+                    fn()
+                except Exception:
+                    raise
+
+            def recorded(fn, log):
+                try:
+                    fn()
+                except Exception as error:
+                    log.append(repr(error))
+
+            def narrow(fn):
+                try:
+                    fn()
+                except KeyError:
+                    return None
+        """})
+        assert result.clean
+
+
+KERNEL_TRIO_CLEAN = {
+    "kernels/scalar.py": """
+        class ScalarKernels:
+            def sad(self, a, b):
+                return 0
+
+            def idct8(self, coeffs):
+                return coeffs
+    """,
+    "kernels/simd.py": """
+        class SimdKernels:
+            def sad(self, a, b):
+                return 0
+
+            def idct8(self, coeffs):
+                return coeffs
+    """,
+    "kernels/api.py": """
+        KERNEL_NAMES = ("sad", "idct8")
+    """,
+}
+
+
+class TestKernelParityRule:
+    def test_clean_trio_passes(self, tmp_path):
+        result = lint_tree(tmp_path, dict(KERNEL_TRIO_CLEAN))
+        assert result.clean
+
+    def test_missing_simd_counterpart(self, tmp_path):
+        files = dict(KERNEL_TRIO_CLEAN)
+        files["kernels/simd.py"] = """
+            class SimdKernels:
+                def sad(self, a, b):
+                    return 0
+        """
+        files["kernels/api.py"] = 'KERNEL_NAMES = ("sad",)\n'
+        result = lint_tree(tmp_path, files)
+        assert rule_ids(result) == ["HDVB120"]
+        assert "idct8" in result.findings[0].message
+
+    def test_signature_divergence(self, tmp_path):
+        files = dict(KERNEL_TRIO_CLEAN)
+        files["kernels/simd.py"] = """
+            class SimdKernels:
+                def sad(self, a, b, stride=1):
+                    return 0
+
+                def idct8(self, coeffs):
+                    return coeffs
+        """
+        result = lint_tree(tmp_path, files)
+        assert rule_ids(result) == ["HDVB120"]
+        assert "signature diverges" in result.findings[0].message
+
+    def test_dispatch_table_gap_both_directions(self, tmp_path):
+        files = dict(KERNEL_TRIO_CLEAN)
+        files["kernels/api.py"] = 'KERNEL_NAMES = ("sad", "phantom")\n'
+        result = lint_tree(tmp_path, files)
+        messages = " | ".join(f.message for f in result.findings)
+        assert rule_ids(result) == ["HDVB120", "HDVB120"]
+        assert "idct8" in messages and "phantom" in messages
+
+    def test_annotations_do_not_count_as_divergence(self, tmp_path):
+        files = dict(KERNEL_TRIO_CLEAN)
+        files["kernels/scalar.py"] = """
+            class ScalarKernels:
+                def sad(self, a, b) -> int:
+                    return 0
+
+                def idct8(self, coeffs):
+                    return coeffs
+        """
+        files["kernels/simd.py"] = """
+            import numpy as np
+
+            class SimdKernels:
+                def sad(self, a, b) -> np.integer:
+                    return np.int64(0)
+
+                def idct8(self, coeffs):
+                    return coeffs
+        """
+        result = lint_tree(tmp_path, files)
+        assert result.clean
+
+
+class TestPickleSafetyRule:
+    def test_lambda_submission_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"parallel.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda job: job, job) for job in jobs]
+        """})
+        assert rule_ids(result) == ["HDVB130"]
+        assert "lambda" in result.findings[0].message
+
+    def test_nested_def_submission_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"parallel.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                def worker(job):
+                    return job
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(worker, job) for job in jobs]
+        """})
+        assert rule_ids(result) == ["HDVB130"]
+        assert "closures" in result.findings[0].message
+
+    def test_lambda_argument_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"parallel.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def encode(job):
+                return job
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(encode, key=lambda: 1) for job in jobs]
+        """})
+        assert rule_ids(result) == ["HDVB130"]
+
+    def test_clean_twin_module_level_worker(self, tmp_path):
+        result = lint_tree(tmp_path, {"parallel.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def encode(job):
+                return job
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(encode, job) for job in jobs]
+        """})
+        assert result.clean
+
+    def test_modules_without_process_pools_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/queueing.py": """
+            def fan_out(pool, jobs):
+                return [pool.submit(lambda job: job, job) for job in jobs]
+        """})
+        assert result.clean
+
+
+class TestBitstreamSeamRule:
+    def test_ad_hoc_bitreader_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/h999/decoder.py": """
+            from repro.common.bitstream import BitReader
+
+            def decode(payload):
+                return BitReader(payload).read_bits(8)
+        """})
+        assert rule_ids(result) == ["HDVB140"]
+        assert "bit-position" in result.findings[0].message
+
+    def test_stray_struct_unpack_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"me/wire.py": """
+            import struct
+
+            def parse(buffer):
+                return struct.unpack(">I", buffer[:4])
+        """})
+        assert rule_ids(result) == ["HDVB140"]
+
+    def test_clean_twin_inside_guarded_seam(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/packetize.py": """
+            import struct
+            from repro.common.bitstream import BitReader
+
+            def parse(buffer):
+                return struct.unpack(">I", buffer[:4]), BitReader(buffer)
+        """})
+        assert result.clean
+
+
+class TestSpanContextRule:
+    def test_discarded_span_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/instrumented.py": """
+            from repro.telemetry.trace import span
+
+            def work():
+                span("bench.work")
+                return 1
+        """})
+        assert rule_ids(result) == ["HDVB150"]
+
+    def test_never_entered_handle_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/instrumented.py": """
+            from repro.telemetry.trace import span as telemetry_span
+
+            def work():
+                handle = telemetry_span("bench.work")
+                return handle
+        """})
+        assert rule_ids(result) == ["HDVB150"]
+
+    def test_clean_twins_with_statement_forms(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/instrumented.py": """
+            from repro.telemetry.trace import span as telemetry_span
+
+            def direct():
+                with telemetry_span("bench.direct", codec="mpeg2"):
+                    return 1
+
+            def via_handle():
+                handle = telemetry_span("bench.handle")
+                with handle:
+                    handle.set(extra=1)
+        """})
+        assert result.clean
+
+
+class TestSuppressionsAndBaseline:
+    def test_inline_pragma_parsing(self):
+        assert suppressed_ids("x = 1  # hdvb: disable=HDVB101") == {"HDVB101"}
+        assert suppressed_ids("x  # hdvb: disable=HDVB101, HDVB110") == {
+            "HDVB101", "HDVB110"}
+        assert suppressed_ids("plain line") == set()
+
+    def test_inline_suppression_silences_finding(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/dec.py": """
+            def parse(value):
+                raise ValueError(value)  # hdvb: disable=HDVB110
+        """})
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_suppression_of_other_rule_does_not_apply(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/dec.py": """
+            def parse(value):
+                raise ValueError(value)  # hdvb: disable=HDVB101
+        """})
+        assert rule_ids(result) == ["HDVB110"]
+
+    def test_baseline_round_trip(self, tmp_path):
+        files = {"codecs/dec.py": """
+            def parse(value):
+                raise ValueError(value)
+        """}
+        first = lint_tree(tmp_path, files)
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings, reason="grandfathered")
+        baseline = load_baseline(baseline_path)
+        assert len(baseline.entries) == 1
+
+        second = run([str(tmp_path)], baseline=baseline)
+        assert second.clean
+        assert len(second.baselined) == 1
+        assert not second.stale_baseline
+
+    def test_stale_baseline_entry_surfaces(self, tmp_path):
+        files = {"codecs/dec.py": """
+            def parse(value):
+                raise ValueError(value)
+        """}
+        first = lint_tree(tmp_path, files)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings, reason="grandfathered")
+        # Fix the violation; the baseline entry is now stale.
+        (tmp_path / "codecs/dec.py").write_text(textwrap.dedent("""
+            from repro.errors import BitstreamError
+
+            def parse(value):
+                raise BitstreamError(str(value))
+        """))
+        result = run([str(tmp_path)], baseline=load_baseline(baseline_path))
+        assert result.clean
+        assert len(result.stale_baseline) == 1
+
+    def test_baseline_entries_require_reasons(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({
+            "schema": "repro.analysis.baseline/1",
+            "entries": [{"rule": "HDVB110", "module": "m.py",
+                         "message": "x", "reason": ""}],
+        }))
+        with pytest.raises(BaselineError, match="reason"):
+            load_baseline(bad)
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{}")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestReporters:
+    def _findings(self, tmp_path):
+        return lint_tree(tmp_path, {"codecs/dec.py": """
+            def parse(value):
+                raise ValueError(value)
+        """}).findings
+
+    def test_json_document_schema(self, tmp_path):
+        findings = self._findings(tmp_path)
+        document = findings_document(findings, files_scanned=1)
+        assert document["schema"] == FINDINGS_SCHEMA
+        assert document["summary"]["total"] == 1
+        assert document["summary"]["by_rule"] == {"HDVB110": 1}
+        record = document["findings"][0]
+        assert set(record) == {"rule", "path", "module", "line", "column",
+                               "message", "hint"}
+        assert record["rule"] == "HDVB110"
+        assert record["module"] == "codecs/dec.py"
+        assert record["line"] == 3
+        # The document must be JSON-serialisable as-is.
+        json.loads(json.dumps(document))
+
+    def test_human_report_lines(self, tmp_path):
+        findings = self._findings(tmp_path)
+        text = render_human(findings, files_scanned=1)
+        assert "HDVB110" in text
+        assert "codecs/dec.py:3" in text
+        assert "1 finding(s)" in text
+        assert render_human([], files_scanned=3).endswith("no findings")
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings_and_json_format(self, tmp_path, capsys):
+        target = tmp_path / "codecs"
+        target.mkdir()
+        (target / "dec.py").write_text(
+            "def parse(v):\n    raise ValueError(v)\n")
+        code = lint_main([str(tmp_path), "--no-baseline", "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == FINDINGS_SCHEMA
+        assert document["summary"]["total"] == 1
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("HDVB101", "HDVB110", "HDVB120", "HDVB130",
+                        "HDVB140", "HDVB150"):
+            assert rule_id in out
+
+    def test_write_baseline_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "codecs"
+        target.mkdir()
+        (target / "dec.py").write_text(
+            "def parse(v):\n    raise ValueError(v)\n")
+        baseline_path = tmp_path / "baseline.json"
+        assert lint_main([str(tmp_path), "--baseline", str(baseline_path),
+                          "--write-baseline"]) == 0
+        assert lint_main([str(tmp_path), "--baseline",
+                          str(baseline_path)]) == 0
+        capsys.readouterr()
+
+
+class TestSelfLint:
+    """The shipped tree must satisfy its own invariants."""
+
+    def test_src_is_clean_without_baseline(self):
+        result = run([str(REPO_ROOT / "src")], baseline=empty_baseline())
+        assert result.findings == [], render_human(result.findings)
+
+    def test_committed_baseline_is_near_empty_and_fresh(self):
+        baseline_path = REPO_ROOT / ".hdvb-lint-baseline.json"
+        baseline = load_baseline(baseline_path)
+        # Fix violations instead of baselining them (ISSUE 4 satellite).
+        assert len(baseline.entries) <= 3
+        result = run([str(REPO_ROOT / "src")], baseline=baseline)
+        assert result.clean
+        assert not result.stale_baseline, result.stale_descriptions()

@@ -32,15 +32,15 @@ class TestBitWriter:
         assert writer.to_bytes() == b"\xb0"
 
     def test_bit_rejects_non_binary(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bit(2)
 
     def test_value_must_fit(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bits(8, 3)
 
     def test_negative_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bits(0, -1)
 
     def test_zero_count_writes_nothing(self):
@@ -55,9 +55,9 @@ class TestBitWriter:
         assert reader.read_signed(8) == -3
 
     def test_signed_range_checked(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_signed(128, 8)
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_signed(-129, 8)
 
     def test_align_returns_padding_count(self):
@@ -207,13 +207,13 @@ class TestWideFieldValidation:
             assert BitReader(writer.to_bytes()).read_bits(count) == value
 
     def test_oversized_value_rejected_at_64_bits(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bits(1 << 64, 64)
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bits(1 << 70, 70)
 
     def test_negative_value_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             BitWriter().write_bits(-1, 64)
 
     def test_numpy_integers_accepted(self):

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.bitstream import BitReader, BitWriter
+from repro.errors import BitstreamError
 from repro.common.expgolomb import (
     read_se,
     read_ue,
@@ -31,7 +32,7 @@ class TestUnsigned:
         assert _encode_ue(value) == bits
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(BitstreamError):
             write_ue(BitWriter(), -1)
 
     @given(st.integers(0, 100000))
