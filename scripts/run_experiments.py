@@ -2,7 +2,10 @@
 
 Regenerates Table V and all four Figure 1 panels at the default benchmark
 scale (1/8 linear, 9 frames, constant QP per Equation 1), plus the SIMD
-speed-up and real-time aggregates the paper quotes in Section VI.
+speed-up and real-time aggregates the paper quotes in Section VI.  Every
+measurement is also appended to the benchmark history store
+(``.hdvb-bench-history/``), so campaign runs feed the same
+``hdvb-observe`` gate/trend/export pipeline as ``hdvb-bench --record``.
 
     python scripts/run_experiments.py [output_path]
 """
@@ -21,17 +24,28 @@ from repro.bench.performance import (
     simd_speedups,
 )
 from repro.bench.ratedistortion import render_rate_distortion, run_rate_distortion
+from repro.observe.record import (
+    RunInfo,
+    context_from_config,
+    records_from_performance,
+    records_from_rate_distortion,
+    records_from_speedups,
+)
+from repro.observe.store import HistoryStore
 
 
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
     config = BenchConfig(frames=9, runs=1, warmup=0)
+    store = HistoryStore()
+    info = RunInfo.capture(context=context_from_config(config))
     sections = []
     started = time.time()
 
     print("running Table V ...", flush=True)
     rd_rows = run_rate_distortion(config, progress=lambda m: print("  " + m, flush=True))
     sections.append(render_rate_distortion(rd_rows))
+    store.append_many(records_from_rate_distortion(rd_rows, info))
 
     figure_rows = {}
     for part in ("a", "b", "c", "d"):
@@ -43,10 +57,12 @@ def main() -> None:
         sections.append(render_performance(
             rows, f"Figure 1({part}): {operation} performance, {backend} backend"
         ))
+        store.append_many(records_from_performance(rows, info))
 
     lines = ["SIMD speed-ups (average over sequences and resolutions):"]
     for operation, scalar_part, simd_part in (("decode", "a", "b"), ("encode", "c", "d")):
         speedups = simd_speedups(figure_rows[scalar_part], figure_rows[simd_part])
+        store.append_many(records_from_speedups(operation, speedups, info))
         for codec, value in speedups.items():
             lines.append(f"  {operation} {codec}: {value:.2f}x")
     sections.append("\n".join(lines))
@@ -66,6 +82,7 @@ def main() -> None:
     with open(output_path, "w") as handle:
         handle.write("\n\n".join(sections) + "\n")
     print(f"wrote {output_path} in {elapsed:.0f}s")
+    print(f"recorded run {info.run_id} in {store.path}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis import determinism, parity, picklesafety, seams, spans, taxonomy  # noqa: F401 -- rule registration
+from repro.analysis import (  # noqa: F401 -- rule registration
+    determinism,
+    parity,
+    persistence,
+    picklesafety,
+    seams,
+    spans,
+    taxonomy,
+)
 from repro.analysis.baseline import Baseline, BaselineEntry, empty_baseline
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.rules import ModuleUnit, Project, ProjectRule, Rule, all_rules

@@ -1,0 +1,102 @@
+"""Result-sink rule: bench results persist through the observe store.
+
+Benchmark history is only comparable when every harness writes through
+one sink: :class:`repro.observe.store.HistoryStore`, which appends
+schema-versioned ``repro.observe.record/1`` lines atomically and keeps
+the axis index that ``hdvb-observe gate`` baselines against.  A bench
+module that calls ``json.dump`` or opens its own output file for writing
+creates a side channel the regression gate never sees — the number looks
+recorded but is invisible to ``compare``/``trend``/``gate`` and is lost
+on the next compaction.  HDVB160 flags those ad-hoc sinks inside the
+bench harnesses.
+
+``json.dumps`` is deliberately *not* flagged: rendering a document to
+stdout (the ``--json`` flag) is output, not persistence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, register
+
+#: Modules that produce benchmark results and must use the store.
+BENCH_SCOPE_PREFIXES: Tuple[str, ...] = ("bench/",)
+BENCH_SCOPE_FILES: Tuple[str, ...] = (
+    "robustness/bench.py",
+    "transport/bench.py",
+)
+
+#: The one sanctioned sink module.
+SANCTIONED_SINK = "observe/store.py"
+
+#: ``open`` modes that create or truncate a results file.
+_WRITE_MODES = frozenset({"w", "a", "x"})
+
+
+def _is_write_mode(call: ast.Call) -> bool:
+    """True when an ``open`` call's mode opens the file for text writing."""
+    mode_node: ast.AST = ast.Constant(value="r")
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not isinstance(mode_node, ast.Constant) or not isinstance(
+        mode_node.value, str
+    ):
+        # A computed mode cannot be proven safe; stay quiet rather than
+        # guess (the json.dump arm still catches the actual persistence).
+        return False
+    mode = mode_node.value
+    return bool(_WRITE_MODES & set(mode)) and "b" not in mode
+
+
+@register
+class ResultSinkRule(Rule):
+    """HDVB160: bench modules persist results via repro.observe.store."""
+
+    rule_id = "HDVB160"
+    name = "result-sink"
+    rationale = (
+        "benchmark results are only gateable when they flow through the "
+        "append-only observe store; an ad-hoc json.dump or open(..., 'w') "
+        "in a bench harness writes history the regression gate, trend "
+        "queries and compaction never see"
+    )
+    hint = (
+        "build BenchRecord objects (repro.observe.record) and append them "
+        "with repro.observe.store.HistoryStore.append_many"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None or unit.module == SANCTIONED_SINK:
+            return
+        if not in_scope(unit.module, BENCH_SCOPE_PREFIXES, BENCH_SCOPE_FILES):
+            return
+        aliases = unit.module_aliases()
+        imported = unit.imported_names()
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            base = dotted.split(".", 1)[0]
+            if (
+                (aliases.get(base) == "json" and dotted.endswith(".dump"))
+                or imported.get(dotted, "") == "json.dump"
+            ):
+                yield self.finding(
+                    unit, node,
+                    "json.dump in a bench module is an ad-hoc result sink "
+                    "outside the observe store",
+                )
+            elif dotted == "open" and "open" not in imported and _is_write_mode(node):
+                yield self.finding(
+                    unit, node,
+                    "open(..., mode with 'w'/'a'/'x') in a bench module "
+                    "writes results outside the observe store",
+                )

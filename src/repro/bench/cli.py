@@ -1,21 +1,28 @@
 """``hdvb-bench``: regenerate every table and figure of the paper.
 
     hdvb-bench table1|table2|table3|table4   # descriptive tables
-    hdvb-bench table5 [--scale 1/8 --frames 9]
+    hdvb-bench table5 [--scale 1/8 --frames 9]   (alias: ratedistortion)
     hdvb-bench figure1 [--part a|b|c|d|all] [--realtime]
     hdvb-bench speedups                      # SIMD speed-up aggregate
     hdvb-bench performance [--operation encode|decode] [--backend simd]
                            [--trace out.json]   # telemetry stage breakdown
     hdvb-bench streaming [--loss 0.02,0.05] [--burst 1,3] [--fec 0,4]
                                              # lossy-transport sweep
+
+Observability: every subcommand takes ``--json`` (emit the results as a
+machine-readable ``repro.observe.records/1`` document instead of the
+rendered tables), and every measuring subcommand takes ``--record`` /
+``--run-id`` / ``--store`` to append the same records to the persistent
+benchmark history that ``hdvb-observe`` gates and exports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import sys
 from fractions import Fraction
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.bench import commands as commands_module
 from repro.bench import registry_tables
@@ -31,6 +38,7 @@ from repro.bench.performance import (
 )
 from repro.bench.ratedistortion import render_rate_distortion, run_rate_distortion
 from repro.errors import ReproError
+from repro.observe.record import BenchRecord, RunInfo, records_document
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +57,27 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--codecs", default="",
                         help="comma-separated codecs (paper trio by default; "
                              "extensions: mjpeg, vc1)")
+
+
+def _add_observe_arguments(parser: argparse.ArgumentParser,
+                           record: bool = True) -> None:
+    """The observability surface shared by every subcommand."""
+    parser.add_argument("--json", action="store_true",
+                        help="emit a repro.observe.records/1 JSON document "
+                             "instead of the rendered tables")
+    if record:
+        from repro.observe.store import DEFAULT_STORE_DIR
+
+        parser.add_argument("--record", action="store_true",
+                            help="append this run's records to the benchmark "
+                                 "history store")
+        parser.add_argument("--run-id", default="", dest="run_id",
+                            help="run id stamped onto the records "
+                                 "(default: generated)")
+        parser.add_argument("--store", default=DEFAULT_STORE_DIR,
+                            metavar="DIR",
+                            help=f"history store directory "
+                                 f"(default: {DEFAULT_STORE_DIR})")
 
 
 def _config_from_args(args) -> BenchConfig:
@@ -71,33 +100,71 @@ def _progress(message: str) -> None:
     print(f"  .. {message}", file=sys.stderr)
 
 
+def _run_info(args, config: Optional[BenchConfig] = None) -> RunInfo:
+    """The identity stamped onto this invocation's records."""
+    from repro.observe.record import context_from_config
+
+    context = context_from_config(config) if config is not None else {}
+    return RunInfo.capture(context=context,
+                           run_id=getattr(args, "run_id", ""))
+
+
+def _emit(args, text: str, records: List[BenchRecord],
+          info: Optional[RunInfo] = None) -> None:
+    """Common output tail: render or dump JSON, then optionally record."""
+    if getattr(args, "json", False):
+        print(json_module.dumps(
+            records_document(records, run_id=info.run_id if info else None),
+            indent=2,
+        ))
+    elif text:
+        print(text)
+    if getattr(args, "record", False):
+        from repro.observe.store import HistoryStore
+
+        store = HistoryStore(args.store)
+        count = store.append_many(records)
+        run_id = info.run_id if info else (records[0].run_id if records else "?")
+        print(f"recorded {count} record(s) under run {run_id} "
+              f"in {store.path}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="hdvb-bench",
         description="Regenerate the tables and figures of the HD-VideoBench paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="survey of existing multimedia benchmarks")
-    sub.add_parser("table2", help="the HD-VideoBench applications")
-    sub.add_parser("table3", help="the input sequences")
-    sub.add_parser("table4", help="execution command lines")
+    for name, help_text in (
+        ("table1", "survey of existing multimedia benchmarks"),
+        ("table2", "the HD-VideoBench applications"),
+        ("table3", "the input sequences"),
+        ("table4", "execution command lines"),
+    ):
+        static = sub.add_parser(name, help=help_text)
+        _add_observe_arguments(static, record=False)
 
-    t5 = sub.add_parser("table5", help="rate-distortion comparison")
+    t5 = sub.add_parser("table5", aliases=["ratedistortion"],
+                        help="rate-distortion comparison")
     _add_config_arguments(t5)
+    _add_observe_arguments(t5)
 
     f1 = sub.add_parser("figure1", help="decode/encode throughput, scalar vs SIMD")
     _add_config_arguments(f1)
+    _add_observe_arguments(f1)
     f1.add_argument("--part", default="all", choices=tuple(FIGURE1_PARTS) + ("all",),
                     help="panel: a=decode scalar, b=decode simd, "
                          "c=encode scalar, d=encode simd")
 
     sp = sub.add_parser("speedups", help="per-codec SIMD speed-ups (decode + encode)")
     _add_config_arguments(sp)
+    _add_observe_arguments(sp)
 
     pf = sub.add_parser("performance",
                         help="timed encode/decode run with the telemetry "
                              "stage breakdown (where did the time go)")
     _add_config_arguments(pf)
+    _add_observe_arguments(pf)
     pf.add_argument("--operation", default="encode", choices=OPERATIONS,
                     help="what to time (default: encode)")
     pf.add_argument("--backend", default="simd", choices=BACKENDS,
@@ -112,12 +179,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     ch = sub.add_parser("characterize",
                         help="per-kernel workload breakdown (encode + decode)")
     _add_config_arguments(ch)
+    _add_observe_arguments(ch)
     ch.add_argument("--codec", default="",
                     help="restrict to one codec (default: all three)")
 
     rb = sub.add_parser("robustness",
                         help="seeded fault sweep: graceful-failure and "
                              "concealment-success rates per codec")
+    _add_observe_arguments(rb)
     rb.add_argument("--codecs", default="",
                     help="comma-separated codecs (default: all five)")
     rb.add_argument("--trials", type=int, default=40,
@@ -133,6 +202,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="seeded lossy-transport sweep: loss rate x "
                              "burst length x FEC overhead, reporting "
                              "graceful-decode and FEC recovery rates")
+    _add_observe_arguments(st)
     st.add_argument("--codecs", default="",
                     help="comma-separated codecs (default: all five)")
     st.add_argument("--loss", default="0.02,0.05,0.10",
@@ -154,10 +224,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="Bjøntegaard deltas vs the MPEG-2 anchor "
                              "(quantiser sweep RD curves)")
     _add_config_arguments(bd)
+    _add_observe_arguments(bd)
     bd.add_argument("--qscales", default="2,4,8,16",
                     help="comma-separated quantiser sweep points (>= 4)")
 
     args = parser.parse_args(argv)
+    if args.command == "ratedistortion":
+        args.command = "table5"
     try:
         return _dispatch(args)
     except ReproError as error:
@@ -165,37 +238,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def _static_table(args) -> Tuple[str, str, List[BenchRecord]]:
+    from repro.observe.record import records_from_table
+
+    if args.command == "table4":
+        headers, rows = commands_module.table4_data()
+        text = commands_module.render_table4()
+    else:
+        data = {
+            "table1": registry_tables.table1_data,
+            "table2": registry_tables.table2_data,
+            "table3": registry_tables.table3_data,
+        }[args.command]
+        render = {
+            "table1": registry_tables.render_table1,
+            "table2": registry_tables.render_table2,
+            "table3": registry_tables.render_table3,
+        }[args.command]
+        headers, rows = data()
+        text = render()
+    info = RunInfo.capture()
+    return text, args.command, records_from_table(args.command, headers, rows, info)
+
+
 def _dispatch(args) -> int:
-    if args.command == "table1":
-        print(registry_tables.render_table1())
-    elif args.command == "table2":
-        print(registry_tables.render_table2())
-    elif args.command == "table3":
-        print(registry_tables.render_table3())
-    elif args.command == "table4":
-        print(commands_module.render_table4())
+    if args.command in ("table1", "table2", "table3", "table4"):
+        text, _, records = _static_table(args)
+        _emit(args, text, records)
     elif args.command == "table5":
+        from repro.observe.record import records_from_rate_distortion
+
         config = _config_from_args(args)
+        info = _run_info(args, config)
         rows = run_rate_distortion(config, progress=_progress)
-        print(render_rate_distortion(rows))
+        _emit(args, render_rate_distortion(rows),
+              records_from_rate_distortion(rows, info), info)
     elif args.command == "figure1":
+        from repro.observe.record import records_from_performance
+
         config = _config_from_args(args)
+        info = _run_info(args, config)
         parts = list(FIGURE1_PARTS) if args.part == "all" else [args.part]
+        sections = []
+        records: List[BenchRecord] = []
         for part in parts:
             operation, backend = FIGURE1_PARTS[part]
             rows = run_figure1_part(config, part, progress=_progress)
             title = f"Figure 1({part}): {operation} performance, {backend} backend"
-            print(render_performance(rows, title))
-            print()
+            sections.append(render_performance(rows, title))
+            records.extend(records_from_performance(rows, info))
+        _emit(args, "\n\n".join(sections), records, info)
     elif args.command == "speedups":
+        from repro.observe.record import (
+            records_from_performance,
+            records_from_speedups,
+        )
+
         config = _config_from_args(args)
+        info = _run_info(args, config)
+        lines = []
+        records = []
         for operation in ("decode", "encode"):
             scalar = run_performance(config, operation, "scalar", progress=_progress)
             simd = run_performance(config, operation, "simd", progress=_progress)
-            print(f"{operation} SIMD speed-ups:")
-            for codec, value in simd_speedups(scalar, simd).items():
-                print(f"  {codec}: {value:.2f}x")
+            lines.append(f"{operation} SIMD speed-ups:")
+            speedups = simd_speedups(scalar, simd)
+            for codec, value in speedups.items():
+                lines.append(f"  {codec}: {value:.2f}x")
+            records.extend(records_from_performance(scalar + simd, info))
+            records.extend(records_from_speedups(operation, speedups, info))
+        _emit(args, "\n".join(lines), records, info)
     elif args.command == "robustness":
+        from repro.observe.record import records_from_robustness
         from repro.robustness.bench import (
             ALL_CODECS,
             render_robustness,
@@ -203,6 +317,11 @@ def _dispatch(args) -> int:
         )
 
         codecs = tuple(args.codecs.split(",")) if args.codecs else ALL_CODECS
+        info = _run_info(args)
+        info = RunInfo(run_id=info.run_id, created=info.created,
+                       git_sha=info.git_sha,
+                       context={"trials": args.trials, "seed": args.seed,
+                                "frames": args.frames})
         reports = run_robustness(
             codecs=codecs,
             trials=args.trials,
@@ -211,12 +330,19 @@ def _dispatch(args) -> int:
             conceal=args.conceal,
             progress=_progress,
         )
-        print(render_robustness(reports))
+        _emit(args, render_robustness(reports),
+              records_from_robustness(reports, info), info)
     elif args.command == "streaming":
+        from repro.observe.record import records_from_streaming
         from repro.robustness.bench import ALL_CODECS
         from repro.transport.bench import render_streaming, run_streaming
 
         codecs = tuple(args.codecs.split(",")) if args.codecs else ALL_CODECS
+        info = _run_info(args)
+        info = RunInfo(run_id=info.run_id, created=info.created,
+                       git_sha=info.git_sha,
+                       context={"trials": args.trials, "seed": args.seed,
+                                "frames": args.frames})
         reports = run_streaming(
             codecs=codecs,
             loss_rates=tuple(float(v) for v in args.loss.split(",")),
@@ -228,7 +354,8 @@ def _dispatch(args) -> int:
             conceal=args.conceal,
             progress=_progress,
         )
-        print(render_streaming(reports))
+        _emit(args, render_streaming(reports),
+              records_from_streaming(reports, info), info)
     elif args.command == "performance":
         _run_performance_command(args)
     elif args.command == "characterize":
@@ -244,8 +371,10 @@ def _run_performance_command(args) -> None:
 
     import repro.telemetry as telemetry
     from repro.bench.report import render_telemetry_section
+    from repro.observe.record import records_from_performance
 
     config = _config_from_args(args)
+    info = _run_info(args, config)
     telemetry.reset()
     telemetry.enable()
     try:
@@ -257,10 +386,15 @@ def _run_performance_command(args) -> None:
         telemetry.disable()
 
     title = f"Performance: {args.operation}, {args.backend} backend"
-    print(render_performance(rows, title))
-    print()
-    print(render_telemetry_section(telemetry.current_trace(),
-                                   telemetry.registry(), wall_seconds))
+    text = "\n".join([
+        render_performance(rows, title),
+        "",
+        render_telemetry_section(telemetry.current_trace(),
+                                 telemetry.registry(), wall_seconds),
+    ])
+    snapshot = telemetry.registry().snapshot().to_dict()
+    records = records_from_performance(rows, info, telemetry=snapshot)
+    _emit(args, text, records, info)
     if args.trace:
         trace = telemetry.current_trace()
         metadata = {
@@ -272,7 +406,9 @@ def _run_performance_command(args) -> None:
             payload = trace.to_chrome_json(indent=2, metadata=metadata)
         else:
             payload = trace.to_json(indent=2)
-        with open(args.trace, "w", encoding="utf-8") as handle:
+        # The trace file is a span dump for chrome://tracing, not a bench
+        # result; results go through the store.
+        with open(args.trace, "w", encoding="utf-8") as handle:  # hdvb: disable=HDVB160
             handle.write(payload)
         print(f"trace written to {args.trace} ({args.trace_format} format, "
               f"{len(trace)} spans)", file=sys.stderr)
@@ -285,6 +421,7 @@ def _run_bdrate(args) -> None:
     from repro.common.bdrate import bd_psnr, bd_rate, rd_points_from_rows
 
     base = _config_from_args(args)
+    info = _run_info(args, base)
     qscales = sorted(int(value) for value in args.qscales.split(","))
     all_rows = []
     for qscale in qscales:
@@ -295,14 +432,28 @@ def _run_bdrate(args) -> None:
     sequence = base.sequences[0]
     resolution = base.tier_names[0]
     anchor_points = rd_points_from_rows(all_rows, anchor, sequence, resolution)
-    print(f"Bjøntegaard deltas vs {anchor} "
-          f"({sequence}, {resolution}, qscales {qscales}):")
+    lines = [f"Bjøntegaard deltas vs {anchor} "
+             f"({sequence}, {resolution}, qscales {qscales}):"]
+    records: List[BenchRecord] = []
     for codec in base.codecs:
         if codec == anchor:
             continue
         points = rd_points_from_rows(all_rows, codec, sequence, resolution)
-        print(f"  {codec}: BD-rate {bd_rate(anchor_points, points):+.1f}%  "
-              f"BD-PSNR {bd_psnr(anchor_points, points):+.2f} dB")
+        delta_rate = bd_rate(anchor_points, points)
+        delta_psnr = bd_psnr(anchor_points, points)
+        lines.append(f"  {codec}: BD-rate {delta_rate:+.1f}%  "
+                     f"BD-PSNR {delta_psnr:+.2f} dB")
+        records.append(BenchRecord(
+            run_id=info.run_id,
+            bench="bdrate",
+            axes={"codec": codec, "anchor": anchor,
+                  "sequence": sequence, "resolution": resolution},
+            metrics={"bd_rate_percent": delta_rate, "bd_psnr_db": delta_psnr},
+            created=info.created,
+            git_sha=info.git_sha,
+            context=dict(info.context, qscales=",".join(map(str, qscales))),
+        ))
+    _emit(args, "\n".join(lines), records, info)
 
 
 def _run_characterize(args) -> None:
@@ -314,20 +465,38 @@ def _run_characterize(args) -> None:
     from repro.sequences import generate_sequence
 
     config = _config_from_args(args)
+    info = _run_info(args, config)
     codecs = (args.codec,) if args.codec else config.codecs
     tier = config.tiers()[0]
     video = generate_sequence(
         config.sequences[0], tier.name, frames=config.frames, scale=config.scale
     )
+    sections = []
+    records: List[BenchRecord] = []
     for codec in codecs:
         _progress(f"characterize {codec}")
         fields = config.encoder_fields(codec, tier)
         encode_profile, stream = characterize_encode(codec, video, **fields)
         decode_profile, _ = characterize_decode(codec, stream)
-        print(render_profile(encode_profile))
-        print()
-        print(render_profile(decode_profile))
-        print()
+        sections.append(render_profile(encode_profile))
+        sections.append(render_profile(decode_profile))
+        for operation, profile in (("encode", encode_profile),
+                                   ("decode", decode_profile)):
+            for kernel, stats in sorted(profile.kernels.items()):
+                if not stats.calls:
+                    continue
+                records.append(BenchRecord(
+                    run_id=info.run_id,
+                    bench="characterize",
+                    axes={"codec": codec, "operation": operation,
+                          "kernel": kernel},
+                    metrics={"calls": float(stats.calls),
+                             "samples": float(stats.samples)},
+                    created=info.created,
+                    git_sha=info.git_sha,
+                    context=dict(info.context),
+                ))
+    _emit(args, "\n\n".join(sections), records, info)
 
 
 if __name__ == "__main__":

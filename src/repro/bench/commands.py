@@ -66,13 +66,17 @@ def command_table(sequence: str = "blue_sky", tier: str = "576p25",
     )
 
 
-def render_table4(**kwargs) -> str:
+def table4_data(**kwargs) -> Tuple[List[str], List[Tuple[str, str, str]]]:
+    """Headers and rows of Table IV (shared by text and JSON output)."""
     rows: List[Tuple[str, str, str]] = [
         (entry.codec, entry.application, entry.command)
         for entry in command_table(**kwargs)
     ]
+    return (["Codec", "Application", "Execution command"], rows)
+
+
+def render_table4(**kwargs) -> str:
+    headers, rows = table4_data(**kwargs)
     return render_table(
-        ["Codec", "Application", "Execution command"],
-        rows,
-        title="Table IV: HD-VideoBench execution commands",
+        headers, rows, title="Table IV: HD-VideoBench execution commands",
     )

@@ -84,41 +84,54 @@ TABLE_II: Tuple[ApplicationEntry, ...] = (
 )
 
 
-def render_table1() -> str:
+def table1_data() -> Tuple[List[str], List[Tuple[str, ...]]]:
+    """Headers and rows of Table I (shared by text and JSON output)."""
     rows = [
         (entry.name, entry.release, entry.license,
          "; ".join(entry.video_applications), entry.input_sequences)
         for entry in TABLE_I
     ]
+    return (["Benchmark", "Release", "License", "Video applications",
+             "Input sequences"], rows)
+
+
+def render_table1() -> str:
+    headers, rows = table1_data()
     return render_table(
-        ["Benchmark", "Release", "License", "Video applications", "Input sequences"],
-        rows,
-        title="Table I: existing multimedia benchmarks",
+        headers, rows, title="Table I: existing multimedia benchmarks",
     )
 
 
-def render_table2() -> str:
+def table2_data() -> Tuple[List[str], List[Tuple[str, ...]]]:
+    """Headers and rows of Table II."""
     rows = [
         (entry.application, entry.description, f"repro codec: {entry.codec} {entry.role}")
         for entry in TABLE_II
     ]
+    return (["Application", "Description", "Reproduced by"], rows)
+
+
+def render_table2() -> str:
+    headers, rows = table2_data()
     return render_table(
-        ["Application", "Description", "Reproduced by"],
-        rows,
-        title="Table II: HD-VideoBench applications",
+        headers, rows, title="Table II: HD-VideoBench applications",
     )
 
 
-def render_table3() -> str:
-    rows: List[Tuple[str, str, str, str, str]] = []
+def table3_data() -> Tuple[List[str], List[Tuple[str, ...]]]:
+    """Headers and rows of Table III."""
+    rows: List[Tuple[str, ...]] = []
     resolutions = ", ".join(f"{t.width}x{t.height}" for t in PAPER_TIERS)
     for name in SEQUENCE_NAMES:
         generator = get_generator(name)
         rows.append(
             (name, resolutions, "25", str(PAPER_FRAME_COUNT), generator.description)
         )
+    return (["Test sequence", "Resolutions", "fps", "Frames", "Comments"], rows)
+
+
+def render_table3() -> str:
+    headers, rows = table3_data()
     return render_table(
-        ["Test sequence", "Resolutions", "fps", "Frames", "Comments"],
-        rows,
-        title="Table III: HD-VideoBench input sequences",
+        headers, rows, title="Table III: HD-VideoBench input sequences",
     )

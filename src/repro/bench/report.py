@@ -2,25 +2,60 @@
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, List, Optional, Sequence
+
+#: A table cell that reads as a measurement: an optionally signed number,
+#: optionally followed by a unit suffix (``%``, ``dB``, ``fps``, ``x``,
+#: ``kbit/s``).  Placeholders (``-``, empty) do not break a numeric column.
+_NUMERIC_CELL = re.compile(
+    r"^[+-]?\d+(\.\d+)?\s*(%|dB|fps|x|kbit/s)?$"
+)
+
+
+def _is_numeric_column(cells: Sequence[str]) -> bool:
+    seen_number = False
+    for cell in cells:
+        text = cell.strip()
+        if text in ("", "-"):
+            continue
+        if not _NUMERIC_CELL.match(text):
+            return False
+        seen_number = True
+    return seen_number
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = "") -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    Columns whose cells are all numeric (a value with an optional unit)
+    are right-aligned so magnitudes line up — a 4-digit fps next to a
+    2-digit fps reads off the same column edge instead of drifting left.
+    """
     materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in materialised:
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
+    numeric = [
+        _is_numeric_column([row[index] for row in materialised if index < len(row)])
+        for index in range(len(headers))
+    ]
+
+    def align(cell: str, index: int) -> str:
+        if numeric[index]:
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
     lines = []
     if title:
         lines.append(title)
     separator = "-+-".join("-" * width for width in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(align(h, i) for i, h in enumerate(headers)))
     lines.append(separator)
     for row in materialised:
-        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append(" | ".join(align(cell, i) for i, cell in enumerate(row)))
     return "\n".join(lines)
 
 

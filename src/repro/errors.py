@@ -19,6 +19,8 @@ Hierarchy::
     |                           stream/decoder mismatch)
     +-- ConfigError             invalid encoder/decoder/benchmark configuration
     +-- SequenceError           an input sequence cannot be generated/loaded
+    +-- ObserveError            malformed benchmark record or history store
+                                (:mod:`repro.observe`)
 
 Errors raised while decoding untrusted payloads are normalised by
 :func:`repro.robustness.guard.normalize_decode_error` so that every escape
@@ -138,6 +140,11 @@ class CodecError(ReproError):
 
 class SequenceError(ReproError):
     """Raised when an input sequence cannot be generated or loaded."""
+
+
+class ObserveError(ReproError):
+    """Raised by the benchmark-observability layer (:mod:`repro.observe`)
+    on malformed records, unreadable history stores or invalid queries."""
 
 
 @dataclass(frozen=True)

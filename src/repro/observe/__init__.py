@@ -1,0 +1,77 @@
+"""``repro.observe`` — the benchmark observatory.
+
+Every bench run can land in a durable, schema-versioned history so the
+question "did this change make decode slower or PSNR worse?" has a
+mechanical answer:
+
+* :mod:`repro.observe.record` — the frozen ``repro.observe.record/1``
+  :class:`BenchRecord` (run id, git SHA, measurement axes, metrics,
+  attached telemetry snapshot and parallel stats) plus converters from
+  every harness's native result rows;
+* :mod:`repro.observe.store` — the append-only JSONL
+  :class:`HistoryStore` under ``.hdvb-bench-history/`` with atomic
+  appends, tolerant reads, axis-indexed queries and compaction;
+* :mod:`repro.observe.regress` — the regression detector: newest record
+  per axis vs a rolling median baseline with MAD-based robust noise
+  bands, reported through the shared ``repro.analysis`` Finding and
+  reporter machinery;
+* :mod:`repro.observe.export` — OpenMetrics/Prometheus text exposition
+  of the latest records and merged telemetry;
+* :mod:`repro.observe.cli` — the ``hdvb-observe`` front end
+  (``record`` / ``compare`` / ``trend`` / ``gate`` / ``export`` /
+  ``compact``).
+
+Feeding the store: every measuring ``hdvb-bench`` subcommand takes
+``--record`` (append this run) / ``--run-id`` / ``--store``, and
+``--json`` emits the same records as a ``repro.observe.records/1``
+document for ``hdvb-observe record`` to ingest.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.observe.record import (
+    DOCUMENT_SCHEMA,
+    RECORD_SCHEMA,
+    BenchRecord,
+    RunInfo,
+    current_git_sha,
+    new_run_id,
+    records_document,
+    records_from_document,
+)
+from repro.observe.regress import (
+    DEFAULT_POLICIES,
+    GateConfig,
+    MetricPolicy,
+    compare_runs,
+    detect_regressions,
+    mad,
+    median,
+    metric_trend,
+)
+from repro.observe.store import DEFAULT_STORE_DIR, HistoryStore
+from repro.observe.export import export_store, render_openmetrics
+
+__all__ = [
+    "BenchRecord",
+    "DEFAULT_POLICIES",
+    "DEFAULT_STORE_DIR",
+    "DOCUMENT_SCHEMA",
+    "GateConfig",
+    "HistoryStore",
+    "MetricPolicy",
+    "RECORD_SCHEMA",
+    "RunInfo",
+    "compare_runs",
+    "current_git_sha",
+    "detect_regressions",
+    "export_store",
+    "mad",
+    "median",
+    "metric_trend",
+    "new_run_id",
+    "records_document",
+    "records_from_document",
+    "render_openmetrics",
+]

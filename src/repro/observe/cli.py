@@ -1,0 +1,277 @@
+"""``hdvb-observe``: query and gate the benchmark history store.
+
+    hdvb-observe record results.json [...]   # ingest --json bench documents
+    hdvb-observe compare [--runs A,B]        # per-axis metric deltas
+    hdvb-observe trend --bench performance --metric fps
+    hdvb-observe gate [--format human|json]  # regression detector (CI gate)
+    hdvb-observe export [--output FILE]      # OpenMetrics exposition
+
+Exit codes follow the ``hdvb-lint`` convention: 0 — clean, 1 — at least
+one regression finding (``gate`` only), 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.analysis.reporters import render_human, render_json
+from repro.bench.report import render_table
+from repro.errors import ObserveError, ReproError
+from repro.observe.record import BenchRecord, records_from_document
+from repro.observe.regress import (
+    GateConfig,
+    compare_runs,
+    detect_regressions,
+    metric_trend,
+)
+from repro.observe.store import DEFAULT_STORE_DIR, HistoryStore
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                        help=f"history store directory "
+                             f"(default: {DEFAULT_STORE_DIR})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-observe",
+        description="Persistent benchmark results: record, compare, trend, "
+                    "regression-gate and export the bench history.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="append records from --json bench "
+                                        "documents to the store")
+    rec.add_argument("files", nargs="+", metavar="FILE",
+                     help="repro.observe.records/1 documents ('-' = stdin)")
+    rec.add_argument("--run-id", default="",
+                     help="override the run id of every ingested record")
+    _add_store_argument(rec)
+
+    cmp_parser = sub.add_parser("compare", help="metric deltas between two runs")
+    cmp_parser.add_argument("--runs", default="", metavar="A,B",
+                            help="run ids to compare "
+                                 "(default: the two newest runs)")
+    cmp_parser.add_argument("--bench", default=None,
+                            help="restrict to one bench")
+    _add_store_argument(cmp_parser)
+
+    trend = sub.add_parser("trend", help="per-axis history of one metric")
+    trend.add_argument("--bench", required=True,
+                       help="bench to trend (performance, ratedistortion, ...)")
+    trend.add_argument("--metric", default="fps",
+                       help="metric to trend (default: fps)")
+    _add_store_argument(trend)
+
+    gate = sub.add_parser("gate", help="flag regressions of the newest record "
+                                       "per axis against its rolling baseline")
+    gate.add_argument("--bench", default=None, help="restrict to one bench")
+    gate.add_argument("--format", choices=("human", "json"), default="human",
+                      help="report format (default: human)")
+    gate.add_argument("--window", type=int, default=GateConfig().window,
+                      help="baseline records per axis (default: %(default)s)")
+    gate.add_argument("--mad-sigmas", type=float,
+                      default=GateConfig().mad_sigmas,
+                      help="noise band width in robust sigmas "
+                           "(default: %(default)s)")
+    gate.add_argument("--fps-drop", type=float, default=None,
+                      help="throughput-drop tolerance as a fraction "
+                           "(default: 0.10)")
+    gate.add_argument("--psnr-drop", type=float, default=None,
+                      help="PSNR-drop tolerance in dB (default: 0.1)")
+    gate.add_argument("--bitrate-growth", type=float, default=None,
+                      help="bitrate-growth tolerance as a fraction "
+                           "(default: 0.02)")
+    _add_store_argument(gate)
+
+    exp = sub.add_parser("export", help="OpenMetrics text exposition of the "
+                                        "newest records plus merged telemetry")
+    exp.add_argument("--bench", default=None, help="restrict to one bench")
+    exp.add_argument("--output", default="", metavar="FILE",
+                     help="write to FILE instead of stdout")
+    _add_store_argument(exp)
+
+    compact = sub.add_parser("compact", help="bound the history: keep the "
+                                             "newest N records per axis")
+    compact.add_argument("--keep-last", type=int, default=50,
+                         help="records kept per (bench, axis) "
+                              "(default: %(default)s)")
+    _add_store_argument(compact)
+    return parser
+
+
+def _require_history(store: HistoryStore) -> None:
+    if not store.exists():
+        raise ObserveError(
+            f"no history at {store.path} (run a bench with --record, or "
+            f"ingest documents with 'hdvb-observe record')"
+        )
+
+
+def _cmd_record(options: argparse.Namespace) -> int:
+    store = HistoryStore(options.store)
+    total = 0
+    for name in options.files:
+        if name == "-":
+            payload = sys.stdin.read()
+        else:
+            try:
+                with open(name, "r", encoding="utf-8") as handle:
+                    payload = handle.read()
+            except OSError as error:
+                raise ObserveError(f"cannot read {name}: {error}") from error
+        try:
+            document = json.loads(payload)
+        except ValueError as error:
+            raise ObserveError(f"{name}: not JSON: {error}") from error
+        records = records_from_document(document)
+        if options.run_id:
+            records = [replace(record, run_id=options.run_id)
+                       for record in records]
+        total += store.append_many(records)
+    print(f"hdvb-observe: appended {total} record(s) to {store.path}",
+          file=sys.stderr)
+    return 0
+
+
+def _pick_runs(store: HistoryStore, raw: str) -> List[str]:
+    if raw:
+        runs = [token.strip() for token in raw.split(",") if token.strip()]
+        if len(runs) != 2:
+            raise ObserveError(f"--runs needs exactly two run ids, got {raw!r}")
+        return runs
+    known = store.run_ids()
+    if len(known) < 2:
+        raise ObserveError(
+            f"need two recorded runs to compare, found {len(known)}")
+    return known[-2:]
+
+
+def _cmd_compare(options: argparse.Namespace) -> int:
+    store = HistoryStore(options.store)
+    _require_history(store)
+    run_a, run_b = _pick_runs(store, options.runs)
+    rows = compare_runs(store, run_a, run_b, bench=options.bench)
+    if not rows:
+        print(f"no shared (bench, axis, metric) between {run_a} and {run_b}")
+        return 0
+    rendered = []
+    for bench, axis_key, metric, value_a, value_b in rows:
+        delta = value_b - value_a
+        percent = f"{delta / value_a * 100.0:+.1f}%" if value_a else "n/a"
+        rendered.append((bench, axis_key, metric,
+                         f"{value_a:.3f}", f"{value_b:.3f}",
+                         f"{delta:+.3f}", percent))
+    print(render_table(
+        ["bench", "axes", "metric", run_a, run_b, "delta", "delta %"],
+        rendered,
+        title=f"Benchmark comparison: {run_a} -> {run_b}",
+    ))
+    return 0
+
+
+def _cmd_trend(options: argparse.Namespace) -> int:
+    store = HistoryStore(options.store)
+    _require_history(store)
+    series = metric_trend(store, options.bench, options.metric)
+    if not series:
+        raise ObserveError(
+            f"no {options.metric!r} history for bench {options.bench!r} "
+            f"in {store.path}")
+    rows = []
+    for axis_key, points in series.items():
+        values = [value for _, value in points]
+        rows.append((
+            axis_key,
+            len(points),
+            f"{min(values):.3f}",
+            f"{max(values):.3f}",
+            f"{values[-1]:.3f}",
+            " ".join(f"{value:.1f}" for _, value in points[-8:]),
+        ))
+    print(render_table(
+        ["axes", "n", "min", "max", "latest", "series (newest last)"],
+        rows,
+        title=f"Trend: {options.bench} {options.metric}",
+    ))
+    return 0
+
+
+def _cmd_gate(options: argparse.Namespace) -> int:
+    store = HistoryStore(options.store)
+    _require_history(store)
+    config = GateConfig(
+        window=options.window, mad_sigmas=options.mad_sigmas,
+    ).with_thresholds(
+        fps_drop=options.fps_drop,
+        psnr_drop_db=options.psnr_drop,
+        bitrate_growth=options.bitrate_growth,
+    )
+    findings = detect_regressions(store, bench=options.bench, config=config)
+    groups = store.history_per_axis(options.bench)
+    stats = {"files_scanned": len(groups)}
+    if options.format == "json":
+        print(render_json(findings, **stats))
+    else:
+        print(render_human(findings, **stats))
+        if store.skipped_lines:
+            print(f"warning: {store.skipped_lines} malformed history "
+                  f"line(s) skipped", file=sys.stderr)
+    return 0 if not findings else 1
+
+
+def _cmd_export(options: argparse.Namespace) -> int:
+    from repro.observe.export import export_store
+
+    store = HistoryStore(options.store)
+    _require_history(store)
+    text = export_store(store, bench=options.bench)
+    if options.output:
+        try:
+            with open(options.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as error:
+            raise ObserveError(
+                f"cannot write {options.output}: {error}") from error
+        print(f"hdvb-observe: wrote exposition to {options.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_compact(options: argparse.Namespace) -> int:
+    store = HistoryStore(options.store)
+    _require_history(store)
+    dropped = store.compact(keep_last=options.keep_last)
+    print(f"hdvb-observe: dropped {dropped} record(s), kept newest "
+          f"{options.keep_last} per axis", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "record": _cmd_record,
+    "compare": _cmd_compare,
+    "trend": _cmd_trend,
+    "gate": _cmd_gate,
+    "export": _cmd_export,
+    "compact": _cmd_compact,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[options.command](options)
+    except ReproError as error:
+        print(f"hdvb-observe: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

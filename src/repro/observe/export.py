@@ -1,0 +1,190 @@
+"""OpenMetrics / Prometheus text exposition of the benchmark history.
+
+Renders the newest record of every (bench, axis) group as labelled
+gauge samples (``hdvb_performance_fps{codec="mpeg2",...} 123.4``), one
+``hdvb_record_info`` series carrying run identity, and — when records
+attach telemetry snapshots — the merged counters, gauges and histograms
+of the :class:`~repro.telemetry.metrics.MetricsRegistry`, reconstructed
+through the public ``from_dict`` round-trip (never by reaching into
+instrument internals).
+
+The output follows the OpenMetrics text format: one ``# TYPE`` line per
+family, samples grouped by family, counter samples suffixed ``_total``,
+histogram samples as cumulative ``_bucket{le=...}`` plus ``_count`` and
+``_sum``, label values escaped, and a final ``# EOF`` terminator — so a
+Prometheus scrape or ``promtool check metrics`` accepts it as is.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.observe.record import BenchRecord
+from repro.observe.store import HistoryStore
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+
+#: Prefix of every exported family.
+METRIC_PREFIX = "hdvb"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_NAME_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+_BAD_LABEL_CHAR = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(*parts: str) -> str:
+    """Join parts into a legal metric family name."""
+    joined = "_".join(_BAD_NAME_CHAR.sub("_", part) for part in parts if part)
+    if not joined or not _NAME_OK.match(joined):
+        joined = "_" + joined
+    return joined
+
+
+def label_name(raw: str) -> str:
+    cleaned = _BAD_LABEL_CHAR.sub("_", raw)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(raw: Any) -> str:
+    text = str(raw)
+    return (text.replace("\\", r"\\")
+                .replace("\"", r"\"")
+                .replace("\n", r"\n"))
+
+
+def format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{label_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class _Family:
+    """One metric family: TYPE/HELP header plus its samples in order."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: List[Tuple[str, Dict[str, Any], float]] = []
+
+    def add(self, labels: Mapping[str, Any], value: float,
+            suffix: str = "") -> None:
+        self.samples.append((suffix, dict(labels), value))
+
+    def render(self) -> List[str]:
+        lines = [f"# TYPE {self.name} {self.kind}"]
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        for suffix, labels, value in self.samples:
+            lines.append(
+                f"{self.name}{suffix}{render_labels(labels)} "
+                f"{format_value(value)}"
+            )
+        return lines
+
+
+def _record_families(records: Sequence[BenchRecord]) -> List[_Family]:
+    families: Dict[str, _Family] = {}
+    info = _Family(
+        metric_name(METRIC_PREFIX, "record", "info"), "gauge",
+        "identity of the newest record per (bench, axis): run id and git SHA",
+    )
+    for record in records:
+        base_labels = {"bench": record.bench, **record.axes}
+        info.add({**base_labels, "run_id": record.run_id,
+                  "git_sha": record.git_sha}, 1.0)
+        for metric, value in sorted(record.metrics.items()):
+            name = metric_name(METRIC_PREFIX, record.bench, metric)
+            family = families.get(name)
+            if family is None:
+                family = _Family(
+                    name, "gauge",
+                    f"{record.bench} benchmark metric {metric} "
+                    f"(newest record per axis)",
+                )
+                families[name] = family
+            family.add(base_labels, value)
+    ordered = [info] if info.samples else []
+    ordered.extend(families[name] for name in sorted(families))
+    return ordered
+
+
+def _merged_telemetry(records: Iterable[BenchRecord]) -> Optional[MetricsRegistry]:
+    merged: Optional[MetricsRegistry] = None
+    for record in records:
+        if not record.telemetry:
+            continue
+        snapshot = MetricsSnapshot.from_dict(record.telemetry)
+        if merged is None:
+            merged = MetricsRegistry()
+        merged.merge(snapshot)
+    return merged
+
+
+def _telemetry_families(registry: MetricsRegistry) -> List[_Family]:
+    families: List[_Family] = []
+    snapshot = registry.snapshot().to_dict()
+    for name, data in sorted(snapshot["metrics"].items()):
+        kind = data["kind"]
+        base = metric_name(METRIC_PREFIX, "telemetry", name)
+        if kind == "counter":
+            family = _Family(base, "counter", f"telemetry counter {name}")
+            family.add({}, data["value"], suffix="_total")
+        elif kind == "gauge":
+            family = _Family(base, "gauge", f"telemetry gauge {name}")
+            family.add({}, data["value"])
+            family.add({"aggregation": "max"}, data["max"])
+        else:
+            family = _Family(base, "histogram", f"telemetry histogram {name}")
+            cumulative = 0
+            for bound, count in zip(data["buckets"], data["counts"]):
+                cumulative += count
+                family.add({"le": format_value(float(bound))}, cumulative,
+                           suffix="_bucket")
+            family.add({"le": "+Inf"}, data["count"], suffix="_bucket")
+            family.add({}, data["count"], suffix="_count")
+            family.add({}, data["sum"], suffix="_sum")
+        families.append(family)
+    return families
+
+
+def render_openmetrics(records: Sequence[BenchRecord],
+                       registry: Optional[MetricsRegistry] = None) -> str:
+    """The full exposition for ``records`` (plus optional live registry)."""
+    lines: List[str] = []
+    for family in _record_families(records):
+        lines.extend(family.render())
+    merged = _merged_telemetry(records)
+    if registry is not None:
+        if merged is None:
+            merged = MetricsRegistry()
+        merged.merge(registry.snapshot())
+    if merged is not None:
+        for family in _telemetry_families(merged):
+            lines.extend(family.render())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def export_store(store: HistoryStore, bench: Optional[str] = None) -> str:
+    """Exposition of the newest record per (bench, axis) in ``store``."""
+    latest = store.latest_per_axis(bench)
+    ordered = [latest[key] for key in sorted(latest)]
+    return render_openmetrics(ordered)

@@ -1,0 +1,228 @@
+"""Regression detection over the benchmark history.
+
+For every (bench, axis) group the newest record is compared against a
+**rolling median baseline** of the previous ``window`` records.  A
+metric regresses when it moves against its good direction by more than
+the larger of
+
+* the policy threshold (the paper-level tolerances: throughput drop
+  > 10 %, PSNR drop > 0.1 dB, bitrate growth > 2 %), and
+* the noise band ``mad_sigmas * 1.4826 * MAD`` of the baseline —
+  the robust analogue of k-sigma, so an axis whose history is naturally
+  jittery is not flagged for ordinary jitter while a quiet axis still
+  trips on small, real shifts.
+
+Findings are reported through the shared
+:class:`repro.analysis.findings.Finding` record, so the lint reporters
+(human and ``repro.analysis.findings/1`` JSON) and the 0/1/2 exit-code
+convention apply unchanged.  The whole pass is pure arithmetic over the
+stored records: the same history yields the same findings, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.errors import ObserveError
+from repro.observe.record import BenchRecord
+from repro.observe.store import HistoryStore
+
+#: Consistent-estimator factor: MAD * 1.4826 estimates one sigma for
+#: normally distributed noise.
+MAD_SIGMA_FACTOR = 1.4826
+
+#: Baseline records considered per axis (the newest record excluded).
+DEFAULT_WINDOW = 5
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ObserveError("median of an empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median."""
+    centre = median(values)
+    return median([abs(value - centre) for value in values])
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric is gated.
+
+    ``direction`` is the *good* direction: ``"higher"`` metrics regress
+    by dropping, ``"lower"`` metrics by growing.  ``relative`` thresholds
+    are fractions of the baseline median; absolute thresholds are in the
+    metric's own unit.
+    """
+
+    metric: str
+    rule_id: str
+    direction: str            # "higher" | "lower"
+    threshold: float
+    relative: bool
+    unit: str = ""
+
+    def limit(self, baseline_median: float) -> float:
+        if self.relative:
+            return self.threshold * abs(baseline_median)
+        return self.threshold
+
+
+#: The default gate: the three tolerances the issue names, plus the
+#: resilience-rate and concealment-quality analogues so the robustness
+#: and streaming benches gate through the same machinery.
+DEFAULT_POLICIES: Tuple[MetricPolicy, ...] = (
+    MetricPolicy("fps", "OBS201", "higher", 0.10, relative=True, unit="fps"),
+    MetricPolicy("psnr_db", "OBS202", "higher", 0.1, relative=False, unit="dB"),
+    MetricPolicy("bitrate_kbps", "OBS203", "lower", 0.02, relative=True,
+                 unit="kbit/s"),
+    MetricPolicy("graceful_rate", "OBS204", "higher", 0.02, relative=False),
+    MetricPolicy("conceal_rate", "OBS204", "higher", 0.02, relative=False),
+    MetricPolicy("complete_rate", "OBS204", "higher", 0.02, relative=False),
+    MetricPolicy("fec_recovery_rate", "OBS204", "higher", 0.02, relative=False),
+    MetricPolicy("mean_psnr_delta_db", "OBS205", "higher", 0.1, relative=False,
+                 unit="dB"),
+)
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Tunable knobs of one detector run."""
+
+    window: int = DEFAULT_WINDOW
+    mad_sigmas: float = 3.0
+    policies: Tuple[MetricPolicy, ...] = DEFAULT_POLICIES
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ObserveError(f"window must be >= 1, got {self.window}")
+        if self.mad_sigmas < 0:
+            raise ObserveError(
+                f"mad_sigmas must be >= 0, got {self.mad_sigmas}")
+
+    def with_thresholds(self, fps_drop: Optional[float] = None,
+                        psnr_drop_db: Optional[float] = None,
+                        bitrate_growth: Optional[float] = None,
+                        ) -> "GateConfig":
+        """A copy with the three headline tolerances overridden."""
+        overrides = {"fps": fps_drop, "psnr_db": psnr_drop_db,
+                     "bitrate_kbps": bitrate_growth}
+        policies = tuple(
+            replace(policy, threshold=overrides[policy.metric])
+            if overrides.get(policy.metric) is not None else policy
+            for policy in self.policies
+        )
+        return replace(self, policies=policies)
+
+
+def _check_metric(policy: MetricPolicy, newest: BenchRecord,
+                  baseline: Sequence[BenchRecord], config: GateConfig,
+                  location: str) -> Optional[Finding]:
+    if policy.metric not in newest.metrics:
+        return None
+    history = [record.metrics[policy.metric] for record in baseline
+               if policy.metric in record.metrics]
+    if not history:
+        return None
+    centre = median(history)
+    noise = config.mad_sigmas * MAD_SIGMA_FACTOR * mad(history)
+    value = newest.metrics[policy.metric]
+    if policy.direction == "higher":
+        move = centre - value
+        verb = "dropped"
+    else:
+        move = value - centre
+        verb = "grew"
+    tolerance = max(policy.limit(centre), noise)
+    if move <= tolerance:
+        return None
+    unit = f" {policy.unit}" if policy.unit else ""
+    if policy.relative and centre:
+        amount = f"{abs(move) / abs(centre) * 100.0:.1f}%"
+    else:
+        amount = f"{abs(move):.3f}{unit}"
+    return Finding(
+        rule_id=policy.rule_id,
+        path=location,
+        module=f"{newest.bench}:{newest.axis_key}",
+        line=0,
+        message=(
+            f"{newest.bench} [{newest.axis_key}] {policy.metric} {verb} "
+            f"{amount}: {value:.3f}{unit} vs rolling median {centre:.3f}{unit} "
+            f"over {len(history)} run(s) "
+            f"(tolerance {tolerance:.3f}{unit}, run {newest.run_id})"
+        ),
+        hint=(
+            "confirm with a re-run; if the shift is intended, let the new "
+            "level enter the rolling baseline (or compact the old history)"
+        ),
+    )
+
+
+def detect_regressions(store: HistoryStore, bench: Optional[str] = None,
+                       config: Optional[GateConfig] = None) -> List[Finding]:
+    """Compare every axis's newest record against its rolling baseline."""
+    config = config or GateConfig()
+    location = str(store.path)
+    findings: List[Finding] = []
+    for (_, _axis), history in sorted(store.history_per_axis(bench).items()):
+        if len(history) < 2:
+            continue
+        newest = history[-1]
+        baseline = history[-1 - config.window:-1]
+        for policy in config.policies:
+            finding = _check_metric(policy, newest, baseline, config, location)
+            if finding is not None:
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# comparison / trend helpers (the ``compare`` and ``trend`` subcommands)
+# ----------------------------------------------------------------------
+
+
+def compare_runs(store: HistoryStore, run_a: str, run_b: str,
+                 bench: Optional[str] = None,
+                 ) -> List[Tuple[str, str, str, float, float]]:
+    """Per-axis metric deltas between two runs.
+
+    Returns ``(bench, axis_key, metric, value_a, value_b)`` rows for
+    every metric present in both runs on the same axis.
+    """
+    def index(run_id: str) -> Dict[Tuple[str, str], BenchRecord]:
+        return {
+            (record.bench, record.axis_key): record
+            for record in store.query(bench=bench, run_id=run_id)
+        }
+
+    first, second = index(run_a), index(run_b)
+    rows: List[Tuple[str, str, str, float, float]] = []
+    for key in sorted(set(first) & set(second)):
+        record_a, record_b = first[key], second[key]
+        for metric in sorted(set(record_a.metrics) & set(record_b.metrics)):
+            rows.append((key[0], key[1], metric,
+                         record_a.metrics[metric], record_b.metrics[metric]))
+    return rows
+
+
+def metric_trend(store: HistoryStore, bench: str, metric: str,
+                 ) -> Dict[str, List[Tuple[str, float]]]:
+    """Per-axis ``(run_id, value)`` series for one metric, oldest first."""
+    series: Dict[str, List[Tuple[str, float]]] = {}
+    for (_, axis_key), history in sorted(store.history_per_axis(bench).items()):
+        points = [
+            (record.run_id, record.metrics[metric])
+            for record in history if metric in record.metrics
+        ]
+        if points:
+            series[axis_key] = points
+    return series

@@ -1,0 +1,211 @@
+"""The append-only benchmark history store (``.hdvb-bench-history/``).
+
+One JSONL file, one :class:`~repro.observe.record.BenchRecord` per line,
+newest last.  Three properties matter:
+
+* **atomic appends** — each record is serialised to a single line and
+  written with one ``os.write`` on an ``O_APPEND`` descriptor, so
+  concurrent recorders (parallel CI shards, a bench running while the
+  gate reads) interleave whole lines, never torn ones;
+* **tolerant reads** — a malformed line (a crashed writer, a hand edit)
+  is counted and skipped, not fatal: one bad record must not take the
+  whole trajectory with it;
+* **bounded growth** — :meth:`HistoryStore.compact` keeps the newest N
+  records per (bench, axis) and atomically replaces the file
+  (temp file + ``os.replace``), preserving relative order.
+
+The store is the single sanctioned result sink: ``hdvb-lint`` rule
+HDVB160 (:mod:`repro.analysis.persistence`) flags benchmark code that
+writes result dicts anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObserveError
+from repro.observe.record import BenchRecord
+
+#: Default store directory, relative to the invocation directory.
+DEFAULT_STORE_DIR = ".hdvb-bench-history"
+
+#: The history file inside the store directory.
+HISTORY_FILENAME = "history.jsonl"
+
+#: Default per-axis retention for :meth:`HistoryStore.compact`.
+DEFAULT_KEEP_LAST = 50
+
+
+def _serialise(record: BenchRecord) -> bytes:
+    line = json.dumps(record.to_dict(), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+    if "\n" in line:
+        raise ObserveError("record serialised with an embedded newline")
+    return (line + "\n").encode("utf-8")
+
+
+class HistoryStore:
+    """Append-only, axis-indexed JSONL store of bench records."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / HISTORY_FILENAME
+        #: malformed lines skipped by the most recent load
+        self.skipped_lines = 0
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: BenchRecord) -> None:
+        """Append one record atomically (single O_APPEND write)."""
+        payload = _serialise(record)
+        self.root.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            written = os.write(descriptor, payload)
+            if written != len(payload):
+                raise ObserveError(
+                    f"short write to {self.path}: {written}/{len(payload)} bytes"
+                )
+        finally:
+            os.close(descriptor)
+
+    def append_many(self, records: Iterable[BenchRecord]) -> int:
+        """Append records one line at a time; returns the count."""
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def load(self) -> List[BenchRecord]:
+        """Every parseable record, oldest first.
+
+        Malformed lines are skipped and counted in ``skipped_lines``.
+        """
+        self.skipped_lines = 0
+        if not self.path.is_file():
+            return []
+        records: List[BenchRecord] = []
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ObserveError(f"cannot read history {self.path}: "
+                               f"{error}") from error
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(BenchRecord.from_dict(json.loads(line)))
+            except (ValueError, ObserveError):
+                self.skipped_lines += 1
+        return records
+
+    def query(self, bench: Optional[str] = None,
+              run_id: Optional[str] = None,
+              **axes: Any) -> List[BenchRecord]:
+        """Records filtered by bench, run id and exact axis values."""
+        matched = []
+        for record in self.load():
+            if bench is not None and record.bench != bench:
+                continue
+            if run_id is not None and record.run_id != run_id:
+                continue
+            if any(record.axes.get(key) != value
+                   for key, value in axes.items()):
+                continue
+            matched.append(record)
+        return matched
+
+    def run_ids(self) -> List[str]:
+        """Distinct run ids in first-appearance (append) order."""
+        seen: Dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(record.run_id, None)
+        return list(seen)
+
+    def benches(self) -> List[str]:
+        """Distinct bench names, sorted."""
+        return sorted({record.bench for record in self.load()})
+
+    def history_per_axis(
+        self, bench: Optional[str] = None
+    ) -> Dict[Tuple[str, str], List[BenchRecord]]:
+        """Records grouped by (bench, axis key), oldest first per group."""
+        grouped: Dict[Tuple[str, str], List[BenchRecord]] = {}
+        for record in self.load():
+            if bench is not None and record.bench != bench:
+                continue
+            grouped.setdefault((record.bench, record.axis_key), []).append(record)
+        return grouped
+
+    def latest_per_axis(
+        self, bench: Optional[str] = None
+    ) -> Dict[Tuple[str, str], BenchRecord]:
+        """The newest record of every (bench, axis key) group."""
+        return {
+            key: history[-1]
+            for key, history in self.history_per_axis(bench).items()
+        }
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, keep_last: int = DEFAULT_KEEP_LAST) -> int:
+        """Keep the newest ``keep_last`` records per (bench, axis).
+
+        The file is rewritten through a temp file + ``os.replace`` so a
+        reader never observes a half-written history.  Returns the
+        number of records dropped.
+        """
+        if keep_last < 1:
+            raise ObserveError(f"keep_last must be >= 1, got {keep_last}")
+        records = self.load()
+        if not records:
+            return 0
+        budgets: Dict[Tuple[str, str], int] = {}
+        for record in records:
+            key = (record.bench, record.axis_key)
+            budgets[key] = budgets.get(key, 0) + 1
+        kept: List[BenchRecord] = []
+        for record in records:
+            key = (record.bench, record.axis_key)
+            if budgets[key] <= keep_last:
+                kept.append(record)
+            else:
+                budgets[key] -= 1
+        dropped = len(records) - len(kept)
+        if dropped == 0 and self.skipped_lines == 0:
+            return 0
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=str(self.root), prefix="history-", suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                for record in kept:
+                    handle.write(_serialise(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, str(self.path))
+        except OSError as error:
+            os.unlink(handle.name)
+            raise ObserveError(f"compaction of {self.path} failed: "
+                               f"{error}") from error
+        return dropped

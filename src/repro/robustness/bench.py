@@ -133,6 +133,22 @@ class RobustnessReport:
             return 0.0
         return min(self.psnr_deltas)
 
+    def to_record_fields(self) -> Dict[str, Dict[str, object]]:
+        """The axes/metrics split :mod:`repro.observe.record` persists."""
+        return {
+            "axes": {"codec": self.codec, "conceal": self.conceal},
+            "metrics": {
+                "trials": float(self.trials),
+                "graceful_rate": self.graceful_rate,
+                "conceal_rate": self.conceal_rate,
+                "benign": float(self.benign),
+                "raw_escapes": float(self.raw_escapes),
+                "concealed_pictures": float(self.concealed_pictures),
+                "mean_psnr_delta_db": self.mean_psnr_delta,
+                "worst_psnr_delta_db": self.worst_psnr_delta,
+            },
+        }
+
 
 ProgressCallback = Callable[[str], None]
 

@@ -37,6 +37,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsSnapshot,
     registry,
     reset_registry,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "NOOP_SPAN",
     "Span",
     "SpanRecord",

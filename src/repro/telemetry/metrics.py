@@ -27,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "registry",
     "reset_registry",
 ]
@@ -122,6 +123,47 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, quantile: float) -> float:
+        """Estimate the ``quantile`` (0..1) from the bucket counts.
+
+        Linear interpolation inside the bucket that contains the target
+        rank; the first bucket interpolates up from 0 and the overflow
+        bucket (values above every bound) reports the last finite bound —
+        the tightest claim the fixed buckets can support.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if not total:
+            return 0.0
+        target = quantile * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= target and count:
+                if index >= len(self.buckets):
+                    return float(self.buckets[-1])
+                low = float(self.buckets[index - 1]) if index else 0.0
+                high = float(self.buckets[index])
+                fraction = (target - previous) / count
+                return low + (high - low) * min(1.0, max(0.0, fraction))
+        return float(self.buckets[-1])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
@@ -145,6 +187,47 @@ class Histogram:
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsSnapshot(dict):
+    """A registry snapshot: a picklable dict with an explicit round-trip.
+
+    Behaves exactly like the plain dict :meth:`MetricsRegistry.snapshot`
+    has always returned (``{"schema": ..., "metrics": {...}}``) so
+    existing merge/pickle call sites keep working, and adds the public
+    :meth:`to_dict` / :meth:`from_dict` pair that persistence layers
+    (:mod:`repro.observe`) use instead of reaching into instrument state.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A deep plain-dict copy, safe to mutate or serialise."""
+        return {
+            "schema": self.get("schema", METRICS_SCHEMA),
+            "metrics": {name: dict(data)
+                        for name, data in self.get("metrics", {}).items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        """Validate and adopt a previously serialised snapshot dict."""
+        schema = data.get("schema")
+        if schema != METRICS_SCHEMA:
+            raise ValueError(
+                f"not a metrics snapshot: schema {schema!r} "
+                f"(expected {METRICS_SCHEMA!r})"
+            )
+        metrics = data.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("metrics snapshot has no 'metrics' mapping")
+        for name, entry in metrics.items():
+            if not isinstance(entry, dict) or entry.get("kind") not in _KINDS:
+                raise ValueError(
+                    f"snapshot metric {name!r} has unknown kind "
+                    f"{entry.get('kind') if isinstance(entry, dict) else entry!r}"
+                )
+        return cls({"schema": METRICS_SCHEMA,
+                    "metrics": {name: dict(entry)
+                                for name, entry in metrics.items()}})
 
 
 class MetricsRegistry:
@@ -201,15 +284,23 @@ class MetricsRegistry:
     # snapshot / merge
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
-        """A plain picklable dict of every instrument's state."""
+    def snapshot(self) -> "MetricsSnapshot":
+        """A picklable :class:`MetricsSnapshot` of every instrument's state."""
         with self._lock:
             instruments = dict(self._instruments)
-        return {
+        return MetricsSnapshot({
             "schema": METRICS_SCHEMA,
             "metrics": {name: instrument.to_dict()
                         for name, instrument in instruments.items()},
-        }
+        })
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot dict (the round-trip twin
+        of ``registry.snapshot().to_dict()``)."""
+        built = cls()
+        built.merge(MetricsSnapshot.from_dict(data))
+        return built
 
     def merge(self, other: Union["MetricsRegistry", Dict[str, Any]]) -> None:
         """Fold ``other`` (a registry or a snapshot dict) into this one.

@@ -22,7 +22,7 @@ delta.  Exposed through ``hdvb-bench streaming`` and gated by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro.codecs import get_decoder, get_encoder
 from repro.codecs.base import EncodedVideo
@@ -92,6 +92,30 @@ class StreamingReport:
     @property
     def worst_psnr_delta(self) -> float:
         return min(self.psnr_deltas) if self.psnr_deltas else 0.0
+
+    def to_record_fields(self) -> Dict[str, Dict[str, Any]]:
+        """The axes/metrics split :mod:`repro.observe.record` persists."""
+        return {
+            "axes": {
+                "codec": self.codec,
+                "loss": self.loss_rate,
+                "burst": self.burst_length,
+                "fec": self.fec_group,
+            },
+            "metrics": {
+                "trials": float(self.trials),
+                "graceful_rate": self.graceful_rate,
+                "complete_rate": self.complete_rate,
+                "fec_recovery_rate": self.fec_recovery_rate,
+                "packets_sent": float(self.packets_sent),
+                "packets_lost": float(self.packets_lost),
+                "fec_recovered": float(self.fec_recovered),
+                "late_dropped": float(self.late_dropped),
+                "concealed_pictures": float(self.concealed_pictures),
+                "mean_psnr_delta_db": self.mean_psnr_delta,
+                "worst_psnr_delta_db": self.worst_psnr_delta,
+            },
+        }
 
 
 def run_streaming(

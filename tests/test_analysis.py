@@ -51,7 +51,7 @@ class TestEngineBasics:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         assert {"HDVB101", "HDVB102", "HDVB110", "HDVB111", "HDVB120",
-                "HDVB130", "HDVB140", "HDVB150"} <= set(ids)
+                "HDVB130", "HDVB140", "HDVB150", "HDVB160"} <= set(ids)
         for rule in all_rules():
             assert rule.name and rule.rationale, rule.rule_id
 
@@ -442,6 +442,82 @@ class TestSpanContextRule:
         assert result.clean
 
 
+class TestResultSinkRule:
+    def test_json_dump_in_bench_module_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            import json
+
+            def save(rows, path):
+                with open(path) as handle:
+                    json.dump(rows, handle)
+        """})
+        assert rule_ids(result) == ["HDVB160"]
+
+    def test_json_dump_from_import_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"robustness/bench.py": """
+            from json import dump
+
+            def save(rows, handle):
+                dump(rows, handle)
+        """})
+        assert rule_ids(result) == ["HDVB160"]
+
+    def test_open_for_writing_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/bench.py": """
+            def save(text, path):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+        """})
+        assert rule_ids(result) == ["HDVB160"]
+
+    def test_append_mode_keyword_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            def save(text, path):
+                with open(path, mode="a") as handle:
+                    handle.write(text)
+        """})
+        assert rule_ids(result) == ["HDVB160"]
+
+    def test_clean_twin_uses_the_store(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            import json
+
+            from repro.observe.store import HistoryStore
+
+            def save(records, document):
+                HistoryStore().append_many(records)
+                return json.dumps(document)
+
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+
+            def load_binary(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+        """})
+        assert result.clean
+
+    def test_outside_bench_scope_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"codecs/dump.py": """
+            import json
+
+            def save(rows, path):
+                with open(path, "w") as handle:
+                    json.dump(rows, handle)
+        """})
+        assert result.clean
+
+    def test_inline_suppression(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/sweep.py": """
+            def save(text, path):
+                with open(path, "w") as handle:  # hdvb: disable=HDVB160
+                    handle.write(text)
+        """})
+        assert result.clean
+        assert result.suppressed == 1
+
+
 class TestSuppressionsAndBaseline:
     def test_inline_pragma_parsing(self):
         assert suppressed_ids("x = 1  # hdvb: disable=HDVB101") == {"HDVB101"}
@@ -573,7 +649,7 @@ class TestCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("HDVB101", "HDVB110", "HDVB120", "HDVB130",
-                        "HDVB140", "HDVB150"):
+                        "HDVB140", "HDVB150", "HDVB160"):
             assert rule_id in out
 
     def test_write_baseline_round_trip(self, tmp_path, capsys):
