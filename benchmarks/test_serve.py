@@ -1,0 +1,61 @@
+"""Origin serve benchmark: 200 seeded clients through one origin, gated.
+
+The acceptance bar for the multi-client streaming origin:
+
+* **≥ 200 concurrent seeded clients** served end-to-end (packetize →
+  per-client Gilbert–Elliott channel → FEC → jitter → hardened decode)
+  on the virtual-time loop;
+* **zero unhandled task exceptions** — every failure crosses a task
+  boundary as a taxonomy error or a clean chaos cancellation;
+* **100 % graceful failures** — sheds, aborts, admission rejects and
+  chaos cancellations all carry session context;
+* **bit-reproducible** — the same seed yields the identical per-session
+  fingerprint, shed/degrade counts included.
+"""
+
+from __future__ import annotations
+
+from repro.origin.bench import render_serve, run_serve
+
+CLIENTS = 200
+SEED = 7
+CHAOS_RATE = 0.3
+SLOW_READER_RATE = 0.3
+
+
+def test_serve_200_clients_gates(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_serve(clients=CLIENTS, seeds=(SEED,),
+                          chaos_rate=CHAOS_RATE,
+                          slow_reader_rate=SLOW_READER_RATE),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(render_serve(reports))
+
+    report = reports[0]
+    assert report.sessions == CLIENTS
+    # the hard gate: nothing escapes raw, and every failure fails well
+    assert report.unhandled_escapes == 0, report.unhandled
+    assert report.graceful_rate == 1.0, report
+    # the population is chaotic by construction: the degradation and
+    # supervision machinery must actually have been exercised
+    assert report.degrade_entries > 0
+    assert report.cancelled > 0
+    assert report.frames_delivered > 0
+    # single-flight: one codec on one starting rung encodes a handful of
+    # assets (start rung + degrade rungs), never once per client
+    assert report.encodes <= 6
+    assert report.cache_hits + report.cache_flight_waits >= CLIENTS - report.encodes - report.rejected
+
+
+def test_serve_is_bit_reproducible():
+    first = run_serve(clients=CLIENTS, seeds=(SEED,), chaos_rate=CHAOS_RATE,
+                      slow_reader_rate=SLOW_READER_RATE)[0]
+    second = run_serve(clients=CLIENTS, seeds=(SEED,), chaos_rate=CHAOS_RATE,
+                       slow_reader_rate=SLOW_READER_RATE)[0]
+    assert first.fingerprint == second.fingerprint
+    assert first.deadline_misses == second.deadline_misses
+    assert first.degrade_entries == second.degrade_entries
+    assert (first.shed, first.cancelled, first.rejected) == (
+        second.shed, second.cancelled, second.rejected)

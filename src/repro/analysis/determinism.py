@@ -9,7 +9,9 @@ the sweep still runs, the numbers just stop being comparable between
 machines and reruns.  These rules pin the invariant down statically.
 
 Scope: ``codecs/``, ``me/``, ``transform/``, ``robustness/``,
-``transport/``.  The telemetry package is deliberately out of scope —
+``transport/``, ``origin/`` (the virtual-time origin is gated on
+bit-reproducible serve fingerprints).  The telemetry package is
+deliberately out of scope —
 timing spans *must* read the clock — as are the benchmark CLIs outside
 these directories (``perf_counter`` for measurement is always allowed;
 only calendar time is flagged).
@@ -25,7 +27,7 @@ from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, regist
 
 #: Directories whose results must be reproducible from a seed alone.
 DETERMINISM_SCOPE: Tuple[str, ...] = (
-    "codecs/", "me/", "transform/", "robustness/", "transport/",
+    "codecs/", "me/", "transform/", "robustness/", "transport/", "origin/",
 )
 
 #: ``random`` module-state functions (instance methods on the shared

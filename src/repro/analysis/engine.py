@@ -28,6 +28,7 @@ from repro.analysis import (  # noqa: F401 -- rule registration
     picklesafety,
     seams,
     spans,
+    supervision,
     taxonomy,
 )
 from repro.analysis.baseline import Baseline, BaselineEntry, empty_baseline

@@ -1,0 +1,93 @@
+"""Task-supervision rule: the origin never spawns an unowned task.
+
+A bare ``asyncio.create_task`` (or ``ensure_future`` / a direct
+``loop.create_task``) produces a task nobody is obliged to await: its
+exception surfaces — if ever — as an "exception was never retrieved"
+log line at garbage-collection time, and teardown cannot prove it was
+reaped.  The origin's acceptance gate requires **zero unhandled task
+exceptions**, which is only checkable if every task has an owner.
+HDVB170 therefore restricts task creation inside ``repro.origin`` to
+:meth:`repro.origin.supervise.Supervisor.spawn`, the one place whose
+done-callback routes every outcome into the supervisor's ``failed`` /
+``unhandled`` ledgers::
+
+    task = supervisor.spawn(self._reader(queue), "c0001.reader")   # ok
+    task = asyncio.create_task(self._reader(queue))                # HDVB170
+
+``origin/supervise.py`` itself is the sanctioned call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, register
+
+#: Modules whose tasks must be supervisor-owned.
+SUPERVISION_SCOPE: Tuple[str, ...] = ("origin/",)
+
+#: The one module allowed to call the raw task factories.
+SANCTIONED_MODULES: Tuple[str, ...] = ("origin/supervise.py",)
+
+#: Fully qualified task factories (resolved through import aliases).
+TASK_FACTORIES = frozenset({
+    "asyncio.create_task",
+    "asyncio.ensure_future",
+    "asyncio.tasks.create_task",
+    "asyncio.tasks.ensure_future",
+})
+
+#: Method names that create tasks on an event loop object.
+TASK_METHODS = frozenset({"create_task", "ensure_future"})
+
+
+@register
+class SupervisedTaskRule(Rule):
+    """HDVB170: origin tasks are created only through Supervisor.spawn."""
+
+    rule_id = "HDVB170"
+    name = "supervised-tasks"
+    rationale = (
+        "a task created outside Supervisor.spawn has no owner: its "
+        "exception can go unobserved and teardown cannot prove it was "
+        "reaped, breaking the origin's zero-unhandled-escapes gate"
+    )
+    hint = "spawn through the session's Supervisor: `supervisor.spawn(coro, name)`"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None:
+            return
+        if not in_scope(unit.module, SUPERVISION_SCOPE):
+            return
+        if unit.module in SANCTIONED_MODULES:
+            return
+        imported = unit.imported_names()
+        aliases = unit.module_aliases()
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = imported.get(dotted, dotted)
+            if "." in dotted:
+                base, rest = dotted.split(".", 1)
+                origin = aliases.get(base)
+                if origin is not None:
+                    resolved = f"{origin}.{rest}"
+            if resolved in TASK_FACTORIES:
+                yield self.finding(
+                    unit, node,
+                    f"bare task factory `{dotted}(...)` in the origin: the "
+                    "task has no supervising owner",
+                )
+            elif ("." in dotted
+                  and dotted.rsplit(".", 1)[1] in TASK_METHODS
+                  and resolved not in TASK_FACTORIES):
+                yield self.finding(
+                    unit, node,
+                    f"`{dotted}(...)` creates a task directly on the loop; "
+                    "origin tasks must go through Supervisor.spawn",
+                )

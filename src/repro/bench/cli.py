@@ -8,6 +8,8 @@
                            [--trace out.json]   # telemetry stage breakdown
     hdvb-bench streaming [--loss 0.02,0.05] [--burst 1,3] [--fec 0,4]
                                              # lossy-transport sweep
+    hdvb-bench serve [--clients 200 --seeds 0,1 --chaos 0.3]
+                                             # multi-client origin serve
 
 Observability: every subcommand takes ``--json`` (emit the results as a
 machine-readable ``repro.observe.records/1`` document instead of the
@@ -220,6 +222,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     st.add_argument("--conceal", default="copy-last",
                     help="concealment strategy at the receiver")
 
+    sv = sub.add_parser("serve",
+                        help="multi-client streaming origin under seeded "
+                             "traffic and chaos: sessions/s, deadline-miss "
+                             "p99, degrade/shed counts, graceful rate")
+    _add_observe_arguments(sv)
+    sv.add_argument("--clients", type=int, default=16,
+                    help="clients in the generated population")
+    sv.add_argument("--seeds", default="0",
+                    help="comma-separated traffic seeds (one serve run each)")
+    sv.add_argument("--codecs", default="h264",
+                    help="comma-separated codecs across the population")
+    sv.add_argument("--frames", type=int, default=16,
+                    help="frames per session (bench clip length)")
+    sv.add_argument("--max-sessions", type=int, default=0,
+                    dest="max_sessions",
+                    help="bounded session table (default: clients, "
+                         "i.e. the door never sheds)")
+    sv.add_argument("--chaos", type=float, default=0.25,
+                    help="fraction of clients with chaos schedules")
+    sv.add_argument("--slow-readers", type=float, default=0.2,
+                    dest="slow_readers",
+                    help="fraction of clients reading slower than realtime")
+    sv.add_argument("--max-loss", type=float, default=0.10, dest="max_loss",
+                    help="upper bound of per-client packet loss rates")
+    sv.add_argument("--ramp", type=float, default=2.0,
+                    help="arrival ramp window in virtual seconds")
+
     bd = sub.add_parser("bdrate",
                         help="Bjøntegaard deltas vs the MPEG-2 anchor "
                              "(quantiser sweep RD curves)")
@@ -356,6 +385,32 @@ def _dispatch(args) -> int:
         )
         _emit(args, render_streaming(reports),
               records_from_streaming(reports, info), info)
+    elif args.command == "serve":
+        from repro.observe.record import records_from_serve
+        from repro.origin.bench import render_serve, run_serve
+
+        seeds = tuple(int(value) for value in args.seeds.split(","))
+        info = _run_info(args)
+        info = RunInfo(run_id=info.run_id, created=info.created,
+                       git_sha=info.git_sha,
+                       context={"clients": args.clients,
+                                "seeds": args.seeds,
+                                "frames": args.frames,
+                                "chaos": args.chaos})
+        reports = run_serve(
+            clients=args.clients,
+            seeds=seeds,
+            codecs=tuple(args.codecs.split(",")),
+            frames=args.frames,
+            max_sessions=args.max_sessions or None,
+            chaos_rate=args.chaos,
+            slow_reader_rate=args.slow_readers,
+            max_loss=args.max_loss,
+            ramp_seconds=args.ramp,
+            progress=_progress,
+        )
+        _emit(args, render_serve(reports),
+              records_from_serve(reports, info), info)
     elif args.command == "performance":
         _run_performance_command(args)
     elif args.command == "characterize":

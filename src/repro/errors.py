@@ -20,7 +20,13 @@ Hierarchy::
     +-- ConfigError             invalid encoder/decoder/benchmark configuration
     +-- SequenceError           an input sequence cannot be generated/loaded
     +-- ObserveError            malformed benchmark record or history store
-                                (:mod:`repro.observe`)
+    |                           (:mod:`repro.observe`)
+    +-- OriginError             the streaming origin (:mod:`repro.origin`)
+        |                       failed a session operation; carries
+        |                       ``session_id`` and supervisor ``state``
+        +-- SessionAborted      a session was terminated by the supervisor
+                                (failure budget exhausted, shed under load,
+                                cancelled mid-stream)
 
 Errors raised while decoding untrusted payloads are normalised by
 :func:`repro.robustness.guard.normalize_decode_error` so that every escape
@@ -52,8 +58,11 @@ class ReproError(Exception):
     path.  ``packet_seq`` extends the taxonomy to the transport layer
     (:mod:`repro.transport`): when a picture was damaged by packet loss,
     it names the first lost transport sequence number, so bitstream faults
-    and network losses report through one error shape.  ``str(error)``
-    appends the context when present, so existing
+    and network losses report through one error shape.  ``session_id``
+    extends it once more to the streaming origin (:mod:`repro.origin`):
+    a failure inside a multi-client serve names the session it belongs
+    to, so one sick client is attributable among thousands.
+    ``str(error)`` appends the context when present, so existing
     ``pytest.raises(..., match=...)`` patterns keep matching the message
     prefix.
     """
@@ -67,6 +76,7 @@ class ReproError(Exception):
         frame_type: Any = None,
         bit_position: Optional[int] = None,
         packet_seq: Optional[int] = None,
+        session_id: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.message = message
@@ -75,6 +85,7 @@ class ReproError(Exception):
         self.frame_type = frame_type
         self.bit_position = bit_position
         self.packet_seq = packet_seq
+        self.session_id = session_id
 
     @property
     def context(self) -> Dict[str, Any]:
@@ -85,6 +96,7 @@ class ReproError(Exception):
             "frame_type": self.frame_type,
             "bit_position": self.bit_position,
             "packet_seq": self.packet_seq,
+            "session_id": self.session_id,
         }
 
     def has_decode_context(self) -> bool:
@@ -107,6 +119,8 @@ class ReproError(Exception):
             parts.append(f"bit={self.bit_position}")
         if self.packet_seq is not None:
             parts.append(f"packet={self.packet_seq}")
+        if self.session_id is not None:
+            parts.append(f"session={self.session_id}")
         if parts:
             return f"{self.message} [{', '.join(parts)}]"
         return self.message
@@ -145,6 +159,41 @@ class SequenceError(ReproError):
 class ObserveError(ReproError):
     """Raised by the benchmark-observability layer (:mod:`repro.observe`)
     on malformed records, unreadable history stores or invalid queries."""
+
+
+class OriginError(ReproError):
+    """Raised by the streaming origin (:mod:`repro.origin`).
+
+    Adds the supervisor ``state`` the session was in when the failure
+    happened; together with ``session_id`` (on the base class) every
+    origin failure is attributable to one client at one point of its
+    lifecycle.
+    """
+
+    def __init__(self, message: str = "", *, state: Optional[str] = None,
+                 **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.state = state
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        data = dict(super().context)
+        data["state"] = self.state
+        return data
+
+    def __str__(self) -> str:
+        rendered = super().__str__()
+        if self.state is None:
+            return rendered
+        if rendered.endswith("]"):
+            return f"{rendered[:-1]}, state={self.state}]"
+        return f"{rendered} [state={self.state}]"
+
+
+class SessionAborted(OriginError):
+    """Raised when the supervisor terminates a session instead of
+    retrying forever: failure budget exhausted, shed by the degradation
+    ladder's last step, or cancelled mid-stream."""
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,7 @@ DOCUMENT_SCHEMA = "repro.observe.records/1"
 
 #: The bench harnesses that feed the store.
 KNOWN_BENCHES = (
-    "performance", "ratedistortion", "robustness", "streaming",
+    "performance", "ratedistortion", "robustness", "streaming", "serve",
     "speedups", "bdrate", "characterize",
     "table1", "table2", "table3", "table4",
 )
@@ -325,6 +325,17 @@ def records_from_streaming(reports: Sequence[Any],
     """One record per :class:`~repro.transport.bench.StreamingReport`."""
     return [
         _build(info, "streaming", **report.to_record_fields())
+        for report in reports
+    ]
+
+
+def records_from_serve(reports: Sequence[Any],
+                       info: RunInfo) -> List[BenchRecord]:
+    """One record per :class:`~repro.origin.bench.ServeReport` (the
+    telemetry attachment carries the deadline-lateness and queue-depth
+    histograms into the OpenMetrics exporter)."""
+    return [
+        _build(info, "serve", **report.to_record_fields())
         for report in reports
     ]
 

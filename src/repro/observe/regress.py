@@ -90,6 +90,19 @@ DEFAULT_POLICIES: Tuple[MetricPolicy, ...] = (
     MetricPolicy("fec_recovery_rate", "OBS204", "higher", 0.02, relative=False),
     MetricPolicy("mean_psnr_delta_db", "OBS205", "higher", 0.1, relative=False,
                  unit="dB"),
+    # OBS206: the streaming-origin serve gate.  Rates are absolute
+    # fractions; throughput and tail latency are relative to the rolling
+    # median.  ``unhandled_escapes`` has zero tolerance — one task
+    # escaping raw is a regression by definition.
+    MetricPolicy("deadline_miss_rate", "OBS206", "lower", 0.02,
+                 relative=False),
+    MetricPolicy("p99_miss_seconds", "OBS206", "lower", 0.25, relative=True,
+                 unit="s"),
+    MetricPolicy("shed_rate", "OBS206", "lower", 0.02, relative=False),
+    MetricPolicy("sessions_per_second", "OBS206", "higher", 0.10,
+                 relative=True),
+    MetricPolicy("unhandled_escapes", "OBS206", "lower", 0.0,
+                 relative=False),
 )
 
 

@@ -1,0 +1,63 @@
+"""The multi-client asyncio streaming origin (PR 6).
+
+A robustness-first origin server: many concurrent
+:class:`~repro.origin.session.StreamSessionRunner` sessions — each a
+full packetize → seeded lossy channel → FEC → jitter → hardened-decode
+pipeline from the existing transport layer — under admission control, a
+per-session supervisor state machine, a shared single-flight segment
+cache, and a chaos-driven degradation ladder.  Everything runs on a
+virtual-time event loop (:mod:`repro.origin.clock`), so a serve run is a
+bit-reproducible function of its seed.
+
+Layout:
+
+======================  ================================================
+:mod:`~repro.origin.clock`      virtual-time event loop (determinism)
+:mod:`~repro.origin.supervise`  task ownership; no unobserved failures
+:mod:`~repro.origin.cache`      single-flight encoded-segment cache
+:mod:`~repro.origin.session`    the per-session state machine + ladder
+:mod:`~repro.origin.admission`  bounded session table (door shedding)
+:mod:`~repro.origin.traffic`    seeded client populations + chaos plans
+:mod:`~repro.origin.server`     the origin itself
+:mod:`~repro.origin.bench`      ``hdvb-bench serve``
+======================  ================================================
+"""
+
+from repro.origin.admission import AdmissionController
+from repro.origin.cache import SegmentCache, SegmentKey
+from repro.origin.clock import VirtualTimeLoop, run
+from repro.origin.server import Origin, OriginConfig, OriginReport, serve
+from repro.origin.session import (
+    DEFAULT_RUNGS,
+    ClientProfile,
+    Rung,
+    SessionConfig,
+    SessionResult,
+    SessionState,
+    StreamSessionRunner,
+)
+from repro.origin.supervise import Supervisor, TaskFailure
+from repro.origin.traffic import TrafficConfig, generate_profiles
+
+__all__ = [
+    "AdmissionController",
+    "ClientProfile",
+    "DEFAULT_RUNGS",
+    "Origin",
+    "OriginConfig",
+    "OriginReport",
+    "Rung",
+    "SegmentCache",
+    "SegmentKey",
+    "SessionConfig",
+    "SessionResult",
+    "SessionState",
+    "StreamSessionRunner",
+    "Supervisor",
+    "TaskFailure",
+    "TrafficConfig",
+    "VirtualTimeLoop",
+    "generate_profiles",
+    "run",
+    "serve",
+]

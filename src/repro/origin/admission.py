@@ -1,0 +1,49 @@
+"""Admission control: the bounded session table.
+
+The first line of load shedding is the front door.  The origin admits at
+most ``max_sessions`` concurrent clients; an arrival beyond that is
+rejected immediately — a cheap, graceful refusal — instead of admitted
+into a system that would then miss deadlines for everyone.  The table
+also keeps the high-water mark, which the serve report exposes so a
+sweep can show how close a configuration ran to its ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import ConfigError
+
+
+class AdmissionController:
+    """Bounded set of live session ids with shed accounting."""
+
+    def __init__(self, max_sessions: int) -> None:
+        if max_sessions < 1:
+            raise ConfigError(
+                f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self._active: Set[str] = set()
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.peak = 0
+
+    @property
+    def active(self) -> int:
+        return len(self._active)
+
+    def try_admit(self, session_id: str) -> bool:
+        """Admit ``session_id`` if the table has room; False = shed."""
+        if session_id in self._active:
+            raise ConfigError(f"session {session_id!r} admitted twice")
+        if len(self._active) >= self.max_sessions:
+            self.rejected_total += 1
+            return False
+        self._active.add(session_id)
+        self.admitted_total += 1
+        self.peak = max(self.peak, len(self._active))
+        return True
+
+    def release(self, session_id: str) -> None:
+        """Free the slot (idempotent: releasing twice is harmless)."""
+        self._active.discard(session_id)

@@ -1,0 +1,193 @@
+"""The serve benchmark: an origin under a seeded client population.
+
+``hdvb-bench serve`` runs one :class:`~repro.origin.server.Origin` per
+seed over a generated traffic mix and reports the numbers the
+robustness gate cares about: sessions per (virtual) second, deadline
+miss rate and p99/p999 overshoot, degrade/shed counts, graceful-failure
+rate, and the count of unhandled task escapes — which must be zero.
+Every run is a pure function of its seed (the virtual-time loop removes
+the host scheduler from the picture), so the report carries a
+``fingerprint`` that two same-seed runs must reproduce bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.origin.server import Origin, OriginConfig, OriginReport, serve
+from repro.origin.session import SessionConfig
+from repro.origin.traffic import TrafficConfig, generate_profiles
+
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass
+class ServeReport:
+    """One serve run's outcome, flattened for the observe store."""
+
+    clients: int
+    seed: int
+    codecs: Tuple[str, ...]
+    max_sessions: int
+    sessions: int = 0
+    rejected: int = 0
+    completed: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    aborted: int = 0
+    degrade_entries: int = 0
+    frames_delivered: int = 0
+    deadline_misses: int = 0
+    deadline_miss_rate: float = 0.0
+    p99_miss_seconds: float = 0.0
+    graceful_rate: float = 1.0
+    unhandled_escapes: int = 0
+    encodes: int = 0
+    cache_hits: int = 0
+    cache_flight_waits: int = 0
+    peak_sessions: int = 0
+    virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    fingerprint: str = ""
+    unhandled: List[str] = field(default_factory=list)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Completed sessions per virtual second of serving."""
+        if self.virtual_seconds <= 0:
+            return 0.0
+        return self.sessions / self.virtual_seconds
+
+    @property
+    def complete_rate(self) -> float:
+        return self.completed / self.sessions if self.sessions else 1.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Mid-stream sheds plus door rejects, over all clients."""
+        total = self.sessions
+        return (self.shed + self.rejected) / total if total else 0.0
+
+    def to_record_fields(self) -> Dict[str, Any]:
+        """The axes/metrics split :mod:`repro.observe.record` persists."""
+        return {
+            "axes": {
+                "clients": self.clients,
+                "seed": self.seed,
+                "codecs": ",".join(self.codecs),
+                "max_sessions": self.max_sessions,
+            },
+            "metrics": {
+                "sessions": float(self.sessions),
+                "sessions_per_second": self.sessions_per_second,
+                "complete_rate": self.complete_rate,
+                "graceful_rate": self.graceful_rate,
+                "deadline_miss_rate": self.deadline_miss_rate,
+                "p99_miss_seconds": self.p99_miss_seconds,
+                "shed_rate": self.shed_rate,
+                "degrade_entries": float(self.degrade_entries),
+                "rejected": float(self.rejected),
+                "cancelled": float(self.cancelled),
+                "unhandled_escapes": float(self.unhandled_escapes),
+                "frames_delivered": float(self.frames_delivered),
+                "encodes": float(self.encodes),
+                "peak_sessions": float(self.peak_sessions),
+            },
+            "telemetry": self.telemetry or None,
+        }
+
+
+def _from_origin(report: OriginReport, clients: int, seed: int,
+                 codecs: Tuple[str, ...], max_sessions: int,
+                 wall_seconds: float) -> ServeReport:
+    return ServeReport(
+        clients=clients, seed=seed, codecs=codecs, max_sessions=max_sessions,
+        sessions=report.sessions, rejected=report.rejected,
+        completed=report.completed, shed=report.shed,
+        cancelled=report.cancelled, aborted=report.aborted,
+        degrade_entries=report.degrade_entries,
+        frames_delivered=report.frames_delivered,
+        deadline_misses=report.deadline_misses,
+        deadline_miss_rate=report.deadline_miss_rate,
+        p99_miss_seconds=report.p99_miss_seconds,
+        graceful_rate=report.graceful_rate,
+        unhandled_escapes=len(report.unhandled),
+        encodes=report.encodes, cache_hits=report.cache_hits,
+        cache_flight_waits=report.cache_flight_waits,
+        peak_sessions=report.peak_sessions,
+        virtual_seconds=report.virtual_seconds,
+        wall_seconds=wall_seconds,
+        fingerprint=report.fingerprint,
+        unhandled=list(report.unhandled),
+        telemetry=dict(report.telemetry),
+    )
+
+
+def run_serve(
+    clients: int = 16,
+    seeds: Sequence[int] = (0,),
+    codecs: Sequence[str] = ("h264",),
+    frames: int = 16,
+    max_sessions: Optional[int] = None,
+    chaos_rate: float = 0.25,
+    slow_reader_rate: float = 0.2,
+    max_loss: float = 0.10,
+    ramp_seconds: float = 2.0,
+    encode_seconds: float = 0.25,
+    session: Optional[SessionConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ServeReport]:
+    """One serve run per seed; reports in seed order."""
+    table = max_sessions if max_sessions is not None else clients
+    reports: List[ServeReport] = []
+    for seed in seeds:
+        if progress:
+            progress(f"serve seed {seed}: {clients} clients, "
+                     f"table {table}")
+        traffic = TrafficConfig(
+            clients=clients, seed=seed, codecs=tuple(codecs), frames=frames,
+            ramp_seconds=ramp_seconds, max_loss=max_loss,
+            chaos_rate=chaos_rate, slow_reader_rate=slow_reader_rate,
+        )
+        config = OriginConfig(
+            max_sessions=table, frames=frames,
+            encode_seconds=encode_seconds,
+            session=session if session is not None else SessionConfig(),
+        )
+        profiles = generate_profiles(traffic)
+        wall_start = time.perf_counter()
+        origin_report = serve(profiles, config)
+        wall = time.perf_counter() - wall_start
+        reports.append(_from_origin(
+            origin_report, clients, seed, tuple(codecs), table, wall))
+    return reports
+
+
+def render_serve(reports: Sequence[ServeReport]) -> str:
+    """Human-readable serve summary, one block per seed."""
+    lines = ["Origin serve (virtual-time, seeded):"]
+    header = (f"  {'seed':>5} {'clients':>7} {'done':>5} {'shed':>5} "
+              f"{'rej':>4} {'cancel':>6} {'degr':>5} {'miss%':>6} "
+              f"{'p99ms':>7} {'graceful':>8} {'s/s':>7} {'wall':>6}")
+    lines.append(header)
+    for r in reports:
+        lines.append(
+            f"  {r.seed:>5} {r.sessions:>7} {r.completed:>5} {r.shed:>5} "
+            f"{r.rejected:>4} {r.cancelled:>6} {r.degrade_entries:>5} "
+            f"{100 * r.deadline_miss_rate:>5.1f}% "
+            f"{1000 * r.p99_miss_seconds:>6.1f} "
+            f"{100 * r.graceful_rate:>7.1f}% "
+            f"{r.sessions_per_second:>7.2f} {r.wall_seconds:>5.1f}s")
+    for r in reports:
+        if r.unhandled:
+            lines.append(f"  seed {r.seed}: UNHANDLED ESCAPES:")
+            lines.extend(f"    {entry}" for entry in r.unhandled[:5])
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Origin", "OriginConfig", "ServeReport", "render_serve", "run_serve",
+]

@@ -1,0 +1,154 @@
+"""The shared encoded-segment cache with single-flight encoding.
+
+Admission storms are the origin's thundering herd: hundreds of clients
+admitted in the same virtual millisecond all want the same (sequence,
+codec, QP, resolution) asset.  Encoding is the most expensive operation
+in the whole system, so each asset must be encoded **exactly once**:
+
+* a cache hit returns the shared :class:`~repro.codecs.base.EncodedVideo`
+  (streams are immutable downstream — packetize never mutates payloads);
+* a miss makes the first caller the *leader*: it installs a future,
+  pays the encode latency (charged in virtual time, so the simulation
+  sees a realistic window in which the herd can pile up), encodes, and
+  resolves the future;
+* every concurrent caller for the same key awaits the leader's future
+  (a single-flight wait, counted separately from plain hits);
+* a failed encode rejects the future for the waiters-of-the-moment but
+  clears the in-flight slot, so the asset can be retried later instead
+  of caching the failure forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.codecs import get_encoder
+from repro.codecs.base import EncodedVideo
+from repro.common.yuv import YuvSequence
+from repro.errors import OriginError
+from repro.robustness.bench import encoder_fields, make_bench_clip
+from repro.telemetry.metrics import registry as telemetry_registry
+from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
+
+#: Virtual seconds one encode costs by default (the window in which a
+#: thundering herd can observe the in-flight future).
+DEFAULT_ENCODE_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class SegmentKey:
+    """Identity of one encoded asset: what DASH calls a representation."""
+
+    sequence: str
+    codec: str
+    qp: int
+    width: int
+    height: int
+
+    def __str__(self) -> str:
+        return (f"{self.sequence}/{self.codec}/qp{self.qp}/"
+                f"{self.width}x{self.height}")
+
+
+EncodeFn = Callable[[SegmentKey], EncodedVideo]
+
+
+def default_encode(key: SegmentKey, frames: int = 5) -> EncodedVideo:
+    """Encode the deterministic bench clip at the key's operating point."""
+    clip: YuvSequence = make_bench_clip(width=key.width, height=key.height,
+                                        frames=frames)
+    fields = encoder_fields(key.codec, key.width, key.height)
+    # The ladder varies quality per rung; override the per-codec default
+    # through whichever knob this codec exposes.
+    for knob in ("qscale", "qp", "quality"):
+        if knob in fields:
+            fields[knob] = key.qp
+            break
+    encoder = get_encoder(key.codec, **fields)
+    return encoder.encode_sequence(clip)
+
+
+class SegmentCache:
+    """Async cache of encoded segments, keyed by :class:`SegmentKey`."""
+
+    def __init__(self, encode: Optional[EncodeFn] = None,
+                 encode_seconds: float = DEFAULT_ENCODE_SECONDS) -> None:
+        self._encode: EncodeFn = encode if encode is not None else default_encode
+        self.encode_seconds = encode_seconds
+        self._entries: Dict[SegmentKey, EncodedVideo] = {}
+        self._inflight: Dict[SegmentKey, "asyncio.Future[EncodedVideo]"] = {}
+        self.hits = 0
+        self.misses = 0            # leader encodes
+        self.flight_waits = 0      # followers that awaited a leader
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def encodes(self) -> int:
+        """Distinct encode operations performed (the single-flight proof)."""
+        return self.misses
+
+    async def get(self, key: SegmentKey) -> EncodedVideo:
+        """The encoded asset for ``key``, encoding at most once."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._count("origin.cache.hits")
+            return cached
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.flight_waits += 1
+            self._count("origin.cache.flight_waits")
+            return await self._await_leader(key, inflight)
+        return await self._encode_as_leader(key)
+
+    async def _encode_as_leader(self, key: SegmentKey) -> EncodedVideo:
+        future: "asyncio.Future[EncodedVideo]" = (
+            asyncio.get_running_loop().create_future())
+        self._inflight[key] = future
+        self.misses += 1
+        self._count("origin.cache.misses")
+        try:
+            with telemetry_span("origin.cache.encode", key=str(key)):
+                if self.encode_seconds > 0:
+                    await asyncio.sleep(self.encode_seconds)
+                stream = self._encode(key)
+        except asyncio.CancelledError:
+            future.cancel()
+            del self._inflight[key]
+            raise
+        except Exception as error:
+            normalised = error if isinstance(error, OriginError) else OriginError(
+                f"segment encode failed for {key}: {error}")
+            future.set_exception(normalised)
+            # Consume the exception even if no follower ever awaits it,
+            # or the loop reports "exception was never retrieved".
+            future.exception()
+            del self._inflight[key]
+            raise normalised from error
+        self._entries[key] = stream
+        future.set_result(stream)
+        del self._inflight[key]
+        return stream
+
+    async def _await_leader(self, key: SegmentKey,
+                            inflight: "asyncio.Future[EncodedVideo]",
+                            ) -> EncodedVideo:
+        # shield: a cancelled follower must not cancel the shared future.
+        try:
+            return await asyncio.shield(inflight)
+        except asyncio.CancelledError:
+            if inflight.cancelled():
+                # The *leader* was cancelled mid-encode: for a follower
+                # that is a transient, retryable origin failure, not its
+                # own cancellation.
+                raise OriginError(
+                    f"segment encode for {key} cancelled mid-flight") from None
+            raise
+
+    def _count(self, name: str) -> None:
+        if telemetry_state.enabled:
+            telemetry_registry().counter(name).inc()

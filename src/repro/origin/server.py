@@ -1,0 +1,272 @@
+"""The multi-client streaming origin.
+
+``Origin.serve`` takes a client population (usually from
+:mod:`repro.origin.traffic`) and runs every session concurrently on a
+virtual-time event loop (:mod:`repro.origin.clock`):
+
+* arrivals are spread across the traffic ramp; the
+  :class:`~repro.origin.admission.AdmissionController` sheds clients
+  beyond the bounded session table at the door;
+* each admitted client gets a
+  :class:`~repro.origin.session.StreamSessionRunner`; every task —
+  session, reader, chaos canceller — is owned by one
+  :class:`~repro.origin.supervise.Supervisor`, so nothing can fail
+  unobserved;
+* one :class:`~repro.origin.cache.SegmentCache` is shared by everyone:
+  a 200-client herd performs exactly ``len(codecs) × rungs-touched``
+  encodes;
+* a local, always-on :class:`~repro.telemetry.metrics.MetricsRegistry`
+  records deadline-lateness and queue-depth histograms plus degrade/shed
+  counters; the snapshot rides on the serve report into the observe
+  store and out through the OpenMetrics exporter.
+
+The report's ``fingerprint`` folds every per-session outcome into one
+string; two runs with the same seed must produce the same fingerprint —
+that is the serve gate's bit-reproducibility check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.origin import clock
+from repro.origin.admission import AdmissionController
+from repro.origin.cache import (
+    DEFAULT_ENCODE_SECONDS,
+    SegmentCache,
+    SegmentKey,
+    default_encode,
+)
+from repro.origin.session import (
+    DEFAULT_RUNGS,
+    ClientProfile,
+    Rung,
+    SessionConfig,
+    SessionResult,
+    SessionState,
+    StreamSessionRunner,
+)
+from repro.origin.supervise import Supervisor
+from repro.telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class OriginConfig:
+    """One origin instance's shape."""
+
+    max_sessions: int = 64
+    frames: int = 16              # bench clip length per asset
+    sequence: str = "bench"
+    encode_seconds: float = DEFAULT_ENCODE_SECONDS
+    rungs: Tuple[Rung, ...] = DEFAULT_RUNGS
+    session: SessionConfig = field(default_factory=SessionConfig)
+
+
+@dataclass
+class OriginReport:
+    """Everything one serve run produced."""
+
+    sessions: int
+    rejected: int
+    results: List[SessionResult]
+    unhandled: List[str]              # raw escapes (gate: must be empty)
+    encodes: int
+    cache_hits: int
+    cache_flight_waits: int
+    peak_sessions: int
+    virtual_seconds: float
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # aggregates
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results
+                   if r.final_state == SessionState.CLOSED.value
+                   and not (r.aborted or r.cancelled))
+
+    @property
+    def shed(self) -> int:
+        """Sessions shed mid-stream by the ladder (door rejects separate)."""
+        return sum(1 for r in self.results if r.shed)
+
+    @property
+    def cancelled(self) -> int:
+        return sum(1 for r in self.results if r.cancelled)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for r in self.results if r.aborted)
+
+    @property
+    def degrade_entries(self) -> int:
+        return sum(r.degrade_entries for r in self.results)
+
+    @property
+    def frames_delivered(self) -> int:
+        return sum(r.frames_delivered for r in self.results)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(r.deadline_misses for r in self.results)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        delivered = self.frames_delivered
+        return self.deadline_misses / delivered if delivered else 0.0
+
+    @property
+    def failures(self) -> int:
+        """Sessions that did not stream to completion."""
+        return sum(1 for r in self.results
+                   if r.aborted or r.cancelled
+                   or r.final_state == "rejected")
+
+    @property
+    def graceful_failures(self) -> int:
+        """Failures that surfaced through the error taxonomy (or were a
+        clean chaos cancellation) rather than escaping raw."""
+        return sum(1 for r in self.results
+                   if (r.aborted or r.cancelled
+                       or r.final_state == "rejected")
+                   and (r.cancelled or r.error is not None))
+
+    @property
+    def graceful_rate(self) -> float:
+        """Fraction of failures that failed *well*; 1.0 when clean."""
+        failures = self.failures
+        if failures == 0:
+            return 1.0 if not self.unhandled else 0.0
+        graceful = self.graceful_failures if not self.unhandled else 0
+        return graceful / failures
+
+    @property
+    def p99_miss_seconds(self) -> float:
+        lateness = self.telemetry.get("metrics", {}).get(
+            "origin.deadline.lateness")
+        if not lateness:
+            return 0.0
+        return float(lateness.get("p99", 0.0))
+
+    @property
+    def fingerprint(self) -> str:
+        """One string folding every outcome: equal seeds ⇒ equal strings."""
+        parts = []
+        for r in sorted(self.results, key=lambda item: item.session_id):
+            parts.append(
+                f"{r.session_id}:{r.final_state}:{r.frames_sent}"
+                f":{r.frames_delivered}:{r.deadline_misses}"
+                f":{len(r.degrade_steps)}:{int(r.shed)}:{int(r.cancelled)}"
+                f":{r.retries}:{r.epochs}")
+        return "|".join(parts)
+
+    def __str__(self) -> str:
+        return (
+            f"origin: {self.sessions} sessions ({self.rejected} rejected at "
+            f"admission, peak {self.peak_sessions}), {self.completed} "
+            f"completed, {self.shed} shed, {self.cancelled} cancelled, "
+            f"{self.degrade_entries} degrade entries; "
+            f"{self.frames_delivered} frames delivered, "
+            f"{self.deadline_misses} deadline misses "
+            f"({self.deadline_miss_rate:.1%}), {self.encodes} encodes for "
+            f"{self.cache_hits} hits; graceful rate {self.graceful_rate:.1%}"
+        )
+
+
+class Origin:
+    """One origin instance: shared cache, supervisor, admission table."""
+
+    def __init__(self, config: Optional[OriginConfig] = None) -> None:
+        self.config = config if config is not None else OriginConfig()
+        if self.config.frames < 2:
+            raise ConfigError(
+                f"frames must be >= 2, got {self.config.frames}")
+        frames = self.config.frames
+
+        def encode(key: SegmentKey):
+            return default_encode(key, frames=frames)
+
+        self.cache = SegmentCache(
+            encode=encode, encode_seconds=self.config.encode_seconds)
+        self.supervisor = Supervisor()
+        self.admission = AdmissionController(self.config.max_sessions)
+        self.metrics = MetricsRegistry()
+        self.results: List[SessionResult] = []
+
+    # ------------------------------------------------------------------
+
+    async def serve_async(self, profiles: Sequence[ClientProfile],
+                          ) -> OriginReport:
+        """Serve every profile to completion on the running loop."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        for profile in profiles:
+            self.supervisor.spawn(
+                self._client(profile), f"{profile.session_id}.lifecycle")
+        await self.supervisor.drain()
+        virtual = loop.time() - started
+        self.metrics.gauge("origin.sessions.peak").set(self.admission.peak)
+        self.metrics.counter("origin.sessions.rejected").inc(
+            self.admission.rejected_total)
+        return self._report(virtual)
+
+    async def _client(self, profile: ClientProfile) -> None:
+        if profile.arrival_offset > 0:
+            await asyncio.sleep(profile.arrival_offset)
+        if not self.admission.try_admit(profile.session_id):
+            result = SessionResult(session_id=profile.session_id)
+            result.final_state = "rejected"
+            result.error = (
+                f"admission rejected: table full "
+                f"({self.admission.max_sessions} sessions)")
+            self.results.append(result)
+            return
+        runner = StreamSessionRunner(
+            profile, self.config.session, self.cache, self.supervisor,
+            sequence=self.config.sequence, rungs=self.config.rungs,
+            metrics=self.metrics,
+        )
+        task = self.supervisor.spawn(runner.run(), profile.session_id)
+        if profile.cancel_after is not None:
+            self.supervisor.spawn(
+                _cancel_later(task, profile.cancel_after),
+                f"{profile.session_id}.chaos-cancel")
+        try:
+            await asyncio.wait({task})
+        finally:
+            self.admission.release(profile.session_id)
+        self.results.append(runner.result)
+
+    def _report(self, virtual: float) -> OriginReport:
+        # Make sure the lateness histogram exists even for miss-free runs,
+        # so report percentiles and the exporter see a stable shape.
+        self.metrics.histogram("origin.deadline.lateness", LATENCY_BUCKETS)
+        return OriginReport(
+            sessions=len(self.results),
+            rejected=self.admission.rejected_total,
+            results=list(self.results),
+            unhandled=[str(failure) for failure in self.supervisor.unhandled],
+            encodes=self.cache.encodes,
+            cache_hits=self.cache.hits,
+            cache_flight_waits=self.cache.flight_waits,
+            peak_sessions=self.admission.peak,
+            virtual_seconds=virtual,
+            telemetry=self.metrics.snapshot().to_dict(),
+        )
+
+
+async def _cancel_later(task: "asyncio.Task[Any]", delay: float) -> None:
+    await asyncio.sleep(delay)
+    if not task.done():
+        task.cancel()
+
+
+def serve(profiles: Sequence[ClientProfile],
+          config: Optional[OriginConfig] = None) -> OriginReport:
+    """Run one origin over ``profiles`` on a fresh virtual-time loop."""
+    origin = Origin(config)
+    return clock.run(origin.serve_async(profiles))

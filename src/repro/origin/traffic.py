@@ -1,0 +1,132 @@
+"""Seeded traffic generation: thousands of heterogeneous clients.
+
+Every client the origin serves is described up front by a
+:class:`~repro.origin.session.ClientProfile`: its network personality
+(Gilbert–Elliott loss rate and burst length, propagation delay, jitter),
+its consumption speed (a reader slower than the frame interval builds
+queue pressure and misses deadlines), its arrival time, and its chaos
+schedule.  All of it derives from ``random.Random(seed, client index)``,
+so a serve run is a pure function of ``(seed, TrafficConfig)`` — the
+property every acceptance gate in this repo is built on.
+
+The chaos layer reuses the robustness seams rather than inventing new
+failure modes:
+
+* **flap/heal** drive :meth:`~repro.transport.channel.LossyChannel.set_loss`
+  mid-stream (the Gilbert–Elliott chain keeps its RNG, so flaps stay
+  reproducible);
+* **stall** freezes the reader for a while (a backgrounded tab);
+* **nack** makes one picture's delivery fail with a malformed-ack
+  :class:`~repro.errors.OriginError`, exercising retry/backoff;
+* **corrupt** runs the session's stream through PR 1's seeded
+  :class:`~repro.robustness.inject.FaultInjector` before packetizing;
+* **cancel** kills the whole session task mid-stream (``cancel_after``
+  virtual seconds), proving teardown leaks nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.origin.session import ClientProfile
+
+#: Chaos event kinds a profile can schedule per frame index.
+CHAOS_KINDS: Tuple[str, ...] = ("flap", "stall", "nack", "corrupt", "cancel")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one generated client population."""
+
+    clients: int = 8
+    seed: int = 0
+    codecs: Tuple[str, ...] = ("h264",)
+    frames: int = 16              # frames per session (chaos frame range)
+    fps: int = 25
+    ramp_seconds: float = 2.0     # arrival offsets spread over this window
+    max_loss: float = 0.10
+    max_burst: float = 4.0
+    chaos_rate: float = 0.25      # fraction of clients with chaos events
+    slow_reader_rate: float = 0.2  # fraction reading slower than realtime
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigError(f"clients must be >= 1, got {self.clients}")
+        if not self.codecs:
+            raise ConfigError("codecs must not be empty")
+        if not 0.0 <= self.chaos_rate <= 1.0:
+            raise ConfigError(
+                f"chaos_rate must be in [0, 1], got {self.chaos_rate}")
+
+
+def _client_rng(config: TrafficConfig, index: int) -> random.Random:
+    # Same spacing scheme as the streaming bench: seeds never collide
+    # across (sweep seed, client index).
+    return random.Random(config.seed * 1_000_003 + index * 101)
+
+
+def _chaos_schedule(rng: random.Random, config: TrafficConfig,
+                    ) -> Tuple[Dict[int, Tuple[Tuple[object, ...], ...]],
+                               bool, float]:
+    """One client's chaos plan: (per-frame events, corrupt?, cancel_after)."""
+    events: Dict[int, List[Tuple[object, ...]]] = {}
+    corrupt = False
+    cancel_after = -1.0
+    count = rng.randint(1, 3)
+    frame_interval = 1.0 / config.fps
+    for _ in range(count):
+        kind = rng.choice(CHAOS_KINDS)
+        frame = rng.randrange(max(1, config.frames))
+        if kind == "flap":
+            loss = rng.uniform(0.1, 0.4)
+            burst = rng.uniform(1.0, config.max_burst)
+            events.setdefault(frame, []).append(("flap", loss, burst))
+            heal_at = min(config.frames - 1, frame + rng.randint(2, 5))
+            events.setdefault(heal_at, []).append(("heal",))
+        elif kind == "stall":
+            events.setdefault(frame, []).append(
+                ("stall", rng.uniform(1.0, 4.0) * frame_interval))
+        elif kind == "nack":
+            events.setdefault(frame, []).append(("nack",))
+        elif kind == "corrupt":
+            corrupt = True
+        else:  # cancel
+            cancel_after = rng.uniform(0.2, 0.8) * (
+                config.frames * frame_interval)
+    frozen = {index: tuple(items) for index, items in sorted(events.items())}
+    return frozen, corrupt, cancel_after
+
+
+def generate_profiles(config: TrafficConfig) -> List[ClientProfile]:
+    """The deterministic client population for one serve run."""
+    profiles: List[ClientProfile] = []
+    frame_interval = 1.0 / config.fps
+    for index in range(config.clients):
+        rng = _client_rng(config, index)
+        chaotic = rng.random() < config.chaos_rate
+        chaos, corrupt, cancel_after = (
+            _chaos_schedule(rng, config) if chaotic else ({}, False, -1.0))
+        slow = rng.random() < config.slow_reader_rate
+        if slow:
+            render = rng.uniform(1.1, 1.8) * frame_interval
+        else:
+            render = rng.uniform(0.2, 0.9) * frame_interval
+        profiles.append(ClientProfile(
+            session_id=f"c{index:04d}",
+            seed=config.seed * 1_000_003 + index * 101 + 1,
+            codec=config.codecs[index % len(config.codecs)],
+            rung_index=0,
+            loss_rate=rng.random() * config.max_loss,
+            burst_length=1.0 + rng.random() * (config.max_burst - 1.0),
+            delay=rng.uniform(0.005, 0.03),
+            jitter=rng.random() * 0.01,
+            render_seconds=render,
+            arrival_offset=rng.random() * config.ramp_seconds,
+            chaos=chaos,
+            corrupt=corrupt,
+            cancel_after=cancel_after if cancel_after > 0 else None,
+        ))
+    return profiles

@@ -39,6 +39,17 @@ METRICS_SCHEMA = "repro.telemetry.metrics/1"
 #: for byte/bit/point counts); callers pick their own for specific data.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
 
+#: Bucket preset for latencies/deadline overshoot in seconds: sub-ms to
+#: 30 s, roughly logarithmic, dense where frame deadlines live (tens of
+#: milliseconds) so p99/p999 estimates stay tight.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Bucket preset for queue depths and other small occupancy counts.
+DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -164,13 +175,23 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    @property
+    def p999(self) -> float:
+        return self.percentile(0.999)
+
     def to_dict(self) -> Dict[str, Any]:
+        # The percentile summary rides along in snapshots so persisted
+        # records (repro.observe) can report tail latencies without
+        # re-deriving them; merge() reads only buckets/counts/count/sum.
         return {
             "kind": self.kind,
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.sum,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
         }
 
     def merge(self, data: Dict[str, Any]) -> None:

@@ -68,6 +68,23 @@ class GilbertElliott:
         # Start from the stationary distribution so short runs are unbiased.
         self._bad = self._rng.random() < loss_rate
 
+    def reconfigure(self, loss_rate: float, burst_length: float = 1.0) -> None:
+        """Re-derive the chain parameters mid-stream (a channel *flap*).
+
+        The RNG stream and the current good/bad state are kept, so a
+        seeded run stays bit-reproducible across flaps: only the
+        transition probabilities change from the next packet on.
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if burst_length < 1.0:
+            raise ConfigError(
+                f"burst_length must be >= 1 packet, got {burst_length}")
+        self.loss_rate = loss_rate
+        self.burst_length = burst_length
+        self.r = 1.0 / burst_length
+        self.p = min(1.0, self.r * loss_rate / (1.0 - loss_rate))
+
     def survives(self) -> bool:
         """Advance one packet; True when the packet is delivered."""
         delivered = not self._bad
@@ -130,6 +147,22 @@ class LossyChannel:
         self._rng = random.Random(seed)
         self._loss = GilbertElliott(loss_rate, burst_length, rng=self._rng)
 
+    @property
+    def loss_rate(self) -> float:
+        return self._loss.loss_rate
+
+    @property
+    def burst_length(self) -> float:
+        return self._loss.burst_length
+
+    def set_loss(self, loss_rate: float, burst_length: float = 1.0) -> None:
+        """Flap the channel: change the loss process without reseeding.
+
+        The origin's chaos layer uses this to degrade and heal a live
+        client mid-stream; the shared RNG keeps the run reproducible.
+        """
+        self._loss.reconfigure(loss_rate, burst_length)
+
     def _arrival_delay(self, packet_interval: float) -> float:
         delay = self.delay
         if self.jitter > 0:
@@ -139,15 +172,24 @@ class LossyChannel:
         return delay
 
     def transmit(self, packets: Sequence[Packet], packet_interval: float = 1e-3,
+                 start_time: float = 0.0,
                  ) -> Tuple[List[Arrival], ChannelReport]:
-        """Carry ``packets`` (paced ``packet_interval`` seconds apart)."""
+        """Carry ``packets`` (paced ``packet_interval`` seconds apart).
+
+        ``start_time`` offsets the send timeline, so one persistent
+        channel instance can carry a stream segment by segment (the
+        origin transmits picture by picture) and the arrival clock keeps
+        advancing instead of restarting at zero.
+        """
         if packet_interval <= 0:
             raise ConfigError(
                 f"packet_interval must be positive, got {packet_interval}")
+        if start_time < 0:
+            raise ConfigError(f"start_time must be >= 0, got {start_time}")
         report = ChannelReport(sent=len(packets))
         arrivals: List[Tuple[float, int, Packet]] = []
         for position, packet in enumerate(packets):
-            send_time = position * packet_interval
+            send_time = start_time + position * packet_interval
             if not self._loss.survives():
                 report.lost += 1
                 continue

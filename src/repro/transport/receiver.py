@@ -20,7 +20,7 @@ from typing import Callable, Iterable, List, Optional, Union
 from repro.codecs import get_decoder
 from repro.codecs.base import EncodedVideo
 from repro.common.yuv import YuvSequence
-from repro.errors import ConcealmentEvent
+from repro.errors import ConcealmentEvent, ReproError
 from repro.robustness.conceal import Concealer
 from repro.robustness.engine import DecodeResult, decode_stream
 from repro.telemetry.metrics import registry as telemetry_registry
@@ -85,6 +85,7 @@ def receive(
     jitter_depth: float = DEFAULT_DEPTH,
     backend: str = "simd",
     on_event: Optional[EventCallback] = None,
+    session_id: Optional[str] = None,
 ) -> TransportResult:
     """Receive ``arrivals`` and decode what survives.
 
@@ -92,6 +93,9 @@ def receive(
     the session's full display length.  ``conceal=None`` is strict mode:
     the first damaged picture raises a normalised
     :class:`~repro.errors.ReproError` carrying ``packet_seq`` context.
+    ``session_id`` (set by the multi-client origin) is threaded into any
+    :class:`~repro.errors.ReproError` escaping the decode, so a failure
+    inside a concurrent serve names the client it belongs to.
     """
     with telemetry_span("transport.receive", codec=session.codec,
                         pictures=session.picture_count):
@@ -109,8 +113,14 @@ def receive(
                 reg.counter("transport.packets.lost").inc(
                     sum(len(loss.lost_seqs) for loss in losses))
         decoder = get_decoder(session.codec, backend=backend)
-        decode = decode_stream(decoder, stream, conceal=conceal,
-                               on_event=on_event, packet_context=packet_context)
+        try:
+            decode = decode_stream(decoder, stream, conceal=conceal,
+                                   on_event=on_event,
+                                   packet_context=packet_context)
+        except ReproError as error:
+            if session_id is not None and error.session_id is None:
+                error.session_id = session_id
+            raise
     return TransportResult(
         session=session, decode=decode, losses=losses,
         fec=fec_report, jitter=jitter_report,
@@ -128,14 +138,19 @@ def simulate_transmission(
     conceal: Union[None, str, Concealer] = "copy-last",
     backend: str = "simd",
     on_event: Optional[EventCallback] = None,
+    session_id: Optional[str] = None,
 ) -> TransportResult:
     """End-to-end: packetize → FEC → lossy channel → receive → decode.
 
-    ``channel`` defaults to a perfect channel (no loss); pass a configured
-    :class:`~repro.transport.channel.LossyChannel` for anything meaner.
-    ``fec_group=0`` disables FEC.  Packets are paced uniformly across the
-    stream's real-time duration, so the jitter buffer's deadlines mean
-    what they would in a live player.
+    ``channel`` is an injectable seam: pass a configured, seeded
+    :class:`~repro.transport.channel.LossyChannel` and this function uses
+    *that instance* — its Gilbert–Elliott state advances across the call,
+    so the origin and tests can share one persistent channel per client
+    (and flap it mid-stream with :meth:`~LossyChannel.set_loss`).  When
+    omitted, a perfect channel (no loss) is constructed.  ``fec_group=0``
+    disables FEC.  Packets are paced uniformly across the stream's
+    real-time duration, so the jitter buffer's deadlines mean what they
+    would in a live player.
     """
     session, packets = packetize(stream, mtu=mtu)
     packets = fec_encode(packets, group_size=fec_group, depth=fec_depth)
@@ -146,6 +161,6 @@ def simulate_transmission(
     arrivals, channel_report = channel.transmit(packets, packet_interval)
     result = receive(session, arrivals, conceal=conceal,
                      jitter_depth=jitter_depth, backend=backend,
-                     on_event=on_event)
+                     on_event=on_event, session_id=session_id)
     result.channel = channel_report
     return result

@@ -680,3 +680,67 @@ class TestSelfLint:
         result = run([str(REPO_ROOT / "src")], baseline=baseline)
         assert result.clean
         assert not result.stale_baseline, result.stale_descriptions()
+
+
+class TestSupervisedTaskRule:
+    def test_bare_create_task_in_origin_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/evil.py": """
+            import asyncio
+
+            def fire(coro):
+                return asyncio.create_task(coro)
+        """})
+        assert rule_ids(result) == ["HDVB170"]
+
+    def test_from_import_ensure_future_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/evil.py": """
+            from asyncio import ensure_future
+
+            def fire(coro):
+                return ensure_future(coro)
+        """})
+        assert rule_ids(result) == ["HDVB170"]
+
+    def test_loop_method_form_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/evil.py": """
+            import asyncio
+
+            def fire(coro):
+                loop = asyncio.get_running_loop()
+                return loop.create_task(coro)
+        """})
+        assert rule_ids(result) == ["HDVB170"]
+
+    def test_aliased_import_resolved(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/evil.py": """
+            import asyncio as aio
+
+            def fire(coro):
+                return aio.create_task(coro)
+        """})
+        assert rule_ids(result) == ["HDVB170"]
+
+    def test_supervise_module_is_sanctioned(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/supervise.py": """
+            import asyncio
+
+            def spawn(coro, name):
+                return asyncio.create_task(coro, name=name)
+        """})
+        assert result.clean
+
+    def test_outside_origin_scope_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"transport/util.py": """
+            import asyncio
+
+            def fire(coro):
+                return asyncio.create_task(coro)
+        """})
+        assert result.clean
+
+    def test_clean_twin_spawns_through_supervisor(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/clean.py": """
+            def fire(supervisor, coro):
+                return supervisor.spawn(coro, "session.reader")
+        """})
+        assert result.clean

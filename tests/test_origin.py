@@ -1,0 +1,521 @@
+"""Tests for the multi-client streaming origin (repro.origin).
+
+Everything here runs on the virtual-time loop, so timings are exact
+simulated seconds: the assertions on states, retries and deadline misses
+are deterministic per seed, not statistical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError, OriginError, ReproError, SessionAborted
+from repro.origin import clock
+from repro.origin.admission import AdmissionController
+from repro.origin.cache import SegmentCache, SegmentKey
+from repro.origin.server import Origin, OriginConfig, serve
+from repro.origin.session import (
+    DEFAULT_RUNGS,
+    LADDER_STEPS,
+    ClientProfile,
+    SessionConfig,
+    SessionState,
+    StreamSessionRunner,
+)
+from repro.origin.supervise import Supervisor
+from repro.origin.traffic import CHAOS_KINDS, TrafficConfig, generate_profiles
+
+#: Fast unit-test shape: tiny clip, cheap encode window, no decode.
+FAST = SessionConfig(decode=False)
+FAST_ORIGIN = OriginConfig(frames=4, encode_seconds=0.05, session=FAST)
+
+
+def run_session(profile, config=FAST, origin_config=FAST_ORIGIN):
+    """One session on a fresh virtual loop; returns (result, supervisor)."""
+    origin = Origin(origin_config)
+
+    async def main():
+        runner = StreamSessionRunner(
+            profile, config, origin.cache, origin.supervisor,
+            metrics=origin.metrics)
+        task = origin.supervisor.spawn(runner.run(), profile.session_id)
+        await asyncio.wait({task})
+        await origin.supervisor.drain()
+        return runner.result
+
+    result = clock.run(main())
+    return result, origin.supervisor
+
+
+# ---------------------------------------------------------------------------
+# virtual-time loop
+# ---------------------------------------------------------------------------
+
+class TestVirtualTimeLoop:
+    def test_clock_jumps_over_sleeps(self):
+        async def main():
+            t0 = clock.loop_time()
+            await asyncio.sleep(500.0)
+            return clock.loop_time() - t0
+
+        assert run_wall(lambda: clock.run(main())) == pytest.approx(500.0)
+
+    def test_concurrent_timers_fire_in_order(self):
+        order = []
+
+        async def waiter(tag, delay):
+            await asyncio.sleep(delay)
+            order.append(tag)
+
+        async def main():
+            await asyncio.gather(waiter("late", 3.0), waiter("early", 1.0),
+                                 waiter("mid", 2.0))
+
+        clock.run(main())
+        assert order == ["early", "mid", "late"]
+
+    def test_wait_for_timeouts_use_virtual_time(self):
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.sleep(10.0), timeout=0.5)
+            return clock.loop_time()
+
+        assert clock.run(main()) == pytest.approx(0.5)
+
+    def test_run_reaps_leftover_tasks(self):
+        async def main():
+            asyncio.get_running_loop()  # fresh loop per run
+            return 7
+
+        assert clock.run(main()) == 7
+        # a second run gets its own loop: no cross-run state
+        assert clock.run(main()) == 7
+
+
+def run_wall(fn):
+    """Helper: virtual time must pass without wall time passing."""
+    import time
+    start = time.perf_counter()
+    result = fn()
+    assert time.perf_counter() - start < 5.0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# supervisor
+# ---------------------------------------------------------------------------
+
+class TestSupervisor:
+    def test_outcomes_are_routed(self):
+        sup = Supervisor()
+
+        async def ok():
+            return 1
+
+        async def taxonomy():
+            raise OriginError("expected failure")
+
+        async def raw():
+            raise ValueError("escaped")
+
+        async def main():
+            sup.spawn(ok(), "ok")
+            sup.spawn(taxonomy(), "taxonomy")
+            sup.spawn(raw(), "raw")
+            await sup.drain()
+
+        clock.run(main())
+        assert sup.active == 0
+        assert set(sup.failed) == {"origin:taxonomy"}
+        assert isinstance(sup.failed["origin:taxonomy"], ReproError)
+        assert [f.name for f in sup.unhandled] == ["origin:raw"]
+
+    def test_cancel_all_reaps_everything(self):
+        sup = Supervisor()
+
+        async def forever():
+            await asyncio.sleep(10_000)
+
+        async def main():
+            for index in range(5):
+                sup.spawn(forever(), f"t{index}")
+            await sup.cancel_all()
+
+        clock.run(main())
+        assert sup.active == 0
+        assert not sup.unhandled            # cancellation is not an escape
+
+
+# ---------------------------------------------------------------------------
+# segment cache
+# ---------------------------------------------------------------------------
+
+class TestSegmentCache:
+    KEY = SegmentKey(sequence="bench", codec="h264", qp=10, width=16,
+                     height=16)
+
+    def test_single_flight_under_a_herd(self):
+        calls = []
+
+        def encode(key):
+            calls.append(key)
+            return object()
+
+        cache = SegmentCache(encode=encode, encode_seconds=0.2)
+
+        async def main():
+            streams = await asyncio.gather(
+                *(cache.get(self.KEY) for _ in range(20)))
+            return streams
+
+        streams = clock.run(main())
+        assert len(calls) == 1
+        assert cache.encodes == 1
+        assert cache.flight_waits == 19
+        assert all(stream is streams[0] for stream in streams)
+
+    def test_hit_after_population(self):
+        cache = SegmentCache(encode=lambda key: object(), encode_seconds=0.0)
+
+        async def main():
+            first = await cache.get(self.KEY)
+            second = await cache.get(self.KEY)
+            return first is second
+
+        assert clock.run(main())
+        assert cache.hits == 1 and cache.encodes == 1
+
+    def test_failed_encode_rejects_waiters_but_is_retryable(self):
+        attempts = []
+
+        def encode(key):
+            attempts.append(key)
+            if len(attempts) == 1:
+                raise RuntimeError("encoder blew up")
+            return object()
+
+        cache = SegmentCache(encode=encode, encode_seconds=0.1)
+
+        async def main():
+            leader = asyncio.ensure_future(cache.get(self.KEY))
+            follower = asyncio.ensure_future(cache.get(self.KEY))
+            outcomes = await asyncio.gather(leader, follower,
+                                            return_exceptions=True)
+            assert all(isinstance(o, OriginError) for o in outcomes)
+            return await cache.get(self.KEY)    # the slot was cleared
+
+        assert clock.run(main()) is not None
+        assert len(attempts) == 2
+
+
+# ---------------------------------------------------------------------------
+# admission
+# ---------------------------------------------------------------------------
+
+class TestAdmission:
+    def test_bounded_table(self):
+        door = AdmissionController(max_sessions=2)
+        assert door.try_admit("a") and door.try_admit("b")
+        assert not door.try_admit("c")
+        assert door.rejected_total == 1
+        door.release("a")
+        assert door.try_admit("c")
+        assert door.peak == 2 and door.admitted_total == 3
+
+    def test_double_admit_raises(self):
+        door = AdmissionController(max_sessions=2)
+        door.try_admit("a")
+        with pytest.raises(ConfigError):
+            door.try_admit("a")
+
+    def test_release_is_idempotent(self):
+        door = AdmissionController(max_sessions=1)
+        door.try_admit("a")
+        door.release("a")
+        door.release("a")
+        assert door.active == 0
+
+    def test_bad_bound_raises(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_sessions=0)
+
+
+# ---------------------------------------------------------------------------
+# backoff
+# ---------------------------------------------------------------------------
+
+class TestBackoff:
+    def make_runner(self, seed=3):
+        origin = Origin(FAST_ORIGIN)
+        profile = ClientProfile(session_id="b0", seed=seed, codec="h264")
+        return StreamSessionRunner(profile, FAST, origin.cache,
+                                   origin.supervisor)
+
+    def test_schedule_is_exponential_jittered_and_capped(self):
+        config = FAST
+        runner = self.make_runner()
+        raws = [min(config.backoff_cap, config.backoff_base * (2 ** n))
+                for n in range(8)]
+        delays = [runner.next_backoff() for _ in range(8)]
+        for raw, delay in zip(raws, delays):
+            assert 0.5 * raw <= delay <= raw      # ±50 % jitter band
+        assert max(delays) <= config.backoff_cap
+
+    def test_schedule_is_deterministic_per_seed(self):
+        a = [self.make_runner(seed=9).next_backoff() for _ in range(1)]
+        b = [self.make_runner(seed=9).next_backoff() for _ in range(1)]
+        c = [self.make_runner(seed=10).next_backoff() for _ in range(1)]
+        assert a == b
+        assert a != c
+
+
+# ---------------------------------------------------------------------------
+# session state machine
+# ---------------------------------------------------------------------------
+
+class TestSessionStateMachine:
+    def test_happy_path_states(self):
+        profile = ClientProfile(session_id="s0", seed=1, codec="h264",
+                                render_seconds=0.005)
+        result, supervisor = run_session(profile)
+        assert result.states == ["admitted", "streaming", "draining",
+                                 "closed"]
+        assert result.final_state == SessionState.CLOSED.value
+        assert result.frames_sent == result.frames_delivered == 4
+        assert result.deadline_misses == 0
+        assert not (result.aborted or result.cancelled or result.shed)
+        assert supervisor.active == 0 and not supervisor.unhandled
+
+    def test_decode_runs_per_epoch(self):
+        profile = ClientProfile(session_id="s1", seed=2, codec="h264",
+                                render_seconds=0.005)
+        result, _ = run_session(profile, config=SessionConfig(decode=True))
+        assert result.decodes == result.epochs == 1
+
+    def test_nack_consumes_budget_and_retries(self):
+        profile = ClientProfile(session_id="s2", seed=3, codec="h264",
+                                render_seconds=0.005,
+                                chaos={1: (("nack",),)})
+        result, _ = run_session(profile)
+        assert result.retries >= 1
+        assert result.backoff_seconds > 0
+        assert result.final_state == "closed" and not result.aborted
+        assert result.frames_delivered == 4
+
+    def test_budget_exhaustion_aborts_with_context(self):
+        # One nack costs one budget unit per picture; a budget of 1 means
+        # the second nacked picture exhausts it.
+        profile = ClientProfile(session_id="s3", seed=4, codec="h264",
+                                render_seconds=0.005,
+                                chaos={0: (("nack",),), 1: (("nack",),)})
+        result, supervisor = run_session(
+            profile, config=SessionConfig(decode=False, failure_budget=1))
+        assert result.aborted and not result.cancelled
+        assert "failure budget" in (result.error or "")
+        assert result.final_state == "closed"       # teardown always lands
+        assert supervisor.active == 0 and not supervisor.unhandled
+
+    def test_session_aborted_carries_session_context(self):
+        error = SessionAborted("boom", session_id="sX", state="degraded")
+        assert error.session_id == "sX"
+        assert "sX" in str(error) and "degraded" in str(error)
+
+    def test_cancellation_is_clean(self):
+        profile = ClientProfile(session_id="s4", seed=5, codec="h264",
+                                render_seconds=0.005, cancel_after=0.1)
+        report = serve([profile], FAST_ORIGIN)
+        result = report.results[0]
+        assert result.cancelled and result.final_state == "closed"
+        assert report.unhandled == []
+        assert report.graceful_rate == 1.0
+
+    def test_corrupt_stream_is_handled_gracefully(self):
+        profile = ClientProfile(session_id="s5", seed=6, codec="h264",
+                                render_seconds=0.005, corrupt=True)
+        result, supervisor = run_session(profile,
+                                         config=SessionConfig(decode=True))
+        # Whatever the injected fault does — concealed decode or a
+        # taxonomy abort — nothing may escape raw.
+        assert result.final_state == "closed"
+        assert result.chaos_faults
+        assert not supervisor.unhandled
+
+
+# ---------------------------------------------------------------------------
+# degradation ladder
+# ---------------------------------------------------------------------------
+
+def pressured_profile(session_id="d0", seed=11, **overrides):
+    """A reader too slow for the frame rate: sustained queue pressure."""
+    fields = dict(session_id=session_id, seed=seed, codec="h264",
+                  render_seconds=0.09)
+    fields.update(overrides)
+    return ClientProfile(**fields)
+
+
+PRESSURE_ORIGIN = OriginConfig(
+    frames=16, encode_seconds=0.05,
+    session=SessionConfig(decode=False, degrade_patience=2))
+
+
+class TestDegradationLadder:
+    def test_sustained_pressure_walks_fec_rung_frames_shed(self):
+        result, supervisor = run_session(
+            pressured_profile(), config=PRESSURE_ORIGIN.session,
+            origin_config=PRESSURE_ORIGIN)
+        assert "degraded" in result.states
+        steps = result.degrade_steps
+        assert steps, "pressure must step the ladder"
+        # ladder order is respected (mildest first, shed last)
+        order = [LADDER_STEPS.index(step) for step in steps]
+        assert order == sorted(order)
+        assert result.shed and result.aborted
+        assert "shed" in (result.error or "")
+        assert supervisor.active == 0 and not supervisor.unhandled
+
+    def test_rung_step_opens_a_new_epoch(self):
+        result, _ = run_session(
+            pressured_profile(session_id="d1", seed=12),
+            config=PRESSURE_ORIGIN.session, origin_config=PRESSURE_ORIGIN)
+        if "rung" in result.degrade_steps:
+            assert result.epochs >= 2
+
+    def test_transient_stall_enters_and_exits_degraded(self):
+        profile = ClientProfile(
+            session_id="d2", seed=13, codec="h264", render_seconds=0.01,
+            chaos={2: (("stall", 0.2),)})
+        origin_config = OriginConfig(
+            frames=16, encode_seconds=0.05,
+            session=SessionConfig(decode=False))
+        result, _ = run_session(profile, config=origin_config.session,
+                                origin_config=origin_config)
+        states = result.states
+        assert "degraded" in states
+        # recovery: a STREAMING re-entry after the DEGRADED stretch
+        degraded_at = states.index("degraded")
+        assert "streaming" in states[degraded_at:]
+        assert not result.shed
+        assert result.final_state == "closed"
+
+    def test_dropped_frames_are_concealed_not_lost(self):
+        result, _ = run_session(
+            pressured_profile(session_id="d3", seed=14),
+            config=PRESSURE_ORIGIN.session, origin_config=PRESSURE_ORIGIN)
+        if "frames" in result.degrade_steps:
+            assert result.dropped_frames > 0
+            assert result.frames_sent == (result.dropped_frames
+                                          + result.frames_delivered
+                                          + qsize_slack(result))
+
+
+def qsize_slack(result):
+    """Frames sent but still queued/in-flight when the session ended."""
+    return result.frames_sent - result.dropped_frames - result.frames_delivered
+
+
+# ---------------------------------------------------------------------------
+# traffic generation
+# ---------------------------------------------------------------------------
+
+class TestTraffic:
+    def test_profiles_are_deterministic(self):
+        config = TrafficConfig(clients=12, seed=4, chaos_rate=0.5)
+        assert generate_profiles(config) == generate_profiles(config)
+
+    def test_seed_changes_population(self):
+        a = generate_profiles(TrafficConfig(clients=12, seed=4))
+        b = generate_profiles(TrafficConfig(clients=12, seed=5))
+        assert a != b
+
+    def test_chaos_schedule_uses_known_kinds(self):
+        profiles = generate_profiles(
+            TrafficConfig(clients=30, seed=0, chaos_rate=1.0))
+        kinds = set()
+        for profile in profiles:
+            if profile.cancel_after is not None:
+                kinds.add("cancel")
+            if profile.corrupt:
+                kinds.add("corrupt")
+            for events in profile.chaos.values():
+                for event in events:
+                    kinds.add(event[0] if event[0] != "heal" else "flap")
+        assert kinds <= set(CHAOS_KINDS)
+        assert len(kinds) >= 3          # rate 1.0 exercises the layer
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrafficConfig(clients=0)
+        with pytest.raises(ConfigError):
+            TrafficConfig(chaos_rate=1.5)
+
+
+# ---------------------------------------------------------------------------
+# serve: admission, reproducibility, gate invariants
+# ---------------------------------------------------------------------------
+
+class TestServe:
+    def population(self, clients=6, seed=0, chaos_rate=0.4):
+        return generate_profiles(TrafficConfig(
+            clients=clients, seed=seed, frames=4, chaos_rate=chaos_rate,
+            ramp_seconds=0.5))
+
+    def test_fingerprint_is_bit_reproducible(self):
+        profiles = self.population()
+        first = serve(profiles, FAST_ORIGIN)
+        second = serve(profiles, FAST_ORIGIN)
+        assert first.fingerprint == second.fingerprint
+        assert first.unhandled == second.unhandled == []
+
+    def test_admission_rejects_beyond_table(self):
+        config = OriginConfig(frames=4, encode_seconds=0.05, max_sessions=2,
+                              session=FAST)
+        report = serve(self.population(clients=6, chaos_rate=0.0), config)
+        assert report.rejected > 0
+        assert report.peak_sessions <= 2
+        rejected = [r for r in report.results
+                    if r.final_state == "rejected"]
+        assert len(rejected) == report.rejected
+        assert all("admission rejected" in (r.error or "") for r in rejected)
+        assert report.graceful_rate == 1.0
+
+    def test_single_flight_across_the_population(self):
+        report = serve(self.population(clients=6, chaos_rate=0.0),
+                       FAST_ORIGIN)
+        # six clients, one codec, one rung: exactly one encode
+        assert report.encodes == 1
+        assert report.cache_hits + report.cache_flight_waits == 5
+
+    def test_report_telemetry_carries_histograms(self):
+        report = serve(self.population(clients=4, chaos_rate=0.0),
+                       FAST_ORIGIN)
+        metrics = report.telemetry["metrics"]
+        assert "origin.deadline.lateness" in metrics
+        assert {"p50", "p99", "p999"} <= set(
+            metrics["origin.deadline.lateness"])
+        assert report.p99_miss_seconds >= 0.0
+
+    def test_every_session_lands_in_a_terminal_state(self):
+        report = serve(self.population(clients=8, chaos_rate=0.8), FAST_ORIGIN)
+        for result in report.results:
+            assert result.final_state in ("closed", "rejected")
+        assert report.unhandled == []
+        assert report.graceful_rate == 1.0
+
+
+# ---------------------------------------------------------------------------
+# rungs
+# ---------------------------------------------------------------------------
+
+class TestRungs:
+    def test_default_ladder_descends(self):
+        areas = [rung.width * rung.height for rung in DEFAULT_RUNGS]
+        assert areas == sorted(areas, reverse=True)
+        qps = [rung.qp for rung in DEFAULT_RUNGS]
+        assert qps == sorted(qps)
+
+    def test_key_identity(self):
+        key = DEFAULT_RUNGS[0].key("bench", "h264")
+        assert key.codec == "h264" and key.qp == DEFAULT_RUNGS[0].qp
+        assert str(key).startswith("bench/h264/")

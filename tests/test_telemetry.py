@@ -336,3 +336,30 @@ class TestStageProfile:
             telemetry.stage_table(telemetry.current_trace())
         )
         assert "alpha" in text and "beta" in text and "self ms" in text
+
+
+class TestHistogramPercentiles:
+    def test_to_dict_carries_percentile_summary(self):
+        from repro.telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=LATENCY_BUCKETS)
+        for value in (0.002, 0.02, 0.02, 0.2, 2.0):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert {"p50", "p99", "p999"} <= set(data)
+        assert data["p50"] <= data["p99"] <= data["p999"]
+        assert data["count"] == 5
+
+    def test_depth_buckets_cover_queue_range(self):
+        from repro.telemetry.metrics import DEPTH_BUCKETS, MetricsRegistry
+        registry = MetricsRegistry()
+        histogram = registry.histogram("depth", buckets=DEPTH_BUCKETS)
+        for depth in range(8):
+            histogram.observe(depth)
+        assert histogram.count == 8
+        assert histogram.p999 <= DEPTH_BUCKETS[-1]
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        histogram = MetricsRegistry().histogram("empty", buckets=(1, 2))
+        assert histogram.p50 == histogram.p99 == histogram.p999 == 0.0

@@ -401,3 +401,82 @@ class TestPacketSeqContext:
         assert isinstance(clone, TruncationError)
         assert clone.packet_seq == 99
         assert clone.codec == "h264"
+
+
+# ---------------------------------------------------------------------------
+# channel flaps, segmented transmission, session context (origin seams)
+# ---------------------------------------------------------------------------
+
+class TestChannelFlap:
+    def test_set_loss_changes_the_process_mid_stream(self, streams):
+        _, packets = packetize(streams["h264"], mtu=64)
+        channel = LossyChannel(loss_rate=0.0, seed=7)
+        _, clean = channel.transmit(packets, 1e-3)
+        assert clean.lost == 0
+        channel.set_loss(0.8, 2.0)
+        _, flapped = channel.transmit(packets, 1e-3)
+        assert flapped.lost > 0
+        assert channel.loss_rate == 0.8 and channel.burst_length == 2.0
+
+    def test_flapped_runs_stay_reproducible(self, streams):
+        _, packets = packetize(streams["h264"], mtu=64)
+
+        def run_one():
+            channel = LossyChannel(loss_rate=0.1, burst_length=2.0, seed=3)
+            first, _ = channel.transmit(packets, 1e-3)
+            channel.set_loss(0.5, 3.0)
+            second, _ = channel.transmit(packets, 1e-3)
+            channel.set_loss(0.1, 2.0)       # heal
+            third, _ = channel.transmit(packets, 1e-3)
+            return [(a.packet.seq, a.time) for a in first + second + third]
+
+        assert run_one() == run_one()
+
+    def test_reconfigure_validates(self):
+        channel = LossyChannel(loss_rate=0.1, seed=0)
+        with pytest.raises(ConfigError):
+            channel.set_loss(1.0)
+        with pytest.raises(ConfigError):
+            channel.set_loss(0.1, burst_length=0.5)
+
+    def test_gilbert_elliott_reconfigure_keeps_state(self):
+        model = GilbertElliott(loss_rate=0.2, burst_length=2.0, seed=5)
+        for _ in range(10):
+            model.survives()
+        model.reconfigure(0.05, 1.0)
+        assert model.loss_rate == 0.05
+        assert model.r == pytest.approx(1.0)
+
+
+class TestStartTimeOffset:
+    def test_segmented_transmission_advances_the_clock(self, streams):
+        _, packets = packetize(streams["h264"], mtu=64)
+        channel = LossyChannel(loss_rate=0.0, delay=0.01, seed=1)
+        first, _ = channel.transmit(packets, 1e-3, start_time=0.0)
+        second, _ = channel.transmit(packets, 1e-3, start_time=5.0)
+        assert all(a.time >= 5.0 for a in second)
+        assert max(a.time for a in first) < min(a.time for a in second)
+
+    def test_negative_start_time_raises(self, streams):
+        channel = LossyChannel()
+        with pytest.raises(ConfigError):
+            channel.transmit([], 1e-3, start_time=-1.0)
+
+
+class TestSessionContext:
+    def test_injected_channel_is_used_and_advanced(self, streams):
+        channel = LossyChannel(loss_rate=0.3, burst_length=2.0, seed=11)
+        before = channel._rng.getstate()
+        result = simulate_transmission(streams["h264"], channel=channel,
+                                       fec_group=0)
+        assert result.channel.sent > 0
+        assert channel._rng.getstate() != before   # same instance advanced
+
+    def test_strict_decode_carries_session_id(self, streams):
+        channel = LossyChannel(loss_rate=0.6, burst_length=3.0, seed=2)
+        with pytest.raises(ReproError) as excinfo:
+            simulate_transmission(streams["h264"], channel=channel,
+                                  fec_group=0, conceal=None,
+                                  session_id="c0042")
+        assert excinfo.value.session_id == "c0042"
+        assert "c0042" in str(excinfo.value)
