@@ -1,89 +1,87 @@
-"""Run the full benchmark campaign and dump results for EXPERIMENTS.md.
+"""Run the benchmark campaign through the orchestrator and dump results.
 
-Regenerates Table V and all four Figure 1 panels at the default benchmark
-scale (1/8 linear, 9 frames, constant QP per Equation 1), plus the SIMD
-speed-up and real-time aggregates the paper quotes in Section VI.  Every
-measurement is also appended to the benchmark history store
-(``.hdvb-bench-history/``), so campaign runs feed the same
-``hdvb-observe`` gate/trend/export pipeline as ``hdvb-bench --record``.
+The campaign matrix lives in ``specs/campaign.json`` — codecs x
+sequences x resolutions x worker counts at the paper's benchmark scale
+(1/8 linear, 9 frames, constant QP per Equation 1).  This script is a
+thin driver around ``repro.orchestrate``: the spec expands
+deterministically, every cell lands in the benchmark history store
+(``.hdvb-bench-history/``) as it completes, encoded bitstreams are
+reused from the content-addressed artifact cache, and an interrupted
+campaign resumes where it stopped (rerun the same command; completed
+cells are skipped).
 
-    python scripts/run_experiments.py [output_path]
+    python scripts/run_experiments.py [spec_path] [output_path]
+
+Equivalent to ``hdvb-bench orchestrate specs/campaign.json --record``
+plus a results file for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import sys
-import time
+from pathlib import Path
 
-from repro.bench.config import BenchConfig
-from repro.bench.performance import (
-    FIGURE1_PARTS,
-    average_fps,
-    render_performance,
-    run_figure1_part,
-    simd_speedups,
-)
-from repro.bench.ratedistortion import render_rate_distortion, run_rate_distortion
-from repro.observe.record import (
-    RunInfo,
-    context_from_config,
-    records_from_performance,
-    records_from_rate_distortion,
-    records_from_speedups,
-)
+from repro.bench.report import render_table
+from repro.observe.record import RunInfo
 from repro.observe.store import HistoryStore
+from repro.orchestrate import (
+    ArtifactCache,
+    load_spec,
+    render_orchestrate,
+    run_cells,
+    summarize,
+    summary_records,
+)
+
+DEFAULT_SPEC = Path(__file__).resolve().parent.parent / "specs" / "campaign.json"
+
+#: Per-cell metrics shown in the results table, in column order.
+CELL_METRICS = ("psnr_db", "psnr_y_db", "bitrate_kbps")
 
 
-def main() -> None:
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "experiment_results.txt"
-    config = BenchConfig(frames=9, runs=1, warmup=0)
+def cell_table(store: HistoryStore, run_id: str) -> str:
+    """Render every completed cell of this campaign as one table."""
+    records = [record for record in store.query("orchestrate", run_id=run_id)
+               if record.context.get("status") == "ok"]
+    records.sort(key=lambda record: record.axis_key)
+    rows = []
+    for record in records:
+        axes = record.axes
+        rows.append([
+            axes["codec"], axes["sequence"], axes["resolution"],
+            axes["workers"],
+            *(f"{record.metrics[name]:.2f}" for name in CELL_METRICS),
+        ])
+    return render_table(
+        ["Codec", "Sequence", "Resolution", "Workers",
+         "PSNR (dB)", "PSNR-Y (dB)", "Bitrate (kbps)"],
+        rows, title=f"Campaign cells ({len(rows)} completed)")
+
+
+def main() -> int:
+    spec_path = sys.argv[1] if len(sys.argv) > 1 else str(DEFAULT_SPEC)
+    output_path = sys.argv[2] if len(sys.argv) > 2 else "experiment_results.txt"
+    spec = load_spec(spec_path)
+    run_id = f"{spec.name}-{spec.fingerprint()}"
     store = HistoryStore()
-    info = RunInfo.capture(context=context_from_config(config))
-    sections = []
-    started = time.time()
+    cache = ArtifactCache()
+    info = RunInfo.capture(run_id=run_id)
 
-    print("running Table V ...", flush=True)
-    rd_rows = run_rate_distortion(config, progress=lambda m: print("  " + m, flush=True))
-    sections.append(render_rate_distortion(rd_rows))
-    store.append_many(records_from_rate_distortion(rd_rows, info))
+    print(f"campaign {spec.name} [{spec.fingerprint()}]: "
+          f"{spec.cell_count()} cells", flush=True)
+    state = run_cells(spec, store, info, cache=cache,
+                      progress=lambda message: print("  " + message, flush=True))
+    summary = summarize(spec, state, cache)
+    store.append_many(summary_records(summary, info))
 
-    figure_rows = {}
-    for part in ("a", "b", "c", "d"):
-        operation, backend = FIGURE1_PARTS[part]
-        print(f"running Figure 1({part}) [{operation}/{backend}] ...", flush=True)
-        rows = run_figure1_part(config, part,
-                                progress=lambda m: print("  " + m, flush=True))
-        figure_rows[part] = rows
-        sections.append(render_performance(
-            rows, f"Figure 1({part}): {operation} performance, {backend} backend"
-        ))
-        store.append_many(records_from_performance(rows, info))
-
-    lines = ["SIMD speed-ups (average over sequences and resolutions):"]
-    for operation, scalar_part, simd_part in (("decode", "a", "b"), ("encode", "c", "d")):
-        speedups = simd_speedups(figure_rows[scalar_part], figure_rows[simd_part])
-        store.append_many(records_from_speedups(operation, speedups, info))
-        for codec, value in speedups.items():
-            lines.append(f"  {operation} {codec}: {value:.2f}x")
-    sections.append("\n".join(lines))
-
-    lines = ["Average fps per (codec, resolution):"]
-    for part in ("a", "b", "c", "d"):
-        operation, backend = FIGURE1_PARTS[part]
-        lines.append(f"  Figure 1({part}) {operation}/{backend}:")
-        for (codec, resolution), fps in average_fps(figure_rows[part]).items():
-            marker = "real-time" if fps >= 25.0 else "below-25fps"
-            lines.append(f"    {codec:6s} {resolution:8s} {fps:8.2f} fps  {marker}")
-    sections.append("\n".join(lines))
-
-    elapsed = time.time() - started
-    sections.append(f"campaign wall time: {elapsed:.0f}s "
-                    f"(scale {config.scale}, {config.frames} frames, {config.runs} run)")
+    report = render_orchestrate(summary)
+    print(report)
     with open(output_path, "w") as handle:
-        handle.write("\n\n".join(sections) + "\n")
-    print(f"wrote {output_path} in {elapsed:.0f}s")
-    print(f"recorded run {info.run_id} in {store.path}")
+        handle.write(report + "\n\n" + cell_table(store, run_id) + "\n")
+    print(f"wrote {output_path}")
+    print(f"recorded run {run_id} in {store.path}")
+    return 1 if summary.cells_failed else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import (  # noqa: F401 -- rule registration
     determinism,
+    orchestration,
     parity,
     persistence,
     picklesafety,

@@ -249,6 +249,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     sv.add_argument("--ramp", type=float, default=2.0,
                     help="arrival ramp window in virtual seconds")
 
+    orc = sub.add_parser("orchestrate",
+                         help="run a declarative spec's benchmark matrix "
+                              "through the resumable orchestrator and the "
+                              "content-addressed artifact cache")
+    _add_observe_arguments(orc)
+    orc.add_argument("spec", metavar="SPEC",
+                     help="run-spec file (JSON; YAML with PyYAML installed)")
+    orc.add_argument("--workers", type=int, default=1,
+                     help="scheduler process-pool width (default: 1, "
+                          "in-process; cells append to the store as they "
+                          "finish either way)")
+    orc.add_argument("--cache", default="", metavar="DIR",
+                     help="artifact cache directory "
+                          "(default: .hdvb-artifact-cache)")
+    orc.add_argument("--shards", type=int, default=0,
+                     help="emit N shard manifests instead of running "
+                          "(multi-host execution)")
+    orc.add_argument("--manifest-dir", default="manifests",
+                     dest="manifest_dir", metavar="DIR",
+                     help="where --shards writes the manifests")
+    orc.add_argument("--manifest", default="", metavar="PATH",
+                     help="run the cells of one shard manifest (written by "
+                          "--shards) instead of the full expansion")
+
     bd = sub.add_parser("bdrate",
                         help="Bjøntegaard deltas vs the MPEG-2 anchor "
                              "(quantiser sweep RD curves)")
@@ -361,6 +385,15 @@ def _dispatch(args) -> int:
         )
         _emit(args, render_robustness(reports),
               records_from_robustness(reports, info), info)
+        # A matrix with raw escapes is a failed sweep: the records are
+        # persisted above (a partial matrix is still evidence), but the
+        # invocation must not report success.
+        failed = [report for report in reports
+                  if report.raw_escapes or report.failure_examples]
+        if failed:
+            print(f"hdvb-bench robustness: {len(failed)} codec sweep(s) "
+                  f"with raw escapes", file=sys.stderr)
+            return 1
     elif args.command == "streaming":
         from repro.observe.record import records_from_streaming
         from repro.robustness.bench import ALL_CODECS
@@ -385,6 +418,12 @@ def _dispatch(args) -> int:
         )
         _emit(args, render_streaming(reports),
               records_from_streaming(reports, info), info)
+        failed = [report for report in reports
+                  if report.trials - report.graceful > 0]
+        if failed:
+            print(f"hdvb-bench streaming: {len(failed)} grid point(s) "
+                  f"with non-graceful receptions", file=sys.stderr)
+            return 1
     elif args.command == "serve":
         from repro.observe.record import records_from_serve
         from repro.origin.bench import render_serve, run_serve
@@ -411,12 +450,78 @@ def _dispatch(args) -> int:
         )
         _emit(args, render_serve(reports),
               records_from_serve(reports, info), info)
+    elif args.command == "orchestrate":
+        return _run_orchestrate(args)
     elif args.command == "performance":
         _run_performance_command(args)
     elif args.command == "characterize":
         _run_characterize(args)
     elif args.command == "bdrate":
         _run_bdrate(args)
+    return 0
+
+
+def _run_orchestrate(args) -> int:
+    """``hdvb-bench orchestrate``: spec -> cells -> cache -> store.
+
+    Cell records always flow through the history store (that is what
+    makes runs resumable); ``--record`` additionally appends the
+    run-level summary records that the OBS207 gate reads.  The default
+    run id derives from the spec fingerprint, so rerunning an unchanged
+    spec resumes it; pass ``--run-id`` to start a fresh campaign.
+    Exits 1 when any cell failed.
+    """
+    from repro.observe.store import HistoryStore
+    from repro.orchestrate.artifacts import DEFAULT_CACHE_DIR, ArtifactCache
+    from repro.orchestrate.report import (
+        render_orchestrate, summarize, summary_records,
+    )
+    from repro.orchestrate.scheduler import (
+        cell_record, load_manifest, run_cells, write_manifests,
+    )
+    from repro.orchestrate.spec import expand_cells, load_spec
+
+    spec = load_spec(args.spec)
+    cells = None
+    if args.manifest:
+        manifest_spec, fingerprint, cells = load_manifest(args.manifest)
+        if fingerprint != spec.fingerprint():
+            print(f"hdvb-bench orchestrate: manifest {args.manifest} was "
+                  f"planned from spec {manifest_spec} [{fingerprint}], not "
+                  f"{spec.name} [{spec.fingerprint()}]", file=sys.stderr)
+            return 1
+    if args.shards:
+        paths = write_manifests(spec, expand_cells(spec), args.shards,
+                                args.manifest_dir)
+        for path in paths:
+            print(path)
+        return 0
+
+    run_id = args.run_id or f"{spec.name}-{spec.fingerprint()}"
+    info = RunInfo.capture(run_id=run_id)
+    store = HistoryStore(args.store)
+    cache = ArtifactCache(args.cache or DEFAULT_CACHE_DIR)
+    state = run_cells(spec, store, info, cache=cache,
+                      scheduler_workers=args.workers, cells=cells,
+                      progress=_progress)
+    summary = summarize(spec, state, cache)
+    records = [cell_record(result, info, summary.spec_fingerprint)
+               for result in state.results]
+    records += summary_records(summary, info)
+    if getattr(args, "json", False):
+        print(json_module.dumps(records_document(records, run_id=run_id),
+                                indent=2))
+    else:
+        print(render_orchestrate(summary))
+    if getattr(args, "record", False):
+        count = store.append_many(summary_records(summary, info))
+        print(f"recorded {count} summary record(s) under run {run_id} "
+              f"in {store.path} ({len(state.results)} cell records were "
+              f"appended during the run)", file=sys.stderr)
+    if summary.cells_failed:
+        print(f"hdvb-bench orchestrate: {summary.cells_failed} cell(s) "
+              f"failed", file=sys.stderr)
+        return 1
     return 0
 
 

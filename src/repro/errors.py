@@ -21,6 +21,10 @@ Hierarchy::
     +-- SequenceError           an input sequence cannot be generated/loaded
     +-- ObserveError            malformed benchmark record or history store
     |                           (:mod:`repro.observe`)
+    +-- OrchestrateError        a run spec is malformed, a cell fails, or the
+    |                           artifact cache misbehaves
+    |                           (:mod:`repro.orchestrate`); carries the
+    |                           ``spec`` name and ``cell`` identity
     +-- OriginError             the streaming origin (:mod:`repro.origin`)
         |                       failed a session operation; carries
         |                       ``session_id`` and supervisor ``state``
@@ -159,6 +163,44 @@ class SequenceError(ReproError):
 class ObserveError(ReproError):
     """Raised by the benchmark-observability layer (:mod:`repro.observe`)
     on malformed records, unreadable history stores or invalid queries."""
+
+
+class OrchestrateError(ReproError):
+    """Raised by the benchmark orchestrator (:mod:`repro.orchestrate`).
+
+    Adds the ``spec`` name and the ``cell`` identity (the canonical
+    axis string of the failing cell), so a failure inside a thousand-cell
+    matrix run names the spec it came from and the exact cell it broke
+    on.  Both default to ``None`` for errors raised outside a run (a
+    malformed spec file, an unreadable cache).
+    """
+
+    def __init__(self, message: str = "", *, spec: Optional[str] = None,
+                 cell: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.spec = spec
+        self.cell = cell
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        data = dict(super().context)
+        data["spec"] = self.spec
+        data["cell"] = self.cell
+        return data
+
+    def __str__(self) -> str:
+        rendered = super().__str__()
+        extra = []
+        if self.spec is not None:
+            extra.append(f"spec={self.spec}")
+        if self.cell is not None:
+            extra.append(f"cell={self.cell}")
+        if not extra:
+            return rendered
+        joined = ", ".join(extra)
+        if rendered.endswith("]"):
+            return f"{rendered[:-1]}, {joined}]"
+        return f"{rendered} [{joined}]"
 
 
 class OriginError(ReproError):

@@ -38,6 +38,7 @@ DOCUMENT_SCHEMA = "repro.observe.records/1"
 #: The bench harnesses that feed the store.
 KNOWN_BENCHES = (
     "performance", "ratedistortion", "robustness", "streaming", "serve",
+    "orchestrate", "orchestrate_run", "orchestrate_scaling",
     "speedups", "bdrate", "characterize",
     "table1", "table2", "table3", "table4",
 )

@@ -103,6 +103,18 @@ DEFAULT_POLICIES: Tuple[MetricPolicy, ...] = (
                  relative=True),
     MetricPolicy("unhandled_escapes", "OBS206", "lower", 0.0,
                  relative=False),
+    # OBS207: the orchestrator run gate.  ``cell_failure_rate`` has zero
+    # tolerance — a matrix with newly failing cells is a regression even
+    # when the rest speeds up.  ``cache_hit_rate`` guards the artifact
+    # cache's economy (a rerun of an unchanged spec should hit ~always);
+    # ``cells_per_second`` guards orchestration throughput relative to
+    # the rolling median.
+    MetricPolicy("cell_failure_rate", "OBS207", "lower", 0.0,
+                 relative=False),
+    MetricPolicy("cache_hit_rate", "OBS207", "higher", 0.05,
+                 relative=False),
+    MetricPolicy("cells_per_second", "OBS207", "higher", 0.10,
+                 relative=True),
 )
 
 

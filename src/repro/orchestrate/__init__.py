@@ -1,0 +1,54 @@
+"""Config-driven benchmark orchestration with content-addressed caching.
+
+The subsystem turns the HD-VideoBench measurement matrix into data:
+
+* :mod:`repro.orchestrate.spec` — declarative YAML/JSON run specs
+  expanded deterministically into matrix cells;
+* :mod:`repro.orchestrate.scheduler` — shard planning, pooled resumable
+  execution, per-cell observe-store records;
+* :mod:`repro.orchestrate.artifacts` — single-flight content-addressed
+  cache of encoded artifacts (repeated cells cost ~0);
+* :mod:`repro.orchestrate.report` — run summary with speedup/efficiency
+  scaling and the OBS207-gated run metrics.
+
+Driven by ``hdvb-bench orchestrate``; documented in
+``docs/ORCHESTRATION.md``.
+"""
+
+from repro.orchestrate.artifacts import (
+    ArtifactCache, ArtifactEntry, cell_fingerprint, sequence_digest,
+)
+from repro.orchestrate.report import (
+    OrchestrateSummary, render_orchestrate, summarize, summary_records,
+)
+from repro.orchestrate.scheduler import (
+    CellResult, RunState, completed_cell_ids, execute_cell, load_manifest,
+    plan_shards, run_cells, write_manifests,
+)
+from repro.orchestrate.spec import (
+    Cell, RunSpec, expand_cells, load_spec, parse_spec,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactEntry",
+    "Cell",
+    "CellResult",
+    "OrchestrateSummary",
+    "RunSpec",
+    "RunState",
+    "cell_fingerprint",
+    "completed_cell_ids",
+    "execute_cell",
+    "expand_cells",
+    "load_manifest",
+    "load_spec",
+    "parse_spec",
+    "plan_shards",
+    "render_orchestrate",
+    "run_cells",
+    "sequence_digest",
+    "summarize",
+    "summary_records",
+    "write_manifests",
+]

@@ -1,0 +1,283 @@
+"""Run-level reporting for the orchestrator.
+
+A finished run folds into one :class:`OrchestrateSummary`: matrix
+coverage (completed / failed / resumed-skipped cells), artifact-cache
+economy (hit rate — the number the second run of any spec is gated on),
+throughput (cells per second), a *scaling section* computing speedup and
+parallel efficiency per worker count from cells that actually encoded,
+and a sweet-spot recommendation (the smallest worker count reaching 90%
+of the best observed speedup — past it, extra workers buy less than the
+chunking rate overhead costs).
+
+The summary persists through the observe store as two record families:
+
+* ``orchestrate_run`` — one record per run with the OBS207-gated
+  metrics (``cell_failure_rate``, ``cache_hit_rate``,
+  ``cells_per_second``) plus coverage counts and wall time;
+* ``orchestrate_scaling`` — one record per worker count with
+  ``speedup`` and ``efficiency``.
+
+Unlike the per-cell ``orchestrate`` records these carry wall-clock
+measurements and are *not* bit-reproducible — that is why they are
+separate benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.report import render_table
+from repro.observe.record import BenchRecord, RunInfo
+from repro.orchestrate.artifacts import ArtifactCache
+from repro.orchestrate.scheduler import CellResult, RunState
+from repro.orchestrate.spec import RunSpec
+
+#: Run-summary bench name (the OBS207 gate target).
+RUN_BENCH = "orchestrate_run"
+
+#: Per-worker-count scaling bench name.
+SCALING_BENCH = "orchestrate_scaling"
+
+#: At most this many failure examples are kept on the summary.
+MAX_FAILURE_EXAMPLES = 5
+
+#: A worker count this close to the best speedup is "enough".
+SWEET_SPOT_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """Mean scaling behaviour at one worker count."""
+
+    workers: int
+    cells: int                 #: encoded (non-cache-hit) cells measured
+    mean_seconds: float
+    speedup: float             #: vs the 1-worker mean of the same run
+    efficiency: float          #: speedup / workers
+
+
+@dataclass
+class OrchestrateSummary:
+    """Everything the run report and the summary records need."""
+
+    spec_name: str
+    spec_fingerprint: str
+    cells_total: int           #: cells in this invocation (incl. skipped)
+    cells_run: int
+    cells_failed: int
+    cells_skipped: int         #: resumed: already ok under this run id
+    cache_hits: int
+    cache_misses: int
+    flight_waits: int
+    wall_seconds: float
+    scaling: List[ScalingRow] = field(default_factory=list)
+    sweet_spot: Optional[int] = None
+    failure_examples: List[str] = field(default_factory=list)
+
+    @property
+    def cell_failure_rate(self) -> float:
+        return self.cells_failed / self.cells_run if self.cells_run else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cells_run / self.wall_seconds
+
+
+def _scaling_rows(results: List[CellResult]) -> Tuple[List[ScalingRow],
+                                                      Optional[int]]:
+    """Speedup/efficiency per worker count, from cells that encoded.
+
+    Cache hits are excluded — a hit's wall time measures the cache, not
+    the encoder.  Cells are grouped by their identity minus the workers
+    axis; only groups that include a 1-worker baseline contribute, so
+    the speedups compare like with like.
+    """
+    encoded = [result for result in results
+               if result.ok and not result.cache_hit]
+    groups: Dict[Tuple[Any, ...], Dict[int, List[float]]] = {}
+    for result in encoded:
+        cell = result.cell
+        key = (cell["codec"], cell["sequence"], cell["resolution"],
+               cell["backend"], cell["qp"], cell["repeat"])
+        groups.setdefault(key, {}).setdefault(
+            int(cell["workers"]), []).append(result.seconds)
+    per_worker: Dict[int, List[float]] = {}
+    for by_workers in groups.values():
+        baseline_times = by_workers.get(1)
+        if not baseline_times:
+            continue
+        baseline = sum(baseline_times) / len(baseline_times)
+        if baseline <= 0.0:
+            continue
+        for workers, times in by_workers.items():
+            mean_seconds = sum(times) / len(times)
+            if mean_seconds > 0.0:
+                per_worker.setdefault(workers, []).append(
+                    baseline / mean_seconds)
+    if not per_worker:
+        return [], None
+    counts: Dict[int, Tuple[int, float]] = {}
+    for result in encoded:
+        workers = int(result.cell["workers"])
+        cells, seconds = counts.get(workers, (0, 0.0))
+        counts[workers] = (cells + 1, seconds + result.seconds)
+    rows = []
+    for workers in sorted(per_worker):
+        speedups = per_worker[workers]
+        speedup = sum(speedups) / len(speedups)
+        cells, seconds = counts.get(workers, (len(speedups), 0.0))
+        rows.append(ScalingRow(
+            workers=workers,
+            cells=cells,
+            mean_seconds=seconds / cells if cells else 0.0,
+            speedup=speedup,
+            efficiency=speedup / workers,
+        ))
+    best = max(row.speedup for row in rows)
+    sweet_spot = None
+    for row in rows:        # rows are sorted by worker count
+        if row.speedup >= SWEET_SPOT_FRACTION * best:
+            sweet_spot = row.workers
+            break
+    return rows, sweet_spot
+
+
+def summarize(spec: RunSpec, state: RunState,
+              cache: Optional[ArtifactCache] = None) -> OrchestrateSummary:
+    """Fold one :func:`~repro.orchestrate.scheduler.run_cells` outcome."""
+    failures = state.failures
+    scaling, sweet_spot = _scaling_rows(state.results)
+    hits = cache.hits if cache is not None else state.cache_hits
+    misses = (cache.misses if cache is not None
+              else sum(1 for result in state.results
+                       if result.ok and not result.cache_hit))
+    return OrchestrateSummary(
+        spec_name=spec.name,
+        spec_fingerprint=spec.fingerprint(),
+        cells_total=len(state.results) + len(state.skipped),
+        cells_run=len(state.results),
+        cells_failed=len(failures),
+        cells_skipped=len(state.skipped),
+        cache_hits=hits,
+        cache_misses=misses,
+        flight_waits=cache.flight_waits if cache is not None else 0,
+        wall_seconds=state.wall_seconds,
+        scaling=scaling,
+        sweet_spot=sweet_spot,
+        failure_examples=[failure.error
+                          for failure in failures[:MAX_FAILURE_EXAMPLES]],
+    )
+
+
+def render_orchestrate(summary: OrchestrateSummary) -> str:
+    """The human run report: coverage, cache economy, scaling, failures."""
+    lines = [
+        f"Orchestrate run: spec {summary.spec_name} "
+        f"[{summary.spec_fingerprint}]",
+        f"  cells: {summary.cells_run} run "
+        f"({summary.cells_failed} failed), "
+        f"{summary.cells_skipped} skipped (already complete)",
+        f"  cache: {summary.cache_hits} hits / "
+        f"{summary.cache_misses} misses "
+        f"(hit rate {summary.cache_hit_rate:.1%})",
+        f"  wall: {summary.wall_seconds:.2f} s "
+        f"({summary.cells_per_second:.2f} cells/s)",
+    ]
+    if summary.scaling:
+        rows = [
+            [row.workers, row.cells, f"{row.mean_seconds:.3f} s",
+             f"{row.speedup:.2f}x", f"{row.efficiency:.1%}"]
+            for row in summary.scaling
+        ]
+        lines.append("")
+        lines.append(render_table(
+            ["Workers", "Cells", "Mean encode", "Speedup", "Efficiency"],
+            rows, title="Scaling (encoded cells only)"))
+        if summary.sweet_spot is not None:
+            lines.append(
+                f"Sweet spot: {summary.sweet_spot} worker(s) — smallest "
+                f"count within {SWEET_SPOT_FRACTION:.0%} of the best "
+                f"speedup")
+    if summary.failure_examples:
+        lines.append("")
+        lines.append(f"Failures ({summary.cells_failed} cells; "
+                     f"first {len(summary.failure_examples)}):")
+        for example in summary.failure_examples:
+            lines.append(f"  - {example}")
+    return "\n".join(lines)
+
+
+def summary_records(summary: OrchestrateSummary,
+                    info: RunInfo) -> List[BenchRecord]:
+    """The run-level records: one ``orchestrate_run`` plus one
+    ``orchestrate_scaling`` per worker count."""
+    context: Dict[str, Any] = {
+        "spec": summary.spec_name,
+        "spec_fingerprint": summary.spec_fingerprint,
+    }
+    for index, example in enumerate(summary.failure_examples):
+        context[f"failure_example_{index}"] = example
+    metrics = {
+        "cells_total": float(summary.cells_total),
+        "cells_run": float(summary.cells_run),
+        "cells_failed": float(summary.cells_failed),
+        "cells_skipped": float(summary.cells_skipped),
+        "cache_hits": float(summary.cache_hits),
+        "cache_misses": float(summary.cache_misses),
+        "wall_seconds": summary.wall_seconds,
+    }
+    # The OBS207-gated rates are only recorded when they were actually
+    # measured: an all-skipped resumed run encoded nothing, and writing
+    # 0.0 would read as a total throughput/cache regression on the next
+    # gate pass.
+    if summary.cells_run:
+        metrics["cell_failure_rate"] = summary.cell_failure_rate
+        metrics["cells_per_second"] = summary.cells_per_second
+    if summary.cache_hits + summary.cache_misses:
+        metrics["cache_hit_rate"] = summary.cache_hit_rate
+    records = [BenchRecord(
+        run_id=info.run_id,
+        bench=RUN_BENCH,
+        axes={"spec": summary.spec_name},
+        metrics=metrics,
+        created=info.created,
+        git_sha=info.git_sha,
+        context=context,
+    )]
+    for row in summary.scaling:
+        records.append(BenchRecord(
+            run_id=info.run_id,
+            bench=SCALING_BENCH,
+            axes={"spec": summary.spec_name, "workers": row.workers},
+            metrics={
+                "speedup": row.speedup,
+                "efficiency": row.efficiency,
+                "mean_seconds": row.mean_seconds,
+                "cells": float(row.cells),
+            },
+            created=info.created,
+            git_sha=info.git_sha,
+            context=dict(context),
+        ))
+    return records
+
+
+__all__ = [
+    "MAX_FAILURE_EXAMPLES",
+    "OrchestrateSummary",
+    "RUN_BENCH",
+    "SCALING_BENCH",
+    "SWEET_SPOT_FRACTION",
+    "ScalingRow",
+    "render_orchestrate",
+    "summarize",
+    "summary_records",
+]

@@ -1,0 +1,441 @@
+"""Declarative run specs: the benchmark matrix as data.
+
+A *run spec* is a YAML or JSON document describing one measurement
+campaign as axes (codec x sequence x resolution x backend x workers x
+qp) plus campaign-level knobs (frames, scale, repeat count, seed,
+per-cell timeout).  The spec expands **deterministically** into a flat
+list of :class:`Cell` objects — the same document always yields the same
+cells in the same order, which is what makes shard manifests, resume
+state and the content-addressed artifact cache line up across runs and
+hosts.
+
+Schema (``repro.orchestrate.spec/1``)::
+
+    name: mini                      # required, names the campaign
+    axes:                           # required
+      codec: [mpeg2, h264]          # required axis
+      sequence: [blue_sky]          # required axis
+      resolution: [576p25]          # required axis
+      backend: [simd]               # optional, default [simd]
+      workers: [1, 2]               # optional, default [1]
+      qp: [5]                       # optional, default [5]
+    frames: 3                       # optional, default 9
+    scale: 1/16                     # optional, default 1/8
+    repeats: 1                      # optional, default 1
+    seed: 0                         # optional, default 0
+    cell_timeout: 600               # optional, default 600 seconds
+
+``qp`` is the campaign quantiser axis: the MPEG-family quantiser scale,
+mapped per codec exactly as ``hdvb-bench --qscale`` does (H.264 QP via
+Equation 1, MJPEG quality via the same affine map).
+
+Every malformed input — unknown keys, wrong types, empty axes, unknown
+codec/sequence/tier/backend names — raises a contextful
+:class:`~repro.errors.OrchestrateError` naming the spec and the exact
+field, never a raw ``KeyError``/``TypeError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.bench.performance import BACKENDS
+from repro.codecs import CODEC_NAMES, EXTENSION_CODEC_NAMES
+from repro.common.resolution import PAPER_TIERS
+from repro.errors import OrchestrateError
+from repro.sequences import SEQUENCE_NAMES
+
+#: Schema identifier of one spec document.
+SPEC_SCHEMA = "repro.orchestrate.spec/1"
+
+#: Axis names in canonical expansion order (outermost loop first).
+AXIS_NAMES = ("codec", "sequence", "resolution", "backend", "workers", "qp")
+
+#: Axes a spec must declare explicitly.
+REQUIRED_AXES = ("codec", "sequence", "resolution")
+
+#: Defaults for the optional axes.
+DEFAULT_AXES: Dict[str, Tuple[Any, ...]] = {
+    "backend": ("simd",),
+    "workers": (1,),
+    "qp": (5,),
+}
+
+#: Campaign-level knobs and their defaults.
+DEFAULT_FRAMES = 9
+DEFAULT_SCALE = "1/8"
+DEFAULT_REPEATS = 1
+DEFAULT_SEED = 0
+DEFAULT_CELL_TIMEOUT = 600.0
+
+_KNOWN_KEYS = frozenset({"schema", "name", "axes", "frames", "scale",
+                         "repeats", "seed", "cell_timeout"})
+
+_KNOWN_CODECS = frozenset(CODEC_NAMES + EXTENSION_CODEC_NAMES)
+_KNOWN_SEQUENCES = frozenset(SEQUENCE_NAMES)
+_KNOWN_TIERS = frozenset(tier.name for tier in PAPER_TIERS)
+_KNOWN_BACKENDS = frozenset(BACKENDS)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully resolved matrix cell: a single measurement to run."""
+
+    spec_name: str
+    codec: str
+    sequence: str
+    resolution: str
+    backend: str
+    workers: int
+    qp: int
+    repeat: int
+    frames: int
+    scale: str
+    seed: int
+    timeout: float
+
+    def axes(self) -> Dict[str, Any]:
+        """The axis identity persisted on the cell's bench record."""
+        return {
+            "codec": self.codec,
+            "sequence": self.sequence,
+            "resolution": self.resolution,
+            "backend": self.backend,
+            "workers": self.workers,
+            "qp": self.qp,
+            "repeat": self.repeat,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Canonical axis string, stable across runs (resume identity)."""
+        axes = self.axes()
+        return "|".join(f"{key}={axes[key]}" for key in sorted(axes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Manifest serialisation (round-trips through :func:`cell_from_dict`)."""
+        return {
+            "spec_name": self.spec_name,
+            "codec": self.codec,
+            "sequence": self.sequence,
+            "resolution": self.resolution,
+            "backend": self.backend,
+            "workers": self.workers,
+            "qp": self.qp,
+            "repeat": self.repeat,
+            "frames": self.frames,
+            "scale": self.scale,
+            "seed": self.seed,
+            "timeout": self.timeout,
+        }
+
+
+def cell_from_dict(data: Mapping[str, Any]) -> Cell:
+    """Rebuild a cell from its manifest dict."""
+    if not isinstance(data, Mapping):
+        raise OrchestrateError(
+            f"manifest cell must be a mapping, got {type(data).__name__}")
+    try:
+        return Cell(
+            spec_name=str(data["spec_name"]),
+            codec=str(data["codec"]),
+            sequence=str(data["sequence"]),
+            resolution=str(data["resolution"]),
+            backend=str(data["backend"]),
+            workers=int(data["workers"]),
+            qp=int(data["qp"]),
+            repeat=int(data["repeat"]),
+            frames=int(data["frames"]),
+            scale=str(data["scale"]),
+            seed=int(data["seed"]),
+            timeout=float(data["timeout"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise OrchestrateError(
+            f"malformed manifest cell: {error!r}") from error
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A validated campaign specification."""
+
+    name: str
+    codecs: Tuple[str, ...]
+    sequences: Tuple[str, ...]
+    resolutions: Tuple[str, ...]
+    backends: Tuple[str, ...] = DEFAULT_AXES["backend"]
+    workers: Tuple[int, ...] = DEFAULT_AXES["workers"]
+    qps: Tuple[int, ...] = DEFAULT_AXES["qp"]
+    frames: int = DEFAULT_FRAMES
+    scale: str = DEFAULT_SCALE
+    repeats: int = DEFAULT_REPEATS
+    seed: int = DEFAULT_SEED
+    cell_timeout: float = DEFAULT_CELL_TIMEOUT
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and isinstance(self.name, str),
+                 self.name, "name", "a non-empty string")
+        for codec in self.codecs:
+            _require(codec in _KNOWN_CODECS, self.name, "axes.codec",
+                     f"one of {sorted(_KNOWN_CODECS)}", codec)
+        for sequence in self.sequences:
+            _require(sequence in _KNOWN_SEQUENCES, self.name, "axes.sequence",
+                     f"one of {sorted(_KNOWN_SEQUENCES)}", sequence)
+        for tier in self.resolutions:
+            _require(tier in _KNOWN_TIERS, self.name, "axes.resolution",
+                     f"one of {sorted(_KNOWN_TIERS)}", tier)
+        for backend in self.backends:
+            _require(backend in _KNOWN_BACKENDS, self.name, "axes.backend",
+                     f"one of {sorted(_KNOWN_BACKENDS)}", backend)
+        for count in self.workers:
+            _require(isinstance(count, int) and count >= 1, self.name,
+                     "axes.workers", "an integer >= 1", count)
+        for qp in self.qps:
+            _require(isinstance(qp, int) and 1 <= qp <= 31, self.name,
+                     "axes.qp", "an integer in 1..31", qp)
+        _require(isinstance(self.frames, int) and self.frames >= 1,
+                 self.name, "frames", "an integer >= 1", self.frames)
+        _require(isinstance(self.repeats, int) and self.repeats >= 1,
+                 self.name, "repeats", "an integer >= 1", self.repeats)
+        _require(isinstance(self.seed, int), self.name, "seed",
+                 "an integer", self.seed)
+        _require(self.cell_timeout > 0, self.name, "cell_timeout",
+                 "a positive number of seconds", self.cell_timeout)
+        try:
+            Fraction(self.scale)
+        except (ValueError, ZeroDivisionError) as error:
+            raise OrchestrateError(
+                f"spec field scale must be a fraction like '1/8', "
+                f"got {self.scale!r}", spec=self.name) from error
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form (what :func:`spec_fingerprint` hashes)."""
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "axes": {
+                "codec": list(self.codecs),
+                "sequence": list(self.sequences),
+                "resolution": list(self.resolutions),
+                "backend": list(self.backends),
+                "workers": list(self.workers),
+                "qp": list(self.qps),
+            },
+            "frames": self.frames,
+            "scale": self.scale,
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "cell_timeout": self.cell_timeout,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical spec (resume/cache identity)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def cell_count(self) -> int:
+        return (len(self.codecs) * len(self.sequences) * len(self.resolutions)
+                * len(self.backends) * len(self.workers) * len(self.qps)
+                * self.repeats)
+
+
+def _require(condition: bool, spec: str, field_name: str, expected: str,
+             got: Any = None) -> None:
+    if condition:
+        return
+    suffix = "" if got is None else f", got {got!r}"
+    raise OrchestrateError(
+        f"spec field {field_name} must be {expected}{suffix}", spec=spec)
+
+
+def _axis_values(spec_name: str, axes: Mapping[str, Any], axis: str,
+                 ) -> Tuple[Any, ...]:
+    if axis not in axes:
+        if axis in DEFAULT_AXES:
+            return DEFAULT_AXES[axis]
+        raise OrchestrateError(
+            f"spec axes must declare {axis!r}", spec=spec_name)
+    values = axes[axis]
+    if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+        raise OrchestrateError(
+            f"spec axis {axis!r} must be a list of values, got {values!r}",
+            spec=spec_name)
+    if not values:
+        raise OrchestrateError(
+            f"spec axis {axis!r} must not be empty", spec=spec_name)
+    deduped: List[Any] = []
+    for value in values:
+        if isinstance(value, bool):
+            raise OrchestrateError(
+                f"spec axis {axis!r} holds a boolean {value!r}; axis values "
+                f"are names or integers", spec=spec_name)
+        if value in deduped:
+            raise OrchestrateError(
+                f"spec axis {axis!r} repeats value {value!r}", spec=spec_name)
+        deduped.append(value)
+    return tuple(deduped)
+
+
+def parse_spec(data: Mapping[str, Any],
+               source: str = "<spec>") -> RunSpec:
+    """Validate a parsed document into a :class:`RunSpec`."""
+    if not isinstance(data, Mapping):
+        raise OrchestrateError(
+            f"{source}: spec must be a mapping, got {type(data).__name__}")
+    schema = data.get("schema", SPEC_SCHEMA)
+    if schema != SPEC_SCHEMA:
+        raise OrchestrateError(
+            f"{source}: not a run spec: schema {schema!r} "
+            f"(expected {SPEC_SCHEMA!r})")
+    unknown = sorted(set(data) - _KNOWN_KEYS)
+    if unknown:
+        raise OrchestrateError(
+            f"{source}: unknown spec key(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_KNOWN_KEYS))})")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise OrchestrateError(
+            f"{source}: spec needs a non-empty string 'name', got {name!r}")
+    axes = data.get("axes")
+    if not isinstance(axes, Mapping):
+        raise OrchestrateError(
+            f"spec needs an 'axes' mapping, got {axes!r}", spec=name)
+    unknown_axes = sorted(set(axes) - set(AXIS_NAMES))
+    if unknown_axes:
+        raise OrchestrateError(
+            f"unknown axis name(s): {', '.join(unknown_axes)} "
+            f"(known: {', '.join(AXIS_NAMES)})", spec=name)
+    try:
+        frames = int(data.get("frames", DEFAULT_FRAMES))
+        repeats = int(data.get("repeats", DEFAULT_REPEATS))
+        seed = int(data.get("seed", DEFAULT_SEED))
+        cell_timeout = float(data.get("cell_timeout", DEFAULT_CELL_TIMEOUT))
+    except (TypeError, ValueError) as error:
+        raise OrchestrateError(
+            f"spec scalar field has the wrong type: {error}",
+            spec=name) from error
+    return RunSpec(
+        name=name,
+        codecs=tuple(str(v) for v in _axis_values(name, axes, "codec")),
+        sequences=tuple(str(v) for v in _axis_values(name, axes, "sequence")),
+        resolutions=tuple(str(v) for v in _axis_values(name, axes, "resolution")),
+        backends=tuple(str(v) for v in _axis_values(name, axes, "backend")),
+        workers=tuple(_axis_values(name, axes, "workers")),
+        qps=tuple(_axis_values(name, axes, "qp")),
+        frames=frames,
+        scale=str(data.get("scale", DEFAULT_SCALE)),
+        repeats=repeats,
+        seed=seed,
+        cell_timeout=cell_timeout,
+    )
+
+
+def load_spec(path: Union[str, Path]) -> RunSpec:
+    """Load and validate a spec file (YAML by extension, JSON otherwise).
+
+    YAML support needs PyYAML; when it is absent a ``.yaml``/``.yml``
+    spec raises a clear :class:`~repro.errors.OrchestrateError` instead
+    of an ``ImportError`` (JSON specs always work).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise OrchestrateError(f"cannot read spec {path}: {error}") from error
+    if path.suffix.lower() in (".yaml", ".yml"):
+        data = _parse_yaml(text, str(path))
+    else:
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise OrchestrateError(
+                f"{path}: spec is not valid JSON: {error}") from error
+    return parse_spec(data, source=str(path))
+
+
+def _parse_yaml(text: str, source: str) -> Any:
+    try:
+        import yaml
+    except ImportError:
+        raise OrchestrateError(
+            f"{source}: YAML specs need PyYAML, which is not installed; "
+            f"rewrite the spec as JSON or install pyyaml") from None
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as error:
+        raise OrchestrateError(
+            f"{source}: spec is not valid YAML: {error}") from error
+
+
+def expand_cells(spec: RunSpec) -> List[Cell]:
+    """Expand a spec into its deterministic cell list.
+
+    Loop order is the canonical axis order (:data:`AXIS_NAMES`) with the
+    repeat index innermost; per-cell seeds derive from the spec seed and
+    the repeat index, so repeat k of a cell is the same measurement on
+    every host and every rerun.
+    """
+    cells: List[Cell] = []
+    for codec in spec.codecs:
+        for sequence in spec.sequences:
+            for resolution in spec.resolutions:
+                for backend in spec.backends:
+                    for workers in spec.workers:
+                        for qp in spec.qps:
+                            for repeat in range(spec.repeats):
+                                cells.append(Cell(
+                                    spec_name=spec.name,
+                                    codec=codec,
+                                    sequence=sequence,
+                                    resolution=resolution,
+                                    backend=backend,
+                                    workers=workers,
+                                    qp=qp,
+                                    repeat=repeat,
+                                    frames=spec.frames,
+                                    scale=spec.scale,
+                                    seed=spec.seed + repeat,
+                                    timeout=spec.cell_timeout,
+                                ))
+    return cells
+
+
+def encoder_fields_for_cell(cell: Cell, tier: Any = None) -> Dict[str, Any]:
+    """Constructor arguments for ``get_encoder`` under this cell.
+
+    Reuses :class:`~repro.bench.config.BenchConfig`'s quantiser mapping
+    (Equation 1 for H.264, the affine quality map for MJPEG) so a cell at
+    ``qp: 5`` measures exactly what ``hdvb-bench --qscale 5`` measures.
+    """
+    from repro.bench.config import BenchConfig
+    from repro.common.resolution import tier_by_name
+
+    config = BenchConfig(
+        scale=Fraction(cell.scale),
+        frames=cell.frames,
+        qscale=cell.qp,
+        sequences=(cell.sequence,),
+        tier_names=(cell.resolution,),
+    )
+    if tier is None:
+        tier = tier_by_name(cell.resolution, Fraction(cell.scale))
+    return config.encoder_fields(cell.codec, tier, backend=cell.backend)
+
+
+__all__ = [
+    "AXIS_NAMES",
+    "Cell",
+    "RunSpec",
+    "SPEC_SCHEMA",
+    "cell_from_dict",
+    "encoder_fields_for_cell",
+    "expand_cells",
+    "load_spec",
+    "parse_spec",
+]

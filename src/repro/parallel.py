@@ -99,29 +99,33 @@ def _encode_chunk(codec: str, fields: Dict, frames, fps: int,
     return ChunkResult(stream, seconds, metrics)
 
 
-def _run_serial(jobs) -> List[ChunkResult]:
-    """Run the chunk jobs in this process, one after another.
+def _encode_chunk_inline(codec: str, fields: Dict, frames, fps: int,
+                         telemetry_on: bool = False) -> ChunkResult:
+    """Serial (in-process) chunk worker.
 
     Telemetry, if enabled here, records into the live trace and registry
-    directly, so the chunks must not reset it or ship snapshots back
+    directly, so the chunk must not reset it or ship a snapshot back
     (``telemetry_on`` is forced off) -- that is the worker protocol.
     """
-    return [
-        _encode_chunk(codec, fields, frames, fps, False)
-        for codec, fields, frames, fps, _ in jobs
-    ]
+    del telemetry_on
+    return _encode_chunk(codec, fields, frames, fps, False)
 
 
-def _run_pool(jobs, workers: int, chunk_timeout: float,
-              executor_factory) -> List[ChunkResult]:
-    """Run the chunk jobs in one process pool, one result per job in order.
+def _run_serial(worker, jobs) -> List:
+    """Run the jobs in this process, one after another."""
+    return [worker(*job) for job in jobs]
 
-    ``chunk_timeout`` is a per-chunk *deadline* measured from submission:
-    every chunk must have produced its result within ``chunk_timeout``
+
+def _run_pool(worker, jobs, workers: int, job_timeout: float,
+              executor_factory) -> List:
+    """Run the jobs in one process pool, one result per job in order.
+
+    ``job_timeout`` is a per-job *deadline* measured from submission:
+    every job must have produced its result within ``job_timeout``
     seconds of the batch going in, so a stuck worker costs at most one
-    timeout even when many chunks queue behind it (the old behaviour —
+    timeout even when many jobs queue behind it (the old behaviour —
     a fresh timeout per sequential wait — let total stall time grow with
-    the chunk count).
+    the job count).
 
     Raises :class:`BrokenProcessPool`/``TimeoutError``/``OSError`` on pool
     failure; :class:`~repro.errors.ReproError` from a worker propagates
@@ -130,8 +134,11 @@ def _run_pool(jobs, workers: int, chunk_timeout: float,
     pool = executor_factory(max_workers=workers)
     clean = False
     try:
-        deadline = time.monotonic() + chunk_timeout
-        futures = [pool.submit(_encode_chunk, *job) for job in jobs]
+        deadline = time.monotonic() + job_timeout
+        # ``worker`` is required (and documented on run_pooled) to be a
+        # module-level function; the static rule cannot see through the
+        # parameter.
+        futures = [pool.submit(worker, *job) for job in jobs]  # hdvb: disable=HDVB130
         results = [
             future.result(timeout=max(0.0, deadline - time.monotonic()))
             for future in futures
@@ -141,6 +148,100 @@ def _run_pool(jobs, workers: int, chunk_timeout: float,
     finally:
         # A timed-out future may never finish; don't block shutdown on it.
         pool.shutdown(wait=clean, cancel_futures=not clean)
+
+
+def run_pooled(
+    worker,
+    jobs,
+    workers: int,
+    job_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    executor_factory=ProcessPoolExecutor,
+    serial_worker=None,
+) -> Tuple[List, Dict]:
+    """Run ``worker(*job)`` over ``jobs`` with pooled, hardened execution.
+
+    The generic engine behind :func:`parallel_encode`, reused by the
+    benchmark orchestrator (:mod:`repro.orchestrate.scheduler`): one
+    process pool, per-job deadlines measured from batch submission,
+    one retry on a fresh pool after a jittered exponential backoff
+    (``retry_backoff * 2^attempt``, jittered by a uniform 0.5-1.5x
+    factor), and a serial in-process fallback when the pool fails twice.
+    :class:`~repro.errors.ReproError` raised by a worker propagates
+    immediately -- it would fail identically on retry.
+
+    ``worker`` must be picklable (a module-level function); each job is
+    a tuple of its positional arguments.  ``serial_worker`` — defaulting
+    to ``worker`` — runs the serial path (one worker, one job, or the
+    fallback), for callers whose pool worker does process-local setup
+    that must not happen in the parent.
+
+    Returns ``(results, stats)`` with one result per job in submission
+    order and ``stats`` describing the execution::
+
+        {"mode": "pool", "workers": 2, "retries": 0, "fallback": False,
+         "failures": [], "job_timeout": 600.0, "backoff_seconds": []}
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if job_timeout <= 0:
+        raise ConfigError(f"job_timeout must be positive, got {job_timeout}")
+    if retry_backoff < 0:
+        raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
+    if serial_worker is None:
+        serial_worker = worker
+    jobs = list(jobs)
+    retries = 0
+    fallback = False
+    failures: List[str] = []
+    backoffs: List[float] = []
+    if workers == 1 or len(jobs) <= 1:
+        mode = "serial"
+        results = _run_serial(serial_worker, jobs)
+    else:
+        mode = "pool"
+        results = None
+        failure: Optional[BaseException] = None
+        for attempt in range(2):
+            if attempt:
+                # Jittered exponential backoff before the fresh pool: an
+                # immediate re-submit tends to hit the same starved
+                # machine that broke the first pool.
+                pause = (retry_backoff * (2 ** (attempt - 1))
+                         * random.uniform(0.5, 1.5))
+                backoffs.append(pause)
+                if pause > 0:
+                    time.sleep(pause)
+            try:
+                results = _run_pool(worker, jobs, workers, job_timeout,
+                                    executor_factory)
+                break
+            except ReproError:
+                raise
+            except (BrokenProcessPool, FutureTimeout, OSError) as error:
+                failure = error
+                failures.append(repr(error))
+                retries += 1
+        if results is None:
+            warnings.warn(
+                f"pooled execution failed twice ({failure!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            mode = "pool-fallback-serial"
+            fallback = True
+            results = _run_serial(serial_worker, jobs)
+    stats = {
+        "mode": mode,
+        "workers": workers,
+        "retries": retries,
+        "fallback": fallback,
+        "failures": failures,
+        "job_timeout": job_timeout,
+        "backoff_seconds": backoffs,
+    }
+    return results, stats
 
 
 def parallel_encode(
@@ -209,49 +310,21 @@ def parallel_encode(
         for start, stop in spans
     ]
     wall_start = time.perf_counter()
-    retries = 0
-    fallback = False
-    failures: List[str] = []
-    backoffs: List[float] = []
     with telemetry_span("parallel.encode", codec=codec, workers=workers,
                         chunks=len(jobs)):
-        if workers == 1 or len(jobs) == 1:
-            mode = "serial"
-            results = _run_serial(jobs)
-        else:
-            mode = "pool"
-            results = None
-            failure: Optional[BaseException] = None
-            for attempt in range(2):
-                if attempt:
-                    # Jittered exponential backoff before the fresh pool:
-                    # an immediate re-submit tends to hit the same starved
-                    # machine that broke the first pool.
-                    pause = (retry_backoff * (2 ** (attempt - 1))
-                             * random.uniform(0.5, 1.5))
-                    backoffs.append(pause)
-                    if pause > 0:
-                        time.sleep(pause)
-                try:
-                    results = _run_pool(jobs, workers, chunk_timeout, executor_factory)
-                    break
-                except ReproError:
-                    raise
-                except (BrokenProcessPool, FutureTimeout, OSError) as error:
-                    failure = error
-                    failures.append(repr(error))
-                    retries += 1
-            if results is None:
-                warnings.warn(
-                    f"parallel encode failed twice ({failure!r}); "
-                    "falling back to serial execution",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                mode = "pool-fallback-serial"
-                fallback = True
-                results = _run_serial(jobs)
+        results, pool_stats = run_pooled(
+            _encode_chunk, jobs, workers,
+            job_timeout=chunk_timeout,
+            retry_backoff=retry_backoff,
+            executor_factory=executor_factory,
+            serial_worker=_encode_chunk_inline,
+        )
     wall_seconds = time.perf_counter() - wall_start
+    mode = pool_stats["mode"]
+    retries = pool_stats["retries"]
+    fallback = pool_stats["fallback"]
+    failures = pool_stats["failures"]
+    backoffs = pool_stats["backoff_seconds"]
 
     if telemetry_on:
         reg = telemetry_registry()

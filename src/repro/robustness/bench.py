@@ -240,4 +240,12 @@ def render_robustness(reports: Sequence[RobustnessReport],
             f"{report.mean_psnr_delta:+.2f} dB",
             f"{report.worst_psnr_delta:+.2f} dB",
         ))
-    return render_table(headers, rows, title=title)
+    lines = [render_table(headers, rows, title=title)]
+    for report in reports:
+        if report.failure_examples:
+            lines.append(f"{report.codec}: {report.raw_escapes} raw "
+                         f"escape(s); first "
+                         f"{len(report.failure_examples)} example(s):")
+            for example in report.failure_examples:
+                lines.append(f"  - {example}")
+    return "\n".join(lines)

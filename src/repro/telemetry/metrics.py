@@ -50,6 +50,13 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Bucket preset for queue depths and other small occupancy counts.
 DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Bucket preset for orchestrator cell wall times in seconds: cache hits
+#: land in the sub-100 ms buckets, real encodes spread over the seconds
+#: to minutes range up to the default per-cell timeout.
+CELL_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 150.0, 600.0,
+)
+
 
 class Counter:
     """A monotonically increasing count."""

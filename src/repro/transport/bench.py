@@ -224,4 +224,15 @@ def render_streaming(reports: Sequence[StreamingReport],
             report.concealed_pictures,
             f"{report.mean_psnr_delta:+.2f} dB",
         ))
-    return render_table(headers, rows, title=title)
+    lines = [render_table(headers, rows, title=title)]
+    for report in reports:
+        if report.failure_examples:
+            failed = report.trials - report.graceful
+            lines.append(f"{report.codec} loss={report.loss_rate:g} "
+                         f"burst={report.burst_length:g} "
+                         f"fec={report.fec_group}: {failed} non-graceful "
+                         f"reception(s); first "
+                         f"{len(report.failure_examples)} example(s):")
+            for example in report.failure_examples:
+                lines.append(f"  - {example}")
+    return "\n".join(lines)

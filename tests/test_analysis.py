@@ -51,7 +51,8 @@ class TestEngineBasics:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         assert {"HDVB101", "HDVB102", "HDVB110", "HDVB111", "HDVB120",
-                "HDVB130", "HDVB140", "HDVB150", "HDVB160"} <= set(ids)
+                "HDVB130", "HDVB140", "HDVB150", "HDVB160", "HDVB170",
+                "HDVB180"} <= set(ids)
         for rule in all_rules():
             assert rule.name and rule.rationale, rule.rule_id
 
@@ -744,3 +745,67 @@ class TestSupervisedTaskRule:
                 return supervisor.spawn(coro, "session.reader")
         """})
         assert result.clean
+
+
+class TestOrchestratorCellRule:
+    def test_builtin_raise_in_orchestrate_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/evil.py": """
+            def parse(value):
+                raise ValueError(f"bad spec value {value!r}")
+        """})
+        assert rule_ids(result) == ["HDVB180"]
+
+    def test_json_dump_sink_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/evil.py": """
+            import json
+
+            def save(results, handle):
+                json.dump(results, handle)
+        """})
+        assert rule_ids(result) == ["HDVB180"]
+
+    def test_text_write_sink_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/evil.py": """
+            def save(results, path):
+                with open(path, "w") as handle:
+                    handle.write(str(results))
+        """})
+        assert rule_ids(result) == ["HDVB180"]
+
+    def test_binary_atomic_write_is_legal(self, tmp_path):
+        # Artifact/manifest files are binary temp+replace writes -- the
+        # sanctioned layout, not an ad-hoc result sink.
+        result = lint_tree(tmp_path, {"orchestrate/clean.py": """
+            import json
+            import os
+
+            def commit(path, payload):
+                with open(path + ".tmp", "wb") as handle:
+                    handle.write(json.dumps(payload).encode("utf-8"))
+                os.replace(path + ".tmp", path)
+        """})
+        assert result.clean
+
+    def test_clean_twin_uses_store_and_taxonomy(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/clean.py": """
+            from repro.errors import OrchestrateError
+
+            def persist(store, records, cell_id):
+                if not records:
+                    raise OrchestrateError("cell produced no records",
+                                           cell=cell_id)
+                store.append_many(records)
+        """})
+        assert result.clean
+
+    def test_outside_orchestrate_scope_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/util.py": """
+            def parse(value):
+                raise ValueError(value)
+        """})
+        assert result.clean
+
+    def test_shipped_orchestrate_tree_is_clean(self):
+        result = run([str(REPO_ROOT / "src" / "repro" / "orchestrate")],
+                     baseline=empty_baseline())
+        assert result.clean, render_human(result.findings)
