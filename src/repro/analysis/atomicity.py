@@ -1,0 +1,146 @@
+"""Atomic-write rule: durable state lands via temp + ``os.replace``.
+
+The observe store and the artifact cache are the repo's durability
+backbone, and the chaos harness (:mod:`repro.chaos`) proves their crash
+recovery *only along the write paths that follow the discipline*: write
+the full payload to a temp name, fsync, then ``os.replace`` into place
+(or append a single whole line on an ``O_APPEND`` descriptor through
+the :func:`repro.chaos.fileops` seam).  A plain ``open(path, "w")`` in
+these packages is a torn-write waiting for a crash — the file exists in
+a half-written state a reader (or fsck) must then cope with, outside
+every recovery guarantee the harness certifies.
+
+HDVB190 flags, inside ``observe/`` and ``orchestrate/``:
+
+* builtin ``open(...)`` with a creating/truncating mode (``w``/``a``/
+  ``x``, text **or** binary — unlike HDVB160, binary writes are in
+  scope because artifacts are binary);
+* ``Path.write_text(...)`` / ``Path.write_bytes(...)`` calls;
+
+**unless** the enclosing function also calls ``os.replace`` (the
+temp-then-swap pattern: the open is the temp write) or routes through
+the chaos ``fileops()`` seam.  Intentional non-durable writes (reports,
+exports) carry an inline ``# hdvb: disable=HDVB190`` with a comment
+saying why tearing is harmless.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, register
+
+#: Packages whose writes must be atomic (the durability backbone).
+ATOMIC_SCOPE_PREFIXES: Tuple[str, ...] = ("observe/", "orchestrate/")
+
+#: ``open`` modes that create or truncate — text or binary alike.
+_WRITE_MODE_CHARS = frozenset({"w", "a", "x"})
+
+#: Method names that write a whole file non-atomically.
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    """True when an ``open`` call's mode creates or truncates a file."""
+    mode_node: ast.AST = ast.Constant(value="r")
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not isinstance(mode_node, ast.Constant) or not isinstance(
+        mode_node.value, str
+    ):
+        return False    # a computed mode cannot be proven either way
+    return bool(_WRITE_MODE_CHARS & set(mode_node.value))
+
+
+def _function_calls(function: ast.AST) -> List[ast.Call]:
+    return [node for node in ast.walk(function)
+            if isinstance(node, ast.Call)]
+
+
+def _uses_replace_or_seam(calls: List[ast.Call], unit: ModuleUnit) -> bool:
+    """True when the function swaps atomically or writes via fileops()."""
+    aliases = unit.module_aliases()
+    imported = unit.imported_names()
+    for call in calls:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            continue
+        base = dotted.split(".", 1)[0]
+        if dotted.endswith(".replace") and aliases.get(base) == "os":
+            return True
+        if imported.get(dotted, "").endswith("os.replace"):
+            return True
+        if dotted == "fileops" or dotted.endswith(".fileops"):
+            return True
+    return False
+
+
+@register
+class AtomicWriteRule(Rule):
+    """HDVB190: durable-state packages write via temp + os.replace."""
+
+    rule_id = "HDVB190"
+    name = "atomic-write"
+    rationale = (
+        "the chaos harness certifies crash recovery only for writes that "
+        "follow the temp+os.replace (or O_APPEND-line) discipline; a "
+        "plain open-for-write in observe/ or orchestrate/ can be torn by "
+        "a crash into a half-written file outside every recovery "
+        "guarantee"
+    )
+    hint = (
+        "write the payload to a '<name>.tmp' sibling through the "
+        "repro.chaos fileops() seam, fsync, then os.replace it into "
+        "place; or add '# hdvb: disable=HDVB190' with a comment saying "
+        "why a torn write is harmless here"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None:
+            return
+        if not in_scope(unit.module, ATOMIC_SCOPE_PREFIXES):
+            return
+        imported = unit.imported_names()
+        # Walk function by function: os.replace anywhere in the same
+        # function marks the whole function as the temp-then-swap
+        # pattern, module-level writes have no such excuse.
+        functions = [node for node in ast.walk(unit.tree)
+                     if isinstance(node, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))]
+        seen_calls = set()
+        for function in functions:
+            calls = _function_calls(function)
+            atomic = _uses_replace_or_seam(calls, unit)
+            for call in calls:
+                seen_calls.add(id(call))
+                if not atomic:
+                    yield from self._check_call(unit, call, imported)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call) and id(node) not in seen_calls:
+                yield from self._check_call(unit, node, imported)
+
+    def _check_call(self, unit: ModuleUnit, call: ast.Call,
+                    imported: dict) -> Iterator[Finding]:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return
+        if dotted == "open" and "open" not in imported:
+            if _open_write_mode(call):
+                yield self.finding(
+                    unit, call,
+                    "open() for writing without temp+os.replace in the "
+                    "same function is a torn write under crash",
+                )
+        else:
+            method = dotted.rsplit(".", 1)[-1]
+            if method in _WRITE_METHODS and "." in dotted:
+                yield self.finding(
+                    unit, call,
+                    f"{method}() rewrites the file in place -- a crash "
+                    f"mid-write leaves it half-written",
+                )

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import (  # noqa: F401 -- rule registration
+    atomicity,
     determinism,
     orchestration,
     parity,

@@ -56,11 +56,17 @@ def findings_document(findings: Sequence[Finding], *,
                       files_scanned: Optional[int] = None,
                       suppressed: int = 0,
                       baselined: int = 0,
-                      stale_baseline: Sequence[str] = ()) -> Dict[str, Any]:
-    """The JSON report as a plain dict (stable schema for tooling)."""
+                      stale_baseline: Sequence[str] = (),
+                      schema: str = FINDINGS_SCHEMA) -> Dict[str, Any]:
+    """The JSON report as a plain dict (stable schema for tooling).
+
+    ``schema`` lets other finding producers (the fsck layer reports as
+    ``repro.chaos.fsck/1``) reuse the document shape under their own
+    schema id.
+    """
     ordered = sort_findings(findings)
     return {
-        "schema": FINDINGS_SCHEMA,
+        "schema": schema,
         "findings": [finding.to_dict() for finding in ordered],
         "summary": {
             "total": len(ordered),

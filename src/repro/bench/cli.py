@@ -263,6 +263,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     orc.add_argument("--cache", default="", metavar="DIR",
                      help="artifact cache directory "
                           "(default: .hdvb-artifact-cache)")
+    orc.add_argument("--stale-lock-seconds", type=float, default=None,
+                     dest="stale_lock_seconds", metavar="SECONDS",
+                     help="break single-flight cache locks older than this "
+                          "(a dead leader's claim; default: 900)")
     orc.add_argument("--shards", type=int, default=0,
                      help="emit N shard manifests instead of running "
                           "(multi-host execution)")
@@ -500,7 +504,10 @@ def _run_orchestrate(args) -> int:
     run_id = args.run_id or f"{spec.name}-{spec.fingerprint()}"
     info = RunInfo.capture(run_id=run_id)
     store = HistoryStore(args.store)
-    cache = ArtifactCache(args.cache or DEFAULT_CACHE_DIR)
+    cache_kwargs = {}
+    if args.stale_lock_seconds is not None:
+        cache_kwargs["stale_lock_seconds"] = args.stale_lock_seconds
+    cache = ArtifactCache(args.cache or DEFAULT_CACHE_DIR, **cache_kwargs)
     state = run_cells(spec, store, info, cache=cache,
                       scheduler_workers=args.workers, cells=cells,
                       progress=_progress)

@@ -1,0 +1,276 @@
+"""The crash-recovery proof: kill, fsck, resume, compare bit-for-bit.
+
+For **every** entry of the crash-point registry
+(:data:`repro.chaos.plan.CRASH_POINTS`) this harness:
+
+1. runs an uninterrupted reference scenario (once per scenario shape —
+   the expansion, encodes and records are all deterministic);
+2. forks a child that runs the same scenario with a
+   :class:`~repro.chaos.fsops.ChaosFS` armed to **hard-crash**
+   (``os._exit``, no ``finally`` blocks, no flushes — honest ``kill
+   -9`` semantics) at the crash point, and asserts the child died with
+   :data:`~repro.chaos.fsops.CRASH_EXIT_CODE`;
+3. runs ``fsck --repair`` over the survivor store and cache (stale
+   locks broken unconditionally — every lock owner is known dead) and
+   asserts a re-check comes back clean;
+4. resumes the scenario without chaos — same run id, record-granular
+   resume — and asserts the final store records are **bit-identical**
+   (serialised line for line) to the uninterrupted reference.
+
+Two scenario shapes cover the registry: ``run`` (a mini
+:func:`~repro.orchestrate.scheduler.run_cells` campaign — exercises the
+append, artifact-commit and scheduler points) and ``compact`` (two runs
+then ``compact(keep_last=1)`` — exercises the compaction points).
+
+CI entry point::
+
+    python -m repro.chaos.harness [--spec specs/ci-mini.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.chaos.fsops import CRASH_EXIT_CODE, ChaosFS, activate
+from repro.chaos.plan import CRASH_POINTS, FaultPlan
+from repro.errors import ChaosError
+from repro.observe.fsck import fsck_store
+from repro.observe.record import RunInfo
+from repro.observe.store import HistoryStore, _serialise
+from repro.orchestrate.artifacts import ArtifactCache
+from repro.orchestrate.fsck import fsck_cache
+from repro.orchestrate.scheduler import run_cells
+from repro.orchestrate.spec import RunSpec, load_spec, parse_spec
+
+#: The default matrix workload: two cells, tiny frames, serial only --
+#: small enough that the full registry proves out in seconds.
+DEFAULT_SPEC: Dict[str, object] = {
+    "schema": "repro.orchestrate.spec/1",
+    "name": "chaos-mini",
+    "axes": {
+        "codec": ["mpeg2"],
+        "sequence": ["blue_sky"],
+        "resolution": ["576p25"],
+        "qp": [8, 12],
+    },
+    "frames": 2,
+    "scale": "1/16",
+    "seed": 0,
+}
+
+#: Crash points proven through the ``compact`` scenario; every other
+#: registered point fires inside the ``run`` scenario.
+COMPACT_POINTS = frozenset({
+    "store.compact.pre_replace",
+    "store.compact.post_replace",
+})
+
+_EXIT_UNEXPECTED_ERROR = 3      #: child failed before the crash point
+_EXIT_POINT_NOT_REACHED = 4     #: scenario finished, point never fired
+
+
+@dataclass
+class CrashProof:
+    """Outcome of one crash point's kill → fsck → resume → compare."""
+
+    point: str
+    scenario: str
+    child_exit: Optional[int]
+    fsck_findings: int          #: pre-repair findings (store + cache)
+    recheck_clean: bool
+    identical: bool
+
+    @property
+    def ok(self) -> bool:
+        return (self.child_exit == CRASH_EXIT_CODE and self.recheck_clean
+                and self.identical)
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (f"{status:4s} {self.point:32s} scenario={self.scenario:8s} "
+                f"exit={self.child_exit} findings={self.fsck_findings} "
+                f"recheck={'clean' if self.recheck_clean else 'dirty'} "
+                f"records={'identical' if self.identical else 'DIVERGED'}")
+
+
+def scenario_for(point: str) -> str:
+    return "compact" if point in COMPACT_POINTS else "run"
+
+
+# ----------------------------------------------------------------------
+# scenarios (module-level so forked children can run them)
+# ----------------------------------------------------------------------
+
+
+def _store(root: Path) -> HistoryStore:
+    return HistoryStore(str(root / "store"))
+
+
+def _cache(root: Path) -> ArtifactCache:
+    return ArtifactCache(str(root / "cache"))
+
+
+def _do_run(root: Path, spec: RunSpec) -> None:
+    """The ``run`` scenario: one mini campaign under a fixed run id."""
+    run_cells(spec, _store(root), RunInfo(run_id="chaos-run"),
+              cache=_cache(root))
+
+
+def _prepare_compact(root: Path, spec: RunSpec) -> None:
+    """Two uninterrupted runs -- the state ``compact`` then bounds."""
+    store, cache = _store(root), _cache(root)
+    run_cells(spec, store, RunInfo(run_id="chaos-A"), cache=cache)
+    run_cells(spec, store, RunInfo(run_id="chaos-B"), cache=cache)
+
+
+def _do_compact(root: Path, spec: RunSpec) -> None:
+    del spec
+    _store(root).compact(keep_last=1)
+
+
+def _run_scenario(scenario: str, root: Path, spec: RunSpec) -> None:
+    if scenario == "compact":
+        _do_compact(root, spec)
+    else:
+        _do_run(root, spec)
+
+
+def _crash_child(point: str, root: str, spec_data: str) -> None:
+    """Forked-child entry: run the scenario armed to die at ``point``."""
+    spec = parse_spec(json.loads(spec_data))
+    plan = FaultPlan().crash_at(point)
+    try:
+        with activate(ChaosFS(plan, hard_crash=True)):
+            _run_scenario(scenario_for(point), Path(root), spec)
+    # A hard-exit child can only speak through its exit code; any error
+    # other than the armed crash means the proof is invalid.
+    except BaseException:  # hdvb: disable=HDVB111
+        os._exit(_EXIT_UNEXPECTED_ERROR)
+    os._exit(_EXIT_POINT_NOT_REACHED)
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+
+
+def store_lines(root: Path) -> List[bytes]:
+    """Every record of the store, re-serialised, sorted — the identity
+    two recovered-vs-uninterrupted stores are compared under (append
+    order legitimately differs when a resumed run re-executes cells)."""
+    return sorted(_serialise(record) for record in _store(root).load())
+
+
+# ----------------------------------------------------------------------
+# the proof
+# ----------------------------------------------------------------------
+
+
+def prove_crash_point(point: str, spec: RunSpec, work_dir: Path,
+                      reference: List[bytes]) -> CrashProof:
+    """Kill at ``point``, fsck --repair, resume, compare to reference."""
+    scenario = scenario_for(point)
+    root = work_dir / point.replace(".", "-")
+    shutil.rmtree(root, ignore_errors=True)
+    root.mkdir(parents=True)
+    if scenario == "compact":
+        _prepare_compact(root, spec)
+
+    context = multiprocessing.get_context("fork")
+    spec_data = json.dumps(spec.to_dict())
+    child = context.Process(target=_crash_child,
+                            args=(point, str(root), spec_data))
+    child.start()
+    child.join(timeout=300)
+    if child.is_alive():
+        child.kill()
+        child.join()
+
+    store = _store(root)
+    cache = _cache(root)
+    findings = (fsck_store(store, repair=True)
+                + fsck_cache(cache, repair=True, lock_age=0.0))
+    recheck = (fsck_store(store, repair=False)
+               + fsck_cache(cache, repair=False, lock_age=0.0))
+
+    _run_scenario(scenario, root, spec)
+    final_recheck = (fsck_store(store, repair=False)
+                     + fsck_cache(cache, repair=False))
+
+    return CrashProof(
+        point=point,
+        scenario=scenario,
+        child_exit=child.exitcode,
+        fsck_findings=len(findings),
+        recheck_clean=not recheck and not final_recheck,
+        identical=store_lines(root) == reference,
+    )
+
+
+def run_matrix(spec: Optional[RunSpec] = None,
+               work_dir: Optional[Path] = None,
+               progress: Optional[object] = None) -> List[CrashProof]:
+    """Prove every registered crash point; returns one proof per point."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ChaosError("crash-proof harness needs the fork start method")
+    if spec is None:
+        spec = parse_spec(DEFAULT_SPEC)
+    owns_dir = work_dir is None
+    if work_dir is None:
+        work_dir = Path(tempfile.mkdtemp(prefix="hdvb-chaos-"))
+    try:
+        references: Dict[str, List[bytes]] = {}
+        for scenario in ("run", "compact"):
+            root = work_dir / f"reference-{scenario}"
+            shutil.rmtree(root, ignore_errors=True)
+            root.mkdir(parents=True)
+            if scenario == "compact":
+                _prepare_compact(root, spec)
+            _run_scenario(scenario, root, spec)
+            references[scenario] = store_lines(root)
+
+        proofs = []
+        for point in CRASH_POINTS:
+            proof = prove_crash_point(point, spec, work_dir,
+                                      references[scenario_for(point)])
+            if callable(progress):
+                progress(proof)
+            proofs.append(proof)
+        return proofs
+    finally:
+        if owns_dir:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.harness",
+        description="Exhaustive crash-point recovery proof: kill a mini "
+                    "run at every registered crash point, fsck --repair, "
+                    "resume, and require bit-identical records.")
+    parser.add_argument("spec", nargs="?", default=None, metavar="SPEC",
+                        help="run-spec JSON file (default: the built-in "
+                             "two-cell chaos-mini spec)")
+    options = parser.parse_args(argv)
+    spec = load_spec(options.spec) if options.spec else None
+
+    proofs = run_matrix(spec=spec,
+                        progress=lambda proof: print(proof.render(),
+                                                     flush=True))
+    failed = [proof for proof in proofs if not proof.ok]
+    print(f"chaos harness: {len(proofs) - len(failed)}/{len(proofs)} "
+          f"crash point(s) recovered bit-identically")
+    return 0 if not failed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

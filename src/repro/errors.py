@@ -25,6 +25,14 @@ Hierarchy::
     |                           artifact cache misbehaves
     |                           (:mod:`repro.orchestrate`); carries the
     |                           ``spec`` name and ``cell`` identity
+    +-- ChaosError              the fault-injection layer itself is misused
+    |   |                       (:mod:`repro.chaos`): malformed fault plans,
+    |   |                       unregistered crash points; carries the
+    |   |                       ``crash_point`` name and filesystem ``path``
+    |   +-- CrashInjected       simulated process death at a named crash
+    |                           point -- never caught and converted to a
+    |                           failed-cell record, it must propagate (or
+    |                           hard-exit) exactly like a real kill
     +-- OriginError             the streaming origin (:mod:`repro.origin`)
         |                       failed a session operation; carries
         |                       ``session_id`` and supervisor ``state``
@@ -201,6 +209,54 @@ class OrchestrateError(ReproError):
         if rendered.endswith("]"):
             return f"{rendered[:-1]}, {joined}]"
         return f"{rendered} [{joined}]"
+
+
+class ChaosError(ReproError):
+    """Raised by the deterministic fault-injection layer (:mod:`repro.chaos`).
+
+    Adds the ``crash_point`` name (an entry of the crash-point registry)
+    and the filesystem ``path`` the chaos shim was operating on.  Note
+    that *injected* faults are deliberately **not** ChaosErrors: the shim
+    raises genuine ``OSError``s so that production error handling is
+    exercised exactly as a real flaky filesystem would exercise it.
+    ChaosError itself marks misuse of the chaos machinery (a malformed
+    fault plan, an unregistered crash point).
+    """
+
+    def __init__(self, message: str = "", *,
+                 crash_point: Optional[str] = None,
+                 path: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.crash_point = crash_point
+        self.path = path
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        data = dict(super().context)
+        data["crash_point"] = self.crash_point
+        data["path"] = self.path
+        return data
+
+    def __str__(self) -> str:
+        rendered = super().__str__()
+        extra = []
+        if self.crash_point is not None:
+            extra.append(f"crash_point={self.crash_point}")
+        if self.path is not None:
+            extra.append(f"path={self.path}")
+        if not extra:
+            return rendered
+        joined = ", ".join(extra)
+        if rendered.endswith("]"):
+            return f"{rendered[:-1]}, {joined}]"
+        return f"{rendered} [{joined}]"
+
+
+class CrashInjected(ChaosError):
+    """Raised (or hard-exited) at a registered crash point to simulate
+    process death.  Recovery code must never catch this and carry on:
+    the crash-proof harness treats it exactly like ``kill -9``, so any
+    handler that swallows it is masking an untested recovery path."""
 
 
 class OriginError(ReproError):

@@ -17,9 +17,13 @@ mechanical answer:
   reporter machinery;
 * :mod:`repro.observe.export` — OpenMetrics/Prometheus text exposition
   of the latest records and merged telemetry;
+* :mod:`repro.observe.fsck` — corruption check + quarantine repair
+  (torn appends, mangled lines, orphan compaction temps) reporting
+  ``repro.chaos.fsck/1`` findings, crash-proven by the
+  :mod:`repro.chaos` harness;
 * :mod:`repro.observe.cli` — the ``hdvb-observe`` front end
   (``record`` / ``compare`` / ``trend`` / ``gate`` / ``export`` /
-  ``compact``).
+  ``compact`` / ``fsck``).
 
 Feeding the store: every measuring ``hdvb-bench`` subcommand takes
 ``--record`` (append this run) / ``--run-id`` / ``--store``, and
@@ -50,23 +54,28 @@ from repro.observe.regress import (
     median,
     metric_trend,
 )
-from repro.observe.store import DEFAULT_STORE_DIR, HistoryStore
+from repro.observe.store import DEFAULT_STORE_DIR, HistoryStore, MalformedLine
 from repro.observe.export import export_store, render_openmetrics
+from repro.observe.fsck import FSCK_SCHEMA, QUARANTINE_SCHEMA, fsck_store
 
 __all__ = [
     "BenchRecord",
+    "FSCK_SCHEMA",
     "DEFAULT_POLICIES",
     "DEFAULT_STORE_DIR",
     "DOCUMENT_SCHEMA",
     "GateConfig",
     "HistoryStore",
+    "MalformedLine",
     "MetricPolicy",
+    "QUARANTINE_SCHEMA",
     "RECORD_SCHEMA",
     "RunInfo",
     "compare_runs",
     "current_git_sha",
     "detect_regressions",
     "export_store",
+    "fsck_store",
     "mad",
     "median",
     "metric_trend",

@@ -5,9 +5,12 @@
     hdvb-observe trend --bench performance --metric fps
     hdvb-observe gate [--format human|json]  # regression detector (CI gate)
     hdvb-observe export [--output FILE]      # OpenMetrics exposition
+    hdvb-observe fsck [--repair]             # corruption check + quarantine
 
 Exit codes follow the ``hdvb-lint`` convention: 0 — clean, 1 — at least
-one regression finding (``gate`` only), 2 — usage or I/O error.
+one finding (``gate`` and ``fsck``), 2 — usage or I/O error.  With
+``fsck --repair`` the exit code reflects the *post-repair* state: 0 iff
+the re-check comes back clean.
 """
 
 from __future__ import annotations
@@ -102,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="records kept per (bench, axis) "
                               "(default: %(default)s)")
     _add_store_argument(compact)
+
+    fsck = sub.add_parser("fsck", help="check the history for corruption "
+                                       "(torn appends, mangled lines, "
+                                       "orphan temps)")
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine bad byte ranges and delete orphan "
+                           "temps; exit 0 iff the re-check is clean")
+    fsck.add_argument("--format", choices=("human", "json"), default="human",
+                      help="report format (default: human)")
+    _add_store_argument(fsck)
     return parser
 
 
@@ -233,7 +246,10 @@ def _cmd_export(options: argparse.Namespace) -> int:
     text = export_store(store, bench=options.bench)
     if options.output:
         try:
-            with open(options.output, "w", encoding="utf-8") as handle:
+            # An exposition file is a report, not durable state: a torn
+            # write is harmless (the next scrape rewrites it whole).
+            with open(options.output, "w",  # hdvb: disable=HDVB190
+                      encoding="utf-8") as handle:
                 handle.write(text)
         except OSError as error:
             raise ObserveError(
@@ -254,6 +270,28 @@ def _cmd_compact(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(options: argparse.Namespace) -> int:
+    from repro.observe.fsck import FSCK_SCHEMA, fsck_store
+
+    store = HistoryStore(options.store)
+    findings = fsck_store(store, repair=options.repair)
+    if options.repair and findings:
+        # The exit code must certify the post-repair state, not the mess
+        # we started from: re-check and report anything still wrong.
+        remaining = fsck_store(store, repair=False)
+    else:
+        remaining = findings
+    if options.format == "json":
+        print(render_json(findings, schema=FSCK_SCHEMA))
+    else:
+        print(render_human(findings))
+        if options.repair and findings:
+            state = "clean" if not remaining else f"{len(remaining)} left"
+            print(f"hdvb-observe: repaired {len(findings)} finding(s); "
+                  f"re-check {state}", file=sys.stderr)
+    return 0 if not remaining else 1
+
+
 _COMMANDS = {
     "record": _cmd_record,
     "compare": _cmd_compare,
@@ -261,6 +299,7 @@ _COMMANDS = {
     "gate": _cmd_gate,
     "export": _cmd_export,
     "compact": _cmd_compact,
+    "fsck": _cmd_fsck,
 }
 
 

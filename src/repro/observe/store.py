@@ -9,10 +9,18 @@ newest last.  Three properties matter:
   gate reads) interleave whole lines, never torn ones;
 * **tolerant reads** — a malformed line (a crashed writer, a hand edit)
   is counted and skipped, not fatal: one bad record must not take the
-  whole trajectory with it;
+  whole trajectory with it.  :meth:`HistoryStore.scan` records the byte
+  ``(offset, length, reason)`` of every bad line so
+  :mod:`repro.observe.fsck` can quarantine precisely instead of
+  rewriting the whole file;
 * **bounded growth** — :meth:`HistoryStore.compact` keeps the newest N
   records per (bench, axis) and atomically replaces the file
   (temp file + ``os.replace``), preserving relative order.
+
+All critical writes go through the :func:`repro.chaos.fileops` seam and
+announce named crash points, so the chaos harness
+(:mod:`repro.chaos.harness`) can kill this code at every seam and prove
+fsck + resume recover bit-identically.
 
 The store is the single sanctioned result sink: ``hdvb-lint`` rule
 HDVB160 (:mod:`repro.analysis.persistence`) flags benchmark code that
@@ -23,11 +31,12 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ObserveError
+from repro.chaos.fsops import crash_point, fileops
+from repro.errors import CrashInjected, ObserveError
 from repro.observe.record import BenchRecord
 
 #: Default store directory, relative to the invocation directory.
@@ -35,6 +44,13 @@ DEFAULT_STORE_DIR = ".hdvb-bench-history"
 
 #: The history file inside the store directory.
 HISTORY_FILENAME = "history.jsonl"
+
+#: Quarantined-corruption sidecar written by ``hdvb-observe fsck --repair``.
+QUARANTINE_FILENAME = "quarantine.jsonl"
+
+#: Temp name used by compaction; a survivor is debris from a crash
+#: between writing it and the ``os.replace`` swap, and fsck deletes it.
+COMPACT_TMP_FILENAME = HISTORY_FILENAME + ".compact.tmp"
 
 #: Default per-axis retention for :meth:`HistoryStore.compact`.
 DEFAULT_KEEP_LAST = 50
@@ -48,17 +64,44 @@ def _serialise(record: BenchRecord) -> bytes:
     return (line + "\n").encode("utf-8")
 
 
+@dataclass(frozen=True)
+class MalformedLine:
+    """One unparseable region of the history file, located exactly.
+
+    ``offset``/``length`` are byte coordinates into the file, ``data``
+    the raw bytes (without the trailing newline, if any), ``reason`` why
+    parsing failed: ``"invalid-json"``, ``"invalid-record"`` (parsed but
+    failed schema validation) or ``"truncated-tail"`` (the final line
+    has no terminating newline — the signature of a torn append).
+    """
+
+    offset: int
+    length: int
+    reason: str
+    data: bytes
+
+
 class HistoryStore:
     """Append-only, axis-indexed JSONL store of bench records."""
 
     def __init__(self, root: str = DEFAULT_STORE_DIR) -> None:
         self.root = Path(root)
         self.path = self.root / HISTORY_FILENAME
-        #: malformed lines skipped by the most recent load
+        #: malformed lines skipped by the most recent load/scan
         self.skipped_lines = 0
+        #: exact (offset, length, reason, data) of each, newest scan
+        self.malformed: List[MalformedLine] = []
 
     def exists(self) -> bool:
         return self.path.is_file()
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.root / QUARANTINE_FILENAME
+
+    @property
+    def compact_tmp_path(self) -> Path:
+        return self.root / COMPACT_TMP_FILENAME
 
     # ------------------------------------------------------------------
     # writing
@@ -68,17 +111,31 @@ class HistoryStore:
         """Append one record atomically (single O_APPEND write)."""
         payload = _serialise(record)
         self.root.mkdir(parents=True, exist_ok=True)
-        descriptor = os.open(
-            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
+        ops = fileops()
+        crash_point("store.append.pre_write", str(self.path))
         try:
-            written = os.write(descriptor, payload)
+            descriptor = ops.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        except OSError as error:
+            raise ObserveError(f"cannot open history {self.path} for append: "
+                               f"{error}") from error
+        try:
+            try:
+                written = ops.write(descriptor, payload, path=str(self.path),
+                                    tear_point="store.append.mid_write")
+            except CrashInjected:
+                raise
+            except OSError as error:
+                raise ObserveError(f"append to {self.path} failed: "
+                                   f"{error}") from error
             if written != len(payload):
                 raise ObserveError(
                     f"short write to {self.path}: {written}/{len(payload)} bytes"
                 )
         finally:
-            os.close(descriptor)
+            ops.close(descriptor)
+        crash_point("store.append.post_write", str(self.path))
 
     def append_many(self, records: Iterable[BenchRecord]) -> int:
         """Append records one line at a time; returns the count."""
@@ -92,29 +149,63 @@ class HistoryStore:
     # reading
     # ------------------------------------------------------------------
 
-    def load(self) -> List[BenchRecord]:
-        """Every parseable record, oldest first.
+    def scan(self) -> List[Tuple[Optional[BenchRecord], Optional[MalformedLine]]]:
+        """Walk the raw file byte-exactly: every line is either a parsed
+        record or a located :class:`MalformedLine`, in file order.
 
-        Malformed lines are skipped and counted in ``skipped_lines``.
+        Updates ``skipped_lines`` and ``malformed``.  This is the one
+        read path — :meth:`load` is built on it — so the offsets fsck
+        quarantines are exactly the offsets tolerant reads skipped.
         """
         self.skipped_lines = 0
+        self.malformed = []
         if not self.path.is_file():
             return []
-        records: List[BenchRecord] = []
         try:
-            text = self.path.read_text(encoding="utf-8")
+            raw = fileops().read_bytes(str(self.path))
         except OSError as error:
             raise ObserveError(f"cannot read history {self.path}: "
                                f"{error}") from error
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(BenchRecord.from_dict(json.loads(line)))
-            except (ValueError, ObserveError):
-                self.skipped_lines += 1
-        return records
+        entries: List[Tuple[Optional[BenchRecord], Optional[MalformedLine]]] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                data, length, terminated = raw[offset:], len(raw) - offset, False
+            else:
+                data, length, terminated = (raw[offset:newline],
+                                            newline + 1 - offset, True)
+            stripped = data.strip()
+            if stripped:
+                bad_reason: Optional[str] = None
+                try:
+                    parsed = json.loads(stripped.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    # An unterminated unparseable tail is the signature
+                    # of a torn append, distinct from a hand-mangled line.
+                    bad_reason = ("truncated-tail" if not terminated
+                                  else "invalid-json")
+                else:
+                    try:
+                        entries.append((BenchRecord.from_dict(parsed), None))
+                    except (ValueError, ObserveError):
+                        bad_reason = "invalid-record"
+                if bad_reason is not None:
+                    bad = MalformedLine(offset=offset, length=length,
+                                        reason=bad_reason, data=data)
+                    self.malformed.append(bad)
+                    self.skipped_lines += 1
+                    entries.append((None, bad))
+            offset += length
+        return entries
+
+    def load(self) -> List[BenchRecord]:
+        """Every parseable record, oldest first.
+
+        Malformed lines are skipped and counted in ``skipped_lines``,
+        with their exact byte extents recorded in ``malformed``.
+        """
+        return [record for record, _ in self.scan() if record is not None]
 
     def query(self, bench: Optional[str] = None,
               run_id: Optional[str] = None,
@@ -171,8 +262,9 @@ class HistoryStore:
         """Keep the newest ``keep_last`` records per (bench, axis).
 
         The file is rewritten through a temp file + ``os.replace`` so a
-        reader never observes a half-written history.  Returns the
-        number of records dropped.
+        reader never observes a half-written history; a crash before the
+        swap leaves the original intact plus temp debris fsck deletes.
+        Returns the number of records dropped.
         """
         if keep_last < 1:
             raise ObserveError(f"keep_last must be >= 1, got {keep_last}")
@@ -193,19 +285,32 @@ class HistoryStore:
         dropped = len(records) - len(kept)
         if dropped == 0 and self.skipped_lines == 0:
             return 0
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=str(self.root), prefix="history-", suffix=".tmp",
-            delete=False,
-        )
+        ops = fileops()
+        temp = str(self.compact_tmp_path)
         try:
-            with handle:
+            descriptor = ops.open(
+                temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
                 for record in kept:
-                    handle.write(_serialise(record))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, str(self.path))
-        except OSError as error:
-            os.unlink(handle.name)
+                    payload = _serialise(record)
+                    written = ops.write(descriptor, payload, path=temp)
+                    if written != len(payload):
+                        raise ObserveError(
+                            f"short write to {temp}: "
+                            f"{written}/{len(payload)} bytes")
+                ops.fsync(descriptor)
+            finally:
+                ops.close(descriptor)
+            crash_point("store.compact.pre_replace", temp)
+            ops.replace(temp, str(self.path))
+        except CrashInjected:
+            raise  # simulated death: leave the debris a real crash leaves
+        except (OSError, ObserveError) as error:
+            if os.path.exists(temp):
+                os.unlink(temp)
+            if isinstance(error, ObserveError):
+                raise
             raise ObserveError(f"compaction of {self.path} failed: "
                                f"{error}") from error
+        crash_point("store.compact.post_replace", str(self.path))
         return dropped

@@ -9,7 +9,11 @@ The subsystem turns the HD-VideoBench measurement matrix into data:
 * :mod:`repro.orchestrate.artifacts` — single-flight content-addressed
   cache of encoded artifacts (repeated cells cost ~0);
 * :mod:`repro.orchestrate.report` — run summary with speedup/efficiency
-  scaling and the OBS207-gated run metrics.
+  scaling and the OBS207-gated run metrics;
+* :mod:`repro.orchestrate.fsck` — cache verification + healing
+  (re-hash against content addresses, quarantine mismatches, break
+  stale locks, delete orphan temps), the ``hdvb-cache fsck`` engine,
+  crash-proven by the :mod:`repro.chaos` harness.
 
 Driven by ``hdvb-bench orchestrate``; documented in
 ``docs/ORCHESTRATION.md``.
@@ -18,6 +22,7 @@ Driven by ``hdvb-bench orchestrate``; documented in
 from repro.orchestrate.artifacts import (
     ArtifactCache, ArtifactEntry, cell_fingerprint, sequence_digest,
 )
+from repro.orchestrate.fsck import fsck_cache
 from repro.orchestrate.report import (
     OrchestrateSummary, render_orchestrate, summarize, summary_records,
 )
@@ -41,6 +46,7 @@ __all__ = [
     "completed_cell_ids",
     "execute_cell",
     "expand_cells",
+    "fsck_cache",
     "load_manifest",
     "load_spec",
     "parse_spec",

@@ -33,16 +33,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.chaos.fsops import crash_point, fileops
 from repro.codecs.base import EncodedVideo
 from repro.codecs.container import pack, unpack
 from repro.common.yuv import YuvSequence
-from repro.errors import OrchestrateError
+from repro.errors import CrashInjected, OrchestrateError
 from repro.telemetry.metrics import registry as telemetry_registry
 from repro.telemetry.trace import state as telemetry_state
 
@@ -138,6 +138,7 @@ class ArtifactCache:
         self.hits = 0              #: entries served without encoding
         self.misses = 0            #: leader encodes performed
         self.flight_waits = 0      #: waits on another process's leader
+        self.stale_locks_broken = 0  #: dead leaders' locks removed
 
     # ------------------------------------------------------------------
     # paths
@@ -241,31 +242,43 @@ class ArtifactCache:
             "width": stream.width,
             "height": stream.height,
             "bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
             "metrics": dict(metrics),
             "context": dict(context or {}),
         }
         meta_bytes = json.dumps(meta, sort_keys=True, indent=2).encode("utf-8")
         # artifact first, meta last: meta.json is the commit point.
+        crash_point("artifacts.commit.pre_artifact", str(entry_dir))
         self._atomic_write(entry_dir / "artifact.hdvb", payload)
+        crash_point("artifacts.commit.pre_meta", str(entry_dir))
         self._atomic_write(entry_dir / "meta.json", meta_bytes)
+        crash_point("artifacts.commit.post_meta", str(entry_dir))
         return ArtifactEntry(fingerprint=fingerprint, path=entry_dir,
                              metrics=dict(metrics))
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=str(path.parent), prefix=path.name + "-",
-            suffix=".tmp", delete=False)
+        ops = fileops()
+        temp = str(path) + ".tmp"       # safe: writer holds the entry lock
         try:
-            with handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, str(path))
-        except OSError as error:
+            descriptor = ops.open(
+                temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
+                written = ops.write(descriptor, data, path=temp)
+                if written != len(data):
+                    raise OrchestrateError(
+                        f"short write to {temp}: {written}/{len(data)} bytes")
+                ops.fsync(descriptor)
+            finally:
+                ops.close(descriptor)
+            crash_point("artifacts.write.pre_replace", temp)
+            ops.replace(temp, str(path))
+        except CrashInjected:
+            raise   # simulated death: leave the debris a real crash leaves
+        except (OSError, OrchestrateError) as error:
+            if os.path.exists(temp):
+                os.unlink(temp)
+            if isinstance(error, OrchestrateError):
+                raise
             raise OrchestrateError(
                 f"cannot write cache file {path}: {error}") from error
 
@@ -274,10 +287,11 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def _acquire_lock(self, fingerprint: str) -> bool:
+        ops = fileops()
         lock = self._lock_path(fingerprint)
         lock.parent.mkdir(parents=True, exist_ok=True)
         try:
-            descriptor = os.open(
+            descriptor = ops.open(
                 str(lock), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
             self._break_stale_lock(lock)
@@ -287,14 +301,15 @@ class ArtifactCache:
                 f"cannot claim cache lock for {fingerprint}: "
                 f"{error}") from error
         try:
-            os.write(descriptor, f"{os.getpid()}\n".encode("ascii"))
+            ops.write(descriptor, f"{os.getpid()}\n".encode("ascii"),
+                      path=str(lock))
         finally:
-            os.close(descriptor)
+            ops.close(descriptor)
         return True
 
     def _release_lock(self, fingerprint: str) -> None:
         try:
-            os.unlink(str(self._lock_path(fingerprint)))
+            fileops().unlink(str(self._lock_path(fingerprint)))
         except FileNotFoundError:
             pass
         except OSError as error:
@@ -302,16 +317,28 @@ class ArtifactCache:
                 f"cannot release cache lock for {fingerprint}: "
                 f"{error}") from error
 
-    def _break_stale_lock(self, lock: Path) -> None:
+    def _break_stale_lock(self, lock: Path,
+                          age_limit: Optional[float] = None) -> bool:
+        """Remove ``lock`` if older than the threshold; True if removed.
+
+        ``age_limit`` overrides ``stale_lock_seconds`` — fsck passes
+        ``0.0`` when the owning process is known dead.
+        """
+        if age_limit is None:
+            age_limit = self.stale_lock_seconds
         try:
             age = time.time() - lock.stat().st_mtime
         except OSError:
-            return      # already released
-        if age > self.stale_lock_seconds:
+            return False    # already released
+        if age > age_limit or age_limit <= 0.0:
             try:
                 os.unlink(str(lock))
             except OSError:
-                pass    # another waiter broke it first
+                return False    # another waiter broke it first
+            self.stale_locks_broken += 1
+            self._count("cache.stale_locks_broken")
+            return True
+        return False
 
     def _wait_for_leader(self, fingerprint: str) -> Optional[ArtifactEntry]:
         """Poll until the leader commits, releases, or we time out."""
@@ -336,9 +363,10 @@ class ArtifactCache:
             telemetry_registry().counter(name).inc()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/wait counters of this cache handle."""
+        """Hit/miss/wait/stale-lock counters of this cache handle."""
         return {"hits": self.hits, "misses": self.misses,
-                "flight_waits": self.flight_waits}
+                "flight_waits": self.flight_waits,
+                "stale_locks_broken": self.stale_locks_broken}
 
 
 __all__ = [

@@ -1,0 +1,127 @@
+"""``hdvb-cache``: inspect and heal the content-addressed artifact cache.
+
+    hdvb-cache fsck [--repair] [--lock-age SECONDS]   # verify + heal
+    hdvb-cache stats                                  # entry/lock census
+
+Exit codes follow the ``hdvb-lint`` convention: 0 — clean, 1 — at least
+one fsck finding, 2 — usage or I/O error.  With ``--repair`` the exit
+code reflects the *post-repair* state: 0 iff the re-check is clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporters import render_human, render_json
+from repro.errors import ReproError
+from repro.observe.fsck import FSCK_SCHEMA
+from repro.orchestrate.artifacts import (
+    DEFAULT_CACHE_DIR, DEFAULT_STALE_LOCK_SECONDS, ArtifactCache,
+)
+from repro.orchestrate.fsck import QUARANTINE_DIRNAME, fsck_cache
+
+
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help=f"artifact cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdvb-cache",
+        description="Verify and heal the content-addressed artifact cache: "
+                    "re-hash artifacts, quarantine mismatches, break stale "
+                    "locks, delete orphan temps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fsck = sub.add_parser("fsck", help="re-verify every entry against its "
+                                       "content address")
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine mismatches, delete debris, break "
+                           "stale locks; exit 0 iff the re-check is clean")
+    fsck.add_argument("--lock-age", type=float, default=None,
+                      metavar="SECONDS",
+                      help="treat locks older than SECONDS as stale "
+                           "(0 breaks all; default: the cache's "
+                           f"threshold, {DEFAULT_STALE_LOCK_SECONDS:.0f}s)")
+    fsck.add_argument("--stale-lock-seconds", type=float,
+                      default=DEFAULT_STALE_LOCK_SECONDS, metavar="SECONDS",
+                      help="the cache's stale-lock threshold "
+                           "(default: %(default)s)")
+    fsck.add_argument("--format", choices=("human", "json"), default="human",
+                      help="report format (default: human)")
+    _add_cache_argument(fsck)
+
+    stats = sub.add_parser("stats", help="count committed entries, locks, "
+                                         "temps and quarantined entries")
+    _add_cache_argument(stats)
+    return parser
+
+
+def _cmd_fsck(options: argparse.Namespace) -> int:
+    cache = ArtifactCache(options.cache,
+                          stale_lock_seconds=options.stale_lock_seconds)
+    findings = fsck_cache(cache, repair=options.repair,
+                          lock_age=options.lock_age)
+    if options.repair and findings:
+        remaining = fsck_cache(cache, repair=False,
+                               lock_age=options.lock_age)
+    else:
+        remaining = findings
+    if options.format == "json":
+        print(render_json(findings, schema=FSCK_SCHEMA))
+    else:
+        print(render_human(findings))
+        if options.repair and findings:
+            state = "clean" if not remaining else f"{len(remaining)} left"
+            print(f"hdvb-cache: repaired {len(findings)} finding(s); "
+                  f"re-check {state} "
+                  f"({cache.stale_locks_broken} stale lock(s) broken)",
+                  file=sys.stderr)
+    return 0 if not remaining else 1
+
+
+def _cmd_stats(options: argparse.Namespace) -> int:
+    cache = ArtifactCache(options.cache)
+    entries = locks = temps = quarantined = 0
+    if cache.root.is_dir():
+        for shard in cache.root.iterdir():
+            if not shard.is_dir():
+                continue
+            if shard.name == QUARANTINE_DIRNAME:
+                quarantined = sum(1 for item in shard.iterdir()
+                                  if item.is_dir())
+                continue
+            for item in shard.iterdir():
+                if item.is_dir() and (item / "meta.json").is_file():
+                    entries += 1
+                elif item.suffix == ".lock":
+                    locks += 1
+                elif item.suffix == ".tmp":
+                    temps += 1
+    print(f"hdvb-cache: {cache.root}: {entries} committed entr(ies), "
+          f"{locks} lock(s), {temps} temp(s), {quarantined} quarantined")
+    return 0
+
+
+_COMMANDS = {
+    "fsck": _cmd_fsck,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[options.command](options)
+    except ReproError as error:
+        print(f"hdvb-cache: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

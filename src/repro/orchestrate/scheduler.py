@@ -41,10 +41,11 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from repro.chaos.fsops import crash_point
 from repro.codecs import get_decoder, get_encoder
 from repro.common.metrics import sequence_psnr
 from repro.common.resolution import tier_by_name
-from repro.errors import OrchestrateError, ReproError
+from repro.errors import CrashInjected, OrchestrateError, ReproError
 from repro.observe.record import BenchRecord, RunInfo
 from repro.observe.store import HistoryStore
 from repro.orchestrate.artifacts import (
@@ -98,6 +99,7 @@ def execute_cell(cell: Cell, cache: ArtifactCache) -> CellResult:
     the spec and cell, rendered onto a ``failed`` result.
     """
     start = time.perf_counter()
+    crash_point("scheduler.cell.pre_execute", cell.cell_id)
     try:
         with telemetry_span("orchestrate.cell", codec=cell.codec,
                             sequence=cell.sequence, workers=cell.workers):
@@ -106,6 +108,10 @@ def execute_cell(cell: Cell, cache: ArtifactCache) -> CellResult:
         return CellResult(cell=cell.to_dict(), cell_id=cell.cell_id,
                           status="ok", metrics=metrics, seconds=seconds,
                           cache_hit=hit, fingerprint=fingerprint)
+    except CrashInjected:
+        # Simulated process death must propagate like a real kill --
+        # folding it into a ``failed`` record would fake a clean run.
+        raise
     except ReproError as error:
         wrapped = _normalize_cell_error(error, cell)
     except Exception as error:    # noqa: BLE001 -- normalised below
@@ -295,7 +301,10 @@ def completed_cell_ids(store: HistoryStore, run_id: str) -> Set[str]:
     """Cell ids with an ``ok`` record under ``run_id``: skip on rerun.
 
     Failed cells are deliberately *not* completed — a resumed run retries
-    them (the artifact cache makes retrying the cheap part anyway).
+    them (the artifact cache makes retrying the cheap part anyway).  So
+    are quarantined cells: a record line mangled by a crash is skipped
+    by the store's tolerant reads (and moved aside by ``hdvb-observe
+    fsck --repair``), never matches here, and its cell re-executes.
     """
     return {
         record.axis_key
@@ -443,6 +452,7 @@ def run_cells(
                 elif result.ok:
                     cache.misses += 1
         for result in results:
+            crash_point("scheduler.cell.pre_record", result.cell_id)
             store.append(cell_record(result, info, fingerprint))
             state.results.append(result)
             if telemetry_on:

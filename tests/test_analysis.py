@@ -52,7 +52,7 @@ class TestEngineBasics:
         assert ids == sorted(ids)
         assert {"HDVB101", "HDVB102", "HDVB110", "HDVB111", "HDVB120",
                 "HDVB130", "HDVB140", "HDVB150", "HDVB160", "HDVB170",
-                "HDVB180"} <= set(ids)
+                "HDVB180", "HDVB190"} <= set(ids)
         for rule in all_rules():
             assert rule.name and rule.rationale, rule.rule_id
 
@@ -765,12 +765,13 @@ class TestOrchestratorCellRule:
         assert rule_ids(result) == ["HDVB180"]
 
     def test_text_write_sink_flagged(self, tmp_path):
+        # Also a non-atomic write, so the HDVB190 atomicity rule co-fires.
         result = lint_tree(tmp_path, {"orchestrate/evil.py": """
             def save(results, path):
                 with open(path, "w") as handle:
                     handle.write(str(results))
         """})
-        assert rule_ids(result) == ["HDVB180"]
+        assert sorted(rule_ids(result)) == ["HDVB180", "HDVB190"]
 
     def test_binary_atomic_write_is_legal(self, tmp_path):
         # Artifact/manifest files are binary temp+replace writes -- the
@@ -807,5 +808,88 @@ class TestOrchestratorCellRule:
 
     def test_shipped_orchestrate_tree_is_clean(self):
         result = run([str(REPO_ROOT / "src" / "repro" / "orchestrate")],
+                     baseline=empty_baseline())
+        assert result.clean, render_human(result.findings)
+
+
+class TestAtomicWriteRule:
+    def test_plain_write_open_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/evil.py": """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+        """})
+        assert rule_ids(result) == ["HDVB190"]
+
+    def test_binary_write_open_flagged_unlike_hdvb160(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/evil.py": """
+            def save(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+        """})
+        assert "HDVB190" in rule_ids(result)
+
+    def test_path_write_text_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/evil.py": """
+            def save(path, text):
+                path.write_text(text)
+        """})
+        assert rule_ids(result) == ["HDVB190"]
+
+    def test_replace_in_same_function_is_atomic(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/clean.py": """
+            import os
+
+            def save(path, payload):
+                with open(path + ".tmp", "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(path + ".tmp", path)
+        """})
+        assert result.clean
+
+    def test_fileops_seam_is_atomic(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/clean.py": """
+            import os
+
+            from repro.chaos.fsops import fileops
+
+            def append(path, payload):
+                ops = fileops()
+                fd = ops.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+                try:
+                    ops.write(fd, payload, path=path)
+                finally:
+                    ops.close(fd)
+        """})
+        assert result.clean
+
+    def test_read_open_not_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/clean.py": """
+            def load(path):
+                with open(path, "r") as handle:
+                    return handle.read()
+        """})
+        assert result.clean
+
+    def test_outside_scope_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/report_writer.py": """
+            def save(path, text):
+                path.write_text(text)
+        """})
+        assert result.clean
+
+    def test_inline_suppression_respected(self, tmp_path):
+        result = lint_tree(tmp_path, {"observe/cli_like.py": """
+            def export(path, text):
+                with open(path, "w") as handle:  # hdvb: disable=HDVB190
+                    handle.write(text)
+        """})
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_shipped_observe_tree_is_clean(self):
+        result = run([str(REPO_ROOT / "src" / "repro" / "observe")],
                      baseline=empty_baseline())
         assert result.clean, render_human(result.findings)

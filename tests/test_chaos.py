@@ -1,0 +1,467 @@
+"""Tests for ``repro.chaos`` — fault injection, fsck and crash recovery.
+
+Four layers:
+
+* the seeded :class:`FaultPlan` is deterministic (same seed → same fault
+  sequence) and validates itself loudly;
+* every injected fault class surfaces as a contextful ``ReproError``
+  from the production code paths, never an unhandled crash;
+* fsck detects each planted corruption (torn tail, mangled line,
+  bit-flipped artifact, orphan temp, stale lock), repairs to a clean
+  re-check, and never touches a healthy store or cache;
+* the forked-process crash matrix proves, for every registered crash
+  point: kill → ``fsck --repair`` → resume yields records bit-identical
+  to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import (
+    CRASH_EXIT_CODE,
+    CRASH_POINTS,
+    FAULT_KINDS,
+    ChaosFS,
+    FaultPlan,
+    activate,
+    crash_point,
+    fileops,
+)
+from repro.chaos.harness import DEFAULT_SPEC, run_matrix, scenario_for
+from repro.errors import (
+    ChaosError,
+    CrashInjected,
+    ObserveError,
+    OrchestrateError,
+    ReproError,
+)
+from repro.observe.fsck import FSCK_SCHEMA, QUARANTINE_SCHEMA, fsck_store
+from repro.observe.record import BenchRecord, RunInfo
+from repro.observe.store import HistoryStore
+from repro.orchestrate.artifacts import ArtifactCache, cell_fingerprint
+from repro.orchestrate.cache_cli import main as cache_main
+from repro.orchestrate.fsck import fsck_cache
+from repro.orchestrate.scheduler import run_cells
+from repro.orchestrate.spec import parse_spec
+from repro.observe.cli import main as observe_main
+
+
+def record(run="r1", **axes):
+    return BenchRecord(run_id=run, bench="performance",
+                       axes=axes or {"codec": "mpeg2"},
+                       metrics={"fps": 100.0}, created=0.0)
+
+
+def _tiny_stream():
+    from repro.codecs import get_encoder
+    from repro.sequences import generate_sequence
+
+    video = generate_sequence("blue_sky", "576p25", frames=2, scale=(1, 16))
+    encoder = get_encoder("mjpeg", width=video.width, height=video.height)
+    return encoder.encode_sequence(video)
+
+
+def _committed_entry(tmp_path, name="cache"):
+    """A cache with one committed entry; returns (cache, entry_dir)."""
+    cache = ArtifactCache(str(tmp_path / name))
+    fingerprint = cell_fingerprint("mjpeg", "seq-hash", {"qscale": 8}, 1)
+    entry, hit = cache.ensure(fingerprint,
+                              lambda: (_tiny_stream(), {"psnr_db": 30.0}))
+    assert not hit
+    return cache, entry.path
+
+
+def _require_fork():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+
+
+# ----------------------------------------------------------------------
+# the fault plan
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_same_seed_same_fault_sequence(self):
+        def draw_all(seed):
+            plan = FaultPlan(seed=seed, rate=0.5)
+            return [(fault.kind, fault.op) if fault else None
+                    for fault in (plan.draw("write", "f") for _ in range(64))]
+
+        assert draw_all(7) == draw_all(7)
+        assert draw_all(7) != draw_all(8)
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=0, rate=0.0)
+        assert all(plan.draw("write") is None for _ in range(32))
+
+    def test_max_faults_caps_the_stream(self):
+        plan = FaultPlan(seed=0, rate=1.0, max_faults=3)
+        faults = [plan.draw("write") for _ in range(10)]
+        assert sum(1 for fault in faults if fault is not None) == 3
+
+    def test_untargeted_op_passes_through(self):
+        plan = FaultPlan(seed=0, rate=1.0, ops=["fsync"])
+        assert plan.draw("write") is None
+        assert plan.draw("fsync") is not None
+
+    def test_crash_at_fires_on_the_armed_hit_only(self):
+        plan = FaultPlan().crash_at("store.append.pre_write", hit=2)
+        assert not plan.should_crash("store.append.pre_write")
+        assert plan.should_crash("store.append.pre_write")
+        assert not plan.should_crash("store.append.pre_write")
+        assert not plan.should_crash("store.append.post_write")
+
+    def test_unregistered_crash_point_is_chaos_error(self):
+        with pytest.raises(ChaosError, match="unregistered crash point"):
+            FaultPlan().crash_at("store.append.pre_repalce")
+        try:
+            FaultPlan().crash_at("no.such.point")
+        except ChaosError as error:
+            assert error.crash_point == "no.such.point"
+
+    def test_plan_validation(self):
+        with pytest.raises(ChaosError, match="unknown fault kind"):
+            FaultPlan(kinds=["meteor_strike"])
+        with pytest.raises(ChaosError, match="unknown fault op"):
+            FaultPlan(ops=["chmod"])
+        with pytest.raises(ChaosError, match="rate"):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ChaosError, match="max_faults"):
+            FaultPlan(max_faults=-1)
+
+    def test_registry_is_frozen_and_scenario_mapped(self):
+        assert len(CRASH_POINTS) == len(set(CRASH_POINTS)) == 11
+        for point in CRASH_POINTS:
+            assert scenario_for(point) in ("run", "compact")
+
+
+# ----------------------------------------------------------------------
+# injected faults surface as contextful errors, not crashes
+# ----------------------------------------------------------------------
+
+
+class TestInjectedFaults:
+    def test_fileops_is_passthrough_without_activation(self, tmp_path):
+        assert fileops() is fileops()
+        crash_point("store.append.pre_write")    # no-op, must not raise
+
+    def test_crash_point_validates_even_in_production(self):
+        with pytest.raises(ChaosError, match="unregistered"):
+            crash_point("store.append.pre_repalce")
+
+    def test_enospc_on_append_becomes_observe_error(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        plan = FaultPlan(seed=0, rate=1.0, kinds=["enospc"], ops=["open"],
+                         max_faults=1)
+        with activate(ChaosFS(plan)):
+            with pytest.raises(ObserveError, match="cannot open history"):
+                store.append(record())
+        assert plan.injected[0].kind == "enospc"
+        # the key stays usable once the disk "recovers"
+        store.append(record())
+        assert len(store.load()) == 1
+
+    def test_io_error_on_write_becomes_observe_error(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        plan = FaultPlan(seed=0, rate=1.0, kinds=["oserror"], ops=["write"],
+                         max_faults=1)
+        with activate(ChaosFS(plan)):
+            with pytest.raises(ObserveError, match="append .* failed"):
+                store.append(record())
+
+    def test_short_write_detected_not_silent(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        plan = FaultPlan(seed=0, rate=1.0, kinds=["short_write"],
+                         ops=["write"], max_faults=1)
+        with activate(ChaosFS(plan)):
+            with pytest.raises(ObserveError, match="short write"):
+                store.append(record())
+        # the torn prefix is on disk -- exactly what fsck must find
+        assert store.load() == []
+        assert store.malformed and store.malformed[0].reason == "truncated-tail"
+
+    def test_fsync_lie_is_counted_and_non_fatal(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append_many([record(run=f"r{i}", qp=i) for i in range(3)])
+        plan = FaultPlan(seed=0, rate=1.0, kinds=["fsync_lie"],
+                         ops=["fsync"])
+        with activate(ChaosFS(plan)) as fs:
+            assert store.compact(keep_last=1) == 0   # distinct axes: no-op
+            store2 = HistoryStore(str(tmp_path / "hist2"))
+            store2.append_many([record(run=f"r{i}") for i in range(3)])
+            assert store2.compact(keep_last=1) == 2
+            assert fs.fsync_lies == 1
+        assert len(store2.load()) == 1
+
+    def test_lock_busy_exercises_the_flight_wait_path(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"), poll_seconds=0.01)
+        fingerprint = cell_fingerprint("mjpeg", "h", {"qscale": 8}, 1)
+        plan = FaultPlan(seed=0, rate=1.0, kinds=["lock_busy"],
+                         ops=["open"], max_faults=1)
+        with activate(ChaosFS(plan)):
+            entry, hit = cache.ensure(
+                fingerprint, lambda: (_tiny_stream(), {"psnr_db": 30.0}))
+        assert not hit
+        assert cache.flight_waits == 1      # the phantom leader was waited on
+        assert entry.metrics == {"psnr_db": 30.0}
+
+    def test_crash_injected_carries_point_and_path(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        plan = FaultPlan().crash_at("store.append.pre_write")
+        with activate(ChaosFS(plan)):
+            with pytest.raises(CrashInjected) as excinfo:
+                store.append(record())
+        assert excinfo.value.crash_point == "store.append.pre_write"
+        assert str(store.path) in str(excinfo.value)
+        assert isinstance(excinfo.value, ChaosError)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_execute_cell_never_swallows_crash_injected(self, tmp_path):
+        from repro.orchestrate.scheduler import execute_cell
+        from repro.orchestrate.spec import expand_cells
+
+        spec = parse_spec(DEFAULT_SPEC)
+        cell = expand_cells(spec)[0]
+        plan = FaultPlan().crash_at("scheduler.cell.pre_execute")
+        with activate(ChaosFS(plan)):
+            with pytest.raises(CrashInjected):
+                execute_cell(cell, ArtifactCache(str(tmp_path / "cache")))
+
+    def test_mid_write_tear_leaves_half_a_line(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append(record(run="good"))
+        plan = FaultPlan().crash_at("store.append.mid_write")
+        with activate(ChaosFS(plan)):
+            with pytest.raises(CrashInjected):
+                store.append(record(run="torn"))
+        assert [r.run_id for r in store.load()] == ["good"]
+        assert store.malformed[0].reason == "truncated-tail"
+        assert store.malformed[0].offset > 0
+
+
+# ----------------------------------------------------------------------
+# store fsck
+# ----------------------------------------------------------------------
+
+
+class TestStoreFsck:
+    def _dirty_store(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append(record(run="good-1"))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"mangled\n')
+        store.append(record(run="good-2"))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"schema":"repro.observe.record/1","half')
+        return store
+
+    def test_healthy_store_untouched(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append_many([record(run=f"r{i}") for i in range(3)])
+        before = store.path.read_bytes()
+        assert fsck_store(store, repair=True) == []
+        assert store.path.read_bytes() == before
+        assert not store.quarantine_path.exists()
+
+    def test_detects_each_planted_corruption(self, tmp_path):
+        store = self._dirty_store(tmp_path)
+        store.compact_tmp_path.write_bytes(b"debris")
+        findings = fsck_store(store)
+        assert [f.rule_id for f in findings] == ["FSCK301", "FSCK302",
+                                                 "FSCK303"]
+        assert "offset" in findings[0].message
+
+    def test_repair_quarantines_and_preserves_good_bytes(self, tmp_path):
+        store = self._dirty_store(tmp_path)
+        good_lines = [line for line in store.path.read_bytes().splitlines(True)
+                      if line.startswith(b'{"axes"') or b'"fps"' in line]
+        findings = fsck_store(store, repair=True)
+        assert len(findings) == 2
+        assert fsck_store(store) == []
+        # good records survived byte-identically, bad ranges quarantined
+        assert store.path.read_bytes() == b"".join(good_lines)
+        assert [r.run_id for r in store.load()] == ["good-1", "good-2"]
+        envelopes = [json.loads(line) for line in
+                     store.quarantine_path.read_text().splitlines()]
+        assert [e["schema"] for e in envelopes] == [QUARANTINE_SCHEMA] * 2
+        assert base64.b64decode(envelopes[0]["data"]) == b'{"mangled'
+        assert envelopes[1]["reason"] == "truncated-tail"
+
+    def test_repair_deletes_orphan_compact_temp(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append(record())
+        store.compact_tmp_path.write_bytes(b"debris")
+        findings = fsck_store(store, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK303"]
+        assert not store.compact_tmp_path.exists()
+        assert fsck_store(store) == []
+
+    def test_malformed_lines_have_exact_offsets(self, tmp_path):
+        store = self._dirty_store(tmp_path)
+        raw = store.path.read_bytes()
+        store.scan()
+        for bad in store.malformed:
+            assert raw[bad.offset:bad.offset + bad.length].startswith(bad.data)
+
+    def test_cli_exit_codes_and_json_schema(self, tmp_path, capsys):
+        store = self._dirty_store(tmp_path)
+        assert observe_main(["fsck", "--store", str(store.root),
+                             "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == FSCK_SCHEMA
+        assert document["summary"]["by_rule"] == {"FSCK301": 1, "FSCK302": 1}
+        assert observe_main(["fsck", "--repair",
+                             "--store", str(store.root)]) == 0
+        assert observe_main(["fsck", "--store", str(store.root)]) == 0
+
+
+# ----------------------------------------------------------------------
+# cache fsck
+# ----------------------------------------------------------------------
+
+
+class TestCacheFsck:
+    def test_healthy_cache_untouched(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        before = {path: path.read_bytes()
+                  for path in entry_dir.iterdir()}
+        assert fsck_cache(cache, repair=True) == []
+        assert {path: path.read_bytes()
+                for path in entry_dir.iterdir()} == before
+
+    def test_bit_flip_quarantined(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        artifact = entry_dir / "artifact.hdvb"
+        payload = bytearray(artifact.read_bytes())
+        payload[len(payload) // 2] ^= 0x40
+        artifact.write_bytes(bytes(payload))
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK312"]
+        assert fsck_cache(cache) == []
+        assert not entry_dir.exists()
+        quarantined = cache.root / "quarantine" / entry_dir.name
+        assert (quarantined / "artifact.hdvb").is_file()
+        # the fingerprint misses now -- a rerun re-produces it
+        assert cache.get(entry_dir.name) is None
+
+    def test_uncommitted_entry_deleted(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        (entry_dir / "meta.json").unlink()
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK310"]
+        assert not entry_dir.exists()
+        assert fsck_cache(cache) == []
+
+    def test_corrupt_meta_quarantined(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        (entry_dir / "meta.json").write_text("{not json")
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK311"]
+        assert fsck_cache(cache) == []
+
+    def test_orphan_temp_deleted(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        orphan = entry_dir / "artifact.hdvb.tmp"
+        orphan.write_bytes(b"half")
+        shard_orphan = entry_dir.parent / "stray.tmp"
+        shard_orphan.write_bytes(b"half")
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK313", "FSCK313"]
+        assert not orphan.exists() and not shard_orphan.exists()
+        assert fsck_cache(cache) == []
+
+    def test_stale_lock_broken_and_counted(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        lock = entry_dir.parent / (entry_dir.name + ".lock")
+        lock.write_text("12345\n")
+        hour_ago = time.time() - 3600.0
+        os.utime(lock, (hour_ago, hour_ago))
+        reported = fsck_cache(cache)        # check-only reports, keeps lock
+        assert [f.rule_id for f in reported] == ["FSCK314"]
+        assert lock.exists()
+        assert cache.stale_locks_broken == 0
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK314"]
+        assert not lock.exists()
+        assert cache.stale_locks_broken == 1
+        assert cache.stats()["stale_locks_broken"] == 1
+
+    def test_fresh_lock_respected_unless_lock_age_zero(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        lock = entry_dir.parent / (entry_dir.name + ".lock")
+        lock.write_text("12345\n")
+        assert fsck_cache(cache) == []              # an active leader
+        findings = fsck_cache(cache, repair=True, lock_age=0.0)
+        assert [f.rule_id for f in findings] == ["FSCK314"]
+        assert not lock.exists()
+
+    def test_missing_digest_upgraded_in_place(self, tmp_path):
+        cache, entry_dir = _committed_entry(tmp_path)
+        meta_path = entry_dir / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        expected = meta.pop("sha256")
+        meta_path.write_text(json.dumps(meta))
+        findings = fsck_cache(cache, repair=True)
+        assert [f.rule_id for f in findings] == ["FSCK315"]
+        assert fsck_cache(cache) == []
+        assert json.loads(meta_path.read_text())["sha256"] == expected
+
+    def test_cli_exit_codes_and_stats(self, tmp_path, capsys):
+        cache, entry_dir = _committed_entry(tmp_path)
+        (entry_dir / "meta.json").write_text("{not json")
+        root = str(cache.root)
+        assert cache_main(["fsck", "--cache", root, "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == FSCK_SCHEMA
+        assert cache_main(["fsck", "--repair", "--cache", root]) == 0
+        assert cache_main(["fsck", "--cache", root]) == 0
+        assert cache_main(["stats", "--cache", root]) == 0
+        assert "1 quarantined" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# recovery end to end
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_quarantined_record_is_retryable(self, tmp_path):
+        spec = parse_spec(DEFAULT_SPEC)
+        store = HistoryStore(str(tmp_path / "store"))
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        info = RunInfo(run_id="chaos-run")
+        run_cells(spec, store, info, cache=cache)
+        reference = sorted(store.path.read_bytes().splitlines(True))
+
+        # mangle the first cell's record, as a torn write would
+        lines = store.path.read_bytes().splitlines(True)
+        store.path.write_bytes(lines[0][: len(lines[0]) // 2] + b"\n"
+                               + b"".join(lines[1:]))
+        assert fsck_store(store, repair=True)
+        resumed = run_cells(spec, store, info, cache=cache)
+        assert len(resumed.results) == 1        # only the quarantined cell
+        assert len(resumed.skipped) == 1
+        assert resumed.results[0].cache_hit     # artifact survived untouched
+        assert sorted(store.path.read_bytes().splitlines(True)) == reference
+
+    def test_crash_point_matrix_recovers_bit_identically(self, tmp_path):
+        _require_fork()
+        proofs = run_matrix(work_dir=tmp_path / "matrix")
+        assert len(proofs) == len(CRASH_POINTS)
+        for proof in proofs:
+            assert proof.child_exit == CRASH_EXIT_CODE, proof.render()
+            assert proof.recheck_clean, proof.render()
+            assert proof.identical, proof.render()
+
+    def test_fault_kinds_catalogue_is_frozen(self):
+        assert FAULT_KINDS == ("oserror", "enospc", "short_write",
+                               "fsync_lie", "lock_busy")
