@@ -4,14 +4,20 @@ An AST-based lint pass (``hdvb-lint``) that enforces the repo-specific
 invariants the benchmark's trustworthiness rests on — seeded determinism
 in simulation paths, the ReproError taxonomy in decode paths, scalar/SIMD
 kernel parity, process-pool pickle safety, centralised bitstream parsing
-and telemetry span discipline.  See ``docs/ANALYSIS.md`` for the rule
-catalogue and workflow.
+and telemetry span discipline — plus a whole-program tier: a
+deterministic call graph (:mod:`repro.analysis.graph`) with a fixed-point
+dataflow engine (:mod:`repro.analysis.flow`) behind the interprocedural
+HDVB200-203 rules.  See ``docs/ANALYSIS.md`` for the rule catalogue and
+workflow.
 
 Public surface::
 
     from repro.analysis import run, Finding, all_rules
     result = run(["src"])          # LintResult
     result.findings                # list[Finding], baseline applied
+
+    from repro.analysis import build_graph, Project
+    graph = Project(units).graph() # whole-program CallGraph
 """
 
 from repro.analysis.baseline import (
@@ -20,10 +26,26 @@ from repro.analysis.baseline import (
     BaselineError,
     empty_baseline,
     load_baseline,
+    prune_stale,
     write_baseline,
 )
-from repro.analysis.engine import LintResult, canonical_module, run, suppressed_ids
+from repro.analysis.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.analysis.engine import (
+    LintResult,
+    canonical_module,
+    git_changed_modules,
+    run,
+    suppressed_ids,
+)
 from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.flow import Seed, Via, propagate, witness
+from repro.analysis.graph import (
+    GRAPH_SCHEMA,
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_graph,
+)
 from repro.analysis.reporters import (
     FINDINGS_SCHEMA,
     findings_document,
@@ -37,23 +59,36 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "BaselineError",
+    "CallGraph",
+    "CallSite",
+    "DEFAULT_CACHE_DIR",
     "FINDINGS_SCHEMA",
     "Finding",
+    "FunctionNode",
+    "GRAPH_SCHEMA",
+    "LintCache",
     "LintResult",
     "ModuleUnit",
     "Project",
     "ProjectRule",
     "Rule",
+    "Seed",
+    "Via",
     "all_rules",
+    "build_graph",
     "canonical_module",
     "empty_baseline",
     "findings_document",
+    "git_changed_modules",
     "load_baseline",
+    "propagate",
+    "prune_stale",
     "render_human",
     "render_json",
     "run",
     "sort_findings",
     "summarize",
     "suppressed_ids",
+    "witness",
     "write_baseline",
 ]

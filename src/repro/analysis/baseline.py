@@ -102,6 +102,38 @@ def load_baseline(path: Path) -> Baseline:
     return Baseline(entries=entries)
 
 
+def prune_stale(path: Path, stale: Sequence[BaselineEntry]) -> int:
+    """Rewrite ``path`` without the ``stale`` entries.
+
+    Surviving entries keep their reasons, their key order and the exact
+    serialisation :func:`write_baseline` produces, so pruning is a
+    deterministic rewrite — running it twice is byte-identical — and
+    never the hand-edit the stale-baseline report used to demand.
+    Returns the number of entries removed.
+    """
+    baseline = load_baseline(path)
+    stale_keys = {entry.key for entry in stale}
+    kept = [entry for entry in baseline.entries
+            if entry.key not in stale_keys]
+    removed = len(baseline.entries) - len(kept)
+    if not removed:
+        return 0
+    document: Dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "module": entry.module,
+                "message": entry.message,
+                "reason": entry.reason,
+            }
+            for entry in kept
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return removed
+
+
 def write_baseline(path: Path, findings: Sequence[Finding],
                    reason: str = "TODO: justify or fix") -> None:
     """Write ``findings`` as a fresh baseline (each entry needs review)."""

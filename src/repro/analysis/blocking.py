@@ -1,0 +1,112 @@
+"""HDVB201: coroutines in the origin must not transitively block the loop.
+
+The asyncio origin multiplexes every client session on one event loop
+driven by virtual time (``origin/clock.py``).  A single synchronous
+``time.sleep``, a blocking ``open``/``os.replace``/``os.fsync``, a
+``subprocess`` call or a ``pool.submit(...).result()`` wait inside any
+coroutine stalls *every* session at once — and unlike an exception it
+does so silently, as tail latency.  HDVB170 can't see this: the blocking
+call usually lives in a perfectly ordinary sync helper two modules away.
+
+This rule seeds a blocking fact at every function that directly contains
+a blocking primitive, propagates callee-to-caller over the whole-program
+graph, and flags each **async function in ``origin/``** that holds a
+fact — at the call site the fact came through, with the witness chain
+to the primitive.  The ``fileops()`` chaos seam (``chaos/fsops.py``) is
+the sanctioned place for raw filesystem calls, so it never seeds; code
+that blocks through the seam on purpose does so behind an interface the
+event loop owner can route to a thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import Fact, Seed, Via, propagate, witness
+from repro.analysis.graph import CallGraph, finding_at
+from repro.analysis.rules import Project, ProjectRule, in_scope, register
+
+#: Coroutines under these modules drive the shared virtual-time loop.
+ASYNC_SCOPE: Tuple[str, ...] = ("origin/",)
+
+#: Modules whose raw filesystem calls are the sanctioned seam itself.
+SEAM_MODULES: Tuple[str, ...] = ("chaos/fsops.py",)
+
+#: External callables that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "open",
+    "input",
+    "os.replace", "os.rename", "os.fsync", "os.remove", "os.unlink",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "concurrent.futures.Future.result",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+})
+
+
+def _seed_facts(graph: CallGraph) -> Dict[str, Dict[Fact, Seed]]:
+    seeds: Dict[str, Dict[Fact, Seed]] = {}
+    for qualname, node in graph.functions.items():
+        if node.module in SEAM_MODULES:
+            continue
+        for site in node.calls:
+            if site.external not in BLOCKING_CALLS:
+                continue
+            fact = site.external
+            if fact not in seeds.setdefault(qualname, {}):
+                seeds[qualname][fact] = Seed(description=fact, line=site.line)
+    return seeds
+
+
+@register
+class AsyncBlockingRule(ProjectRule):
+    """HDVB201: origin coroutines must not reach thread-blocking calls."""
+
+    rule_id = "HDVB201"
+    name = "async-blocking"
+    rationale = (
+        "one synchronous sleep, filesystem call or Future.result() wait "
+        "anywhere under an origin coroutine stalls the shared event loop "
+        "and every other session with it; the blocking primitive usually "
+        "hides in a sync helper the local rules cannot connect to the "
+        "coroutine — the call graph can"
+    )
+    hint = (
+        "await the async equivalent (clock.sleep, loop.run_in_executor) "
+        "or route filesystem work through the fileops() seam off-loop"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph: CallGraph = project.graph()
+        facts = propagate(graph, _seed_facts(graph))
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if not node.is_async or not in_scope(node.module, ASYNC_SCOPE):
+                continue
+            held = facts.get(qualname)
+            if not held:
+                continue
+            for fact in sorted(held):
+                origin = held[fact]
+                if isinstance(origin, Via):
+                    inherited_from = graph.functions[origin.callee]
+                    if inherited_from.is_async and in_scope(
+                            inherited_from.module, ASYNC_SCOPE):
+                        # The awaited coroutine is flagged itself; don't
+                        # cascade the same fact up every await chain.
+                        continue
+                    chain = witness(graph, facts, qualname, fact)
+                    detail = (f"through `{inherited_from.name}` "
+                              f"({inherited_from.module}) "
+                              f"[{' -> '.join(chain)}]")
+                else:
+                    detail = "directly"
+                yield finding_at(
+                    self, project, node.module, origin.line,
+                    f"coroutine `{node.name}` reaches blocking `{fact}` "
+                    f"{detail}; this stalls the event loop for every "
+                    f"session",
+                )

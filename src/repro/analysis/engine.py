@@ -23,17 +23,22 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import (  # noqa: F401 -- rule registration
     atomicity,
+    blocking,
     determinism,
+    escapes,
     orchestration,
     parity,
     persistence,
     picklesafety,
     seams,
+    sharedstate,
     spans,
     supervision,
+    taint,
     taxonomy,
 )
 from repro.analysis.baseline import Baseline, BaselineEntry, empty_baseline
+from repro.analysis.cache import LintCache, graph_key, parse_with_cache
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.rules import ModuleUnit, Project, ProjectRule, Rule, all_rules
 
@@ -132,37 +137,93 @@ def _select_rules(select: Optional[Iterable[str]],
     return rules
 
 
+def load_units(paths: Sequence[str], cache: Optional[LintCache] = None,
+               ) -> Tuple[List[ModuleUnit], dict]:
+    """Load every module under ``paths``, through the content cache when
+    given.  Returns the units plus the module -> content-sha map that
+    keys the graph cache."""
+    units: List[ModuleUnit] = []
+    module_shas: dict = {}
+    for absolute, display, module in collect_files(paths):
+        source = absolute.read_text(encoding="utf-8")
+        tree, sha = parse_with_cache(cache, source)
+        units.append(ModuleUnit(
+            path=absolute,
+            display_path=display,
+            module=module,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        ))
+        module_shas[module] = sha
+    return units, module_shas
+
+
+def prepare_project(units: List[ModuleUnit], module_shas: dict,
+                    cache: Optional[LintCache]) -> Tuple[Project, str]:
+    """A :class:`Project` with the cached whole-program graph injected
+    when the content key matches; returns the key for the save side."""
+    project = Project(units=units)
+    key = graph_key(module_shas)
+    if cache is not None:
+        cached = cache.load_graph(key)
+        if cached is not None:
+            project.set_graph(cached)
+    return project, key
+
+
+def save_cache(project: Project, key: str, module_shas: dict,
+               cache: Optional[LintCache]) -> None:
+    """Persist a freshly built graph and prune dead entries."""
+    if cache is None:
+        return
+    graph = project.cached_graph()
+    if graph is not None and not cache.graph_hit:
+        cache.store_graph(key, graph)
+    cache.prune(sorted(set(module_shas.values())), key)
+
+
 def run(paths: Sequence[str], *,
         baseline: Optional[Baseline] = None,
         select: Optional[Iterable[str]] = None,
-        ignore: Optional[Iterable[str]] = None) -> LintResult:
-    """Lint ``paths`` and return the full result."""
+        ignore: Optional[Iterable[str]] = None,
+        cache: Optional[LintCache] = None,
+        changed_modules: Optional[Set[str]] = None) -> LintResult:
+    """Lint ``paths`` and return the full result.
+
+    ``changed_modules`` — when given — scopes *per-module* rules to those
+    canonical modules (the ``--changed-only`` pre-commit mode); project
+    rules still see the whole tree, so interprocedural findings stay
+    sound, and parse failures are always reported.
+    """
     baseline = baseline if baseline is not None else empty_baseline()
     rules = _select_rules(select, ignore)
-    units: List[ModuleUnit] = []
     raw_findings: List[Finding] = []
+    units, module_shas = load_units(paths, cache)
     units_by_module = {}
-    for absolute, display, module in collect_files(paths):
-        unit = ModuleUnit.load(absolute, display, module)
-        units.append(unit)
+    for unit in units:
         units_by_module[unit.module] = unit
         if unit.tree is None:
             raw_findings.append(Finding(
                 rule_id=PARSE_RULE_ID,
-                path=display,
-                module=module,
+                path=unit.display_path,
+                module=unit.module,
                 line=1,
                 message="file does not parse as Python; no rule can check it",
                 hint="fix the syntax error",
             ))
 
-    project = Project(units=units)
+    project, key = prepare_project(units, module_shas, cache)
     for rule in rules:
         if isinstance(rule, ProjectRule):
             raw_findings.extend(rule.check_project(project))
         else:
             for unit in units:
+                if (changed_modules is not None
+                        and unit.module not in changed_modules):
+                    continue
                 raw_findings.extend(rule.check(unit))
+    save_cache(project, key, module_shas, cache)
 
     kept: List[Finding] = []
     suppressed = 0
@@ -181,3 +242,37 @@ def run(paths: Sequence[str], *,
         suppressed=suppressed,
         files_scanned=len(units),
     )
+
+
+class ChangedOnlyError(Exception):
+    """``--changed-only`` could not determine the changed files."""
+
+
+def git_changed_modules(ref: str) -> Set[str]:
+    """Canonical modules of .py files changed vs ``ref`` plus untracked.
+
+    Raises :class:`ChangedOnlyError` when git is unavailable or the ref
+    does not resolve — ``--changed-only`` must fail loudly rather than
+    silently lint nothing.
+    """
+    import subprocess
+    commands = (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names: List[str] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as error:
+            detail = getattr(error, "stderr", "") or str(error)
+            raise ChangedOnlyError(
+                f"--changed-only: `{' '.join(command)}` failed: "
+                f"{detail.strip()}") from error
+        names.extend(proc.stdout.splitlines())
+    return {
+        canonical_module(Path(name.strip()))
+        for name in names
+        if name.strip().endswith(".py")
+    }

@@ -1,0 +1,146 @@
+"""HDVB202: builtin exceptions must not escape public entry points raw.
+
+HDVB110 enforces the error taxonomy one raise at a time: a ``raise
+ValueError`` inside a decode-scope file is flagged where it stands.  It
+cannot see a public decode entry calling a helper *outside* the decode
+scope that raises ``KeyError`` — the helper's module is legal territory
+for builtin raises, yet the exception still reaches the entry's callers
+without codec/picture context, breaking the isinstance-based recovery
+contract (``robustness/guard.py`` can only conceal what it can classify).
+
+This rule makes the contract interprocedural.  Every function that
+raises a builtin from :data:`FORBIDDEN_RAISES` (and doesn't catch it in
+the surrounding ``try``) seeds a ``raise:Name`` fact; facts propagate
+callee-to-caller, but are **blocked at call sites wrapped in a handler
+that catches the exception or one of its ancestors** (ancestry computed
+from the real builtin MRO).  A fact that survives to a public entry in
+the decode/bench/origin surface is a finding.  Direct raises inside the
+HDVB110 scope are left to HDVB110 — this rule reports only what arrives
+from elsewhere, plus direct raises in the bench/origin entries HDVB110
+never scoped.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import Fact, Seed, Via, propagate, witness
+from repro.analysis.graph import CallGraph, CallSite, FunctionNode, finding_at
+from repro.analysis.rules import Project, ProjectRule, in_scope, register
+from repro.analysis.taxonomy import (
+    DECODE_FILES,
+    DECODE_SCOPE,
+    FORBIDDEN_RAISES,
+    TAXONOMY,
+)
+
+#: Public functions under these surfaces are normalisation boundaries.
+ENTRY_SCOPE: Tuple[str, ...] = DECODE_SCOPE + ("origin/", "bench/")
+
+_FACT_PREFIX = "raise:"
+
+
+def _builtin_exception(name: str) -> Optional[type]:
+    candidate = getattr(builtins, name.rsplit(".", 1)[-1], None)
+    if isinstance(candidate, type) and issubclass(candidate, BaseException):
+        return candidate
+    return None
+
+
+def _handles(handled: Tuple[str, ...], raised: str) -> bool:
+    """True when one of ``handled`` catches ``raised`` (by builtin MRO;
+    a taxonomy catch handles nothing builtin, an unknown name is assumed
+    to — resolution stays honest by under-claiming escapes)."""
+    raised_type = _builtin_exception(raised)
+    for name in handled:
+        short = name.rsplit(".", 1)[-1]
+        if short in TAXONOMY:
+            continue
+        handler_type = _builtin_exception(short)
+        if handler_type is None:
+            return True       # unknown handler class: assume it catches
+        if raised_type is not None and issubclass(raised_type, handler_type):
+            return True
+    return False
+
+
+def _seed_facts(graph: CallGraph) -> Dict[str, Dict[Fact, Seed]]:
+    seeds: Dict[str, Dict[Fact, Seed]] = {}
+    for qualname, node in graph.functions.items():
+        for raise_site in node.raises:
+            name = raise_site.name.rsplit(".", 1)[-1]
+            if name not in FORBIDDEN_RAISES:
+                continue
+            if _handles(raise_site.handled, name):
+                continue
+            fact = _FACT_PREFIX + name
+            if fact not in seeds.setdefault(qualname, {}):
+                seeds[qualname][fact] = Seed(description=f"raise {name}",
+                                             line=raise_site.line)
+    return seeds
+
+
+def _blocks(caller: FunctionNode, site: CallSite, fact: Fact) -> bool:
+    return _handles(site.handled, fact[len(_FACT_PREFIX):])
+
+
+@register
+class ExceptionEscapeRule(ProjectRule):
+    """HDVB202: no raw builtin exception escapes a public entry point."""
+
+    rule_id = "HDVB202"
+    name = "exception-escape"
+    rationale = (
+        "the hardened-decode contract says every failure crossing a "
+        "public decode/bench/origin boundary is a ReproError with "
+        "context; HDVB110 checks raises line-by-line inside the decode "
+        "scope, but a builtin raised by an out-of-scope helper rides the "
+        "call chain straight through the entry — propagating raise facts "
+        "over the graph, minus the handlers that provably catch them, "
+        "finds exactly those escapes"
+    )
+    hint = (
+        "wrap the call in try/except and re-raise a repro.errors "
+        "taxonomy class, or normalise at the helper"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph: CallGraph = project.graph()
+        facts = propagate(graph, _seed_facts(graph), blocks=_blocks)
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if not node.is_public:
+                continue
+            if not in_scope(node.module, ENTRY_SCOPE, DECODE_FILES):
+                continue
+            held = facts.get(qualname)
+            if not held:
+                continue
+            for fact in sorted(held):
+                origin = held[fact]
+                name = fact[len(_FACT_PREFIX):]
+                if isinstance(origin, Seed):
+                    if in_scope(node.module, DECODE_SCOPE, DECODE_FILES):
+                        continue      # HDVB110 already flags the raise line
+                    yield finding_at(
+                        self, project, node.module, origin.line,
+                        f"public entry `{node.name}` raises builtin "
+                        f"{name} instead of a ReproError subclass",
+                    )
+                    continue
+                inherited_from = graph.functions[origin.callee]
+                if inherited_from.is_public and in_scope(
+                        inherited_from.module, ENTRY_SCOPE, DECODE_FILES):
+                    # The callee is a flagged entry itself (or its raw
+                    # raise is HDVB110's); don't cascade up every caller.
+                    continue
+                chain = witness(graph, facts, qualname, fact)
+                yield finding_at(
+                    self, project, node.module, origin.line,
+                    f"builtin {name} can escape public entry "
+                    f"`{node.name}` via `{inherited_from.name}` "
+                    f"({inherited_from.module}) "
+                    f"[{' -> '.join(chain)}]",
+                )

@@ -1,0 +1,112 @@
+"""Generic fixed-point dataflow over the whole-program call graph.
+
+The HDVB2xx rules all share one shape: a per-function *fact* (reaches an
+unseeded RNG, reaches a blocking primitive, can raise builtin ``X``)
+starts at seed functions and flows **callee -> caller** along internal
+call edges until nothing changes.  This module implements that shape
+once, as a deterministic worklist fixed point that converges on cyclic
+call graphs (facts are monotone: once a function holds one it never
+loses it), with per-edge *blockers* (a call site wrapped in a handler
+that catches ``ValueError`` stops the ``ValueError`` fact) and witness
+provenance so every finding can print the call chain that produced it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.graph import CallGraph, CallSite, FunctionNode
+
+#: Facts are opaque strings chosen by each rule (``"nondet:random.uniform"``).
+Fact = str
+
+
+@dataclass(frozen=True)
+class Seed:
+    """A fact born inside the function itself."""
+
+    description: str        #: human text for the source (``random.uniform``)
+    line: int               #: line of the source inside the seed function
+
+
+@dataclass(frozen=True)
+class Via:
+    """A fact inherited from a callee through one call site."""
+
+    callee: str             #: qualname the fact came from
+    line: int               #: call-site line in the inheriting function
+
+
+Origin = Union[Seed, Via]
+
+#: ``blocks(caller, site, fact) -> True`` stops ``fact`` at that edge.
+Blocker = Callable[[FunctionNode, CallSite, Fact], bool]
+
+
+def propagate(graph: CallGraph,
+              seeds: Dict[str, Dict[Fact, Seed]],
+              blocks: Optional[Blocker] = None) -> Dict[str, Dict[Fact, Origin]]:
+    """Propagate ``seeds`` callee-to-caller to a fixed point.
+
+    Returns every function's facts with their origin: a :class:`Seed` for
+    the function that owns the source, a :class:`Via` naming the callee
+    (and call-site line) the fact was inherited through.  Deterministic:
+    the worklist drains in sorted order and the first (lowest caller,
+    lowest line) discovery wins the provenance slot.
+    """
+    facts: Dict[str, Dict[Fact, Origin]] = {
+        qualname: dict(fact_map)
+        for qualname, fact_map in seeds.items()
+        if fact_map and qualname in graph.functions
+    }
+    callers = graph.callers()
+    work = deque(sorted(facts))
+    queued = set(work)
+    while work:
+        callee = work.popleft()
+        queued.discard(callee)
+        callee_facts = facts.get(callee)
+        if not callee_facts:
+            continue
+        for caller, site in callers.get(callee, ()):
+            caller_node = graph.functions[caller]
+            caller_facts = facts.setdefault(caller, {})
+            changed = False
+            for fact in sorted(callee_facts):
+                if fact in caller_facts:
+                    continue
+                if blocks is not None and blocks(caller_node, site, fact):
+                    continue
+                caller_facts[fact] = Via(callee=callee, line=site.line)
+                changed = True
+            if changed and caller not in queued:
+                work.append(caller)
+                queued.add(caller)
+    return {qualname: fact_map for qualname, fact_map in facts.items()
+            if fact_map}
+
+
+def witness(graph: CallGraph, facts: Dict[str, Dict[Fact, Origin]],
+            qualname: str, fact: Fact, limit: int = 12) -> List[str]:
+    """The call chain from ``qualname`` down to the fact's seed.
+
+    Each element is ``name (module:line)``; the last one is the seed's
+    own description.  Provenance links always point at a function that
+    held the fact earlier in the fixed point, so the walk terminates
+    even on cyclic graphs.
+    """
+    chain: List[str] = []
+    current = qualname
+    while len(chain) < limit:
+        origin = facts[current][fact]
+        if isinstance(origin, Seed):
+            node = graph.functions[current]
+            chain.append(f"{origin.description} ({node.module}:{origin.line})")
+            return chain
+        node = graph.functions[origin.callee]
+        chain.append(f"{node.name} ({node.module}:{node.line})")
+        current = origin.callee
+    chain.append("...")
+    return chain

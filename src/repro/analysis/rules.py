@@ -92,12 +92,28 @@ class Project:
     """The whole scanned tree, for cross-module rules."""
 
     units: List[ModuleUnit]
+    _graph: Optional[object] = field(default=None, repr=False, compare=False)
 
     def find(self, module: str) -> Optional[ModuleUnit]:
         for unit in self.units:
             if unit.module == module:
                 return unit
         return None
+
+    def graph(self) -> "object":
+        """The whole-program call graph, built once and shared by every
+        graph-backed rule (and injectable from the content-hash cache)."""
+        if self._graph is None:
+            from repro.analysis.graph import build_graph
+            self._graph = build_graph(self)
+        return self._graph
+
+    def set_graph(self, graph: object) -> None:
+        self._graph = graph
+
+    def cached_graph(self) -> Optional[object]:
+        """The graph if one was built or injected this run, else None."""
+        return self._graph
 
 
 class Rule:

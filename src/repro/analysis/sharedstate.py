@@ -1,0 +1,106 @@
+"""HDVB203: module globals written from both sides of a process/task seam.
+
+The repo has two concurrency seams where "it's just a module global"
+silently stops being true:
+
+* ``parallel.run_pooled`` ships the worker callable to *another process*
+  — a global the worker mutates is a different object there, so a parent
+  that also writes it is at best confused, at worst racing the fork-start
+  path; telemetry survives this only via its explicit snapshot/merge
+  protocol (``telemetry/`` is therefore allowlisted);
+* supervised origin tasks (``Supervisor.spawn``) interleave on the event
+  loop — a global written both from a spawned task and from the parent
+  serve path has an ordering that depends on scheduling, which the
+  bit-reproducible serve fingerprint cannot tolerate.
+
+No local rule can see this: the two writes are in different functions,
+often different modules, and each looks harmless alone.  This rule
+collects every global write site from the graph, computes the forward
+closure of the worker/task roots (the function references passed to
+``run_pooled``/``spawn``), and flags each global written from **both**
+the worker closure and the parent side.  Module import-time assignments
+don't count as parent writes — initialisation runs independently in
+every process before any task exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import MODULE_BODY, CallGraph, GlobalWrite, finding_at
+from repro.analysis.rules import Project, ProjectRule, in_scope, register
+
+#: Call targets whose function-reference arguments become worker roots.
+SPAWN_TARGETS: Tuple[str, ...] = (
+    "parallel.py::run_pooled",
+    "parallel.py::parallel_encode",
+    "origin/supervise.py::Supervisor.spawn",
+)
+
+#: Modules whose cross-process globals are protocol, not accident.
+ALLOWED_MODULES: Tuple[str, ...] = ("telemetry/",)
+
+
+def worker_roots(graph: CallGraph) -> List[str]:
+    """Functions handed to the pool/supervisor as work, deterministic."""
+    roots: Set[str] = set()
+    for node in graph.functions.values():
+        for site in node.calls:
+            if site.target in SPAWN_TARGETS:
+                roots.update(ref for ref in site.func_args
+                             if ref in graph.functions)
+    return sorted(roots)
+
+
+@register
+class SharedMutableStateRule(ProjectRule):
+    """HDVB203: no global written from both a worker/task path and the
+    parent path."""
+
+    rule_id = "HDVB203"
+    name = "shared-mutable-state"
+    rationale = (
+        "a module global written inside a pooled worker lives in another "
+        "process — the parent's copy silently diverges — and one written "
+        "from a supervised origin task races the serve path on scheduler "
+        "order; both only show up when a write on one side is paired "
+        "with a write on the other, which takes the whole-program graph "
+        "to see"
+    )
+    hint = (
+        "return the state from the worker and merge in the parent (the "
+        "telemetry snapshot/merge pattern), or scope it to the task"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph: CallGraph = project.graph()
+        roots = worker_roots(graph)
+        if not roots:
+            return
+        worker_side = graph.reachable(roots)
+        writes: Dict[Tuple[str, str], Dict[str, List[GlobalWrite]]] = {}
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if node.name == MODULE_BODY:
+                continue
+            for write in node.writes:
+                if in_scope(write.module, ALLOWED_MODULES):
+                    continue
+                side = "worker" if qualname in worker_side else "parent"
+                writes.setdefault((write.module, write.name), {}) \
+                    .setdefault(side, []).append(write)
+        for (module, name) in sorted(writes):
+            sides = writes[(module, name)]
+            if "worker" not in sides or "parent" not in sides:
+                continue
+            worker_write = min(sides["worker"], key=lambda w: w.line)
+            parent_write = min(sides["parent"], key=lambda w: w.line)
+            yield finding_at(
+                self, project, module, worker_write.line,
+                f"global `{name}` ({module}) is written from a pooled/"
+                f"supervised path (line {worker_write.line}, "
+                f"{worker_write.op}) and from the parent path "
+                f"({parent_write.module}:{parent_write.line}, "
+                f"{parent_write.op}); the two sides race or diverge",
+            )

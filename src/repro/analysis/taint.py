@@ -1,0 +1,133 @@
+"""HDVB200: interprocedural nondeterminism taint over the call graph.
+
+HDVB101/102 are one-hop rules: they flag a module-state RNG draw or a
+wall-clock read *at the line where it appears*, and only inside the
+determinism scope.  They are blind to the same source one call away —
+``orchestrate/scheduler.py`` calling ``parallel.run_pooled`` whose retry
+backoff draws ``random.uniform`` is invisible to both, because the draw
+lives in ``parallel.py`` (out of scope) and the scheduler line contains
+no RNG call at all.
+
+HDVB200 closes that gap.  Every function in the tree that *directly*
+contains a nondeterministic source seeds a fact (``random.uniform``,
+``numpy.random.rand``, ``time.time``); the :mod:`repro.analysis.flow`
+fixed point propagates facts callee-to-caller over the whole-program
+graph; the rule then flags each **call site inside the deterministic
+scope whose internal callee carries a fact**, printing the full witness
+chain down to the source line.  Direct in-scope sources stay HDVB101/102
+territory (same line, better message) — this rule deliberately reports
+only the transitive reach those rules provably miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.analysis.determinism import (
+    DETERMINISM_SCOPE,
+    SEEDED_NUMPY_OK,
+    UNSEEDED_RANDOM_FUNCS,
+    WALLCLOCK_CALLS,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.flow import Fact, Seed, propagate, witness
+from repro.analysis.graph import CallGraph, finding_at
+from repro.analysis.rules import Project, ProjectRule, in_scope, register
+
+#: The interprocedural scope: the HDVB101/102 directories plus the
+#: orchestrator, whose cell digests are part of the reproducibility gate.
+TAINT_SCOPE: Tuple[str, ...] = DETERMINISM_SCOPE + ("orchestrate/",)
+
+#: Modules that never seed taint: telemetry *must* read the clock (the
+#: same carve-out HDVB102 documents), and nothing it measures feeds back
+#: into results — reproducible records pin their timestamps explicitly.
+EXEMPT_SOURCE_MODULES: Tuple[str, ...] = ("telemetry/",)
+
+
+def nondet_fact(external: str) -> str:
+    """The fact string for an external call, or '' when deterministic."""
+    if external in WALLCLOCK_CALLS:
+        return external
+    parts = external.split(".")
+    if parts[0] == "random" and len(parts) == 2 \
+            and parts[1] in UNSEEDED_RANDOM_FUNCS:
+        return external
+    if parts[0] in ("numpy", "np") and len(parts) >= 3 \
+            and parts[1] == "random" and parts[2] not in SEEDED_NUMPY_OK:
+        return "numpy." + ".".join(parts[1:])
+    return ""
+
+
+def _seed_facts(graph: CallGraph) -> Dict[str, Dict[Fact, Seed]]:
+    seeds: Dict[str, Dict[Fact, Seed]] = {}
+    for qualname, node in graph.functions.items():
+        if in_scope(node.module, EXEMPT_SOURCE_MODULES):
+            continue
+        for site in node.calls:
+            if site.external is None:
+                continue
+            fact = nondet_fact(site.external)
+            if fact and fact not in seeds.setdefault(qualname, {}):
+                seeds[qualname][fact] = Seed(description=fact, line=site.line)
+    return seeds
+
+
+@register
+class NondetTaintRule(ProjectRule):
+    """HDVB200: deterministic scopes must not transitively reach
+    module-state RNG or wall-clock sources."""
+
+    rule_id = "HDVB200"
+    name = "nondet-taint"
+    rationale = (
+        "HDVB101/102 only see a nondeterministic source at the line it "
+        "appears on; a codec or orchestrator path calling a helper that "
+        "draws from global RNG state one module away breaks "
+        "bit-reproducibility just as silently — this rule propagates the "
+        "taint over the whole-program call graph and flags the call site "
+        "where it enters a deterministic scope"
+    )
+    hint = (
+        "thread an explicit random.Random(seed) / timestamp into the "
+        "callee, or move the nondeterminism behind an injected seam"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph: CallGraph = project.graph()
+        seeds = _seed_facts(graph)
+        facts = propagate(graph, seeds)
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if not in_scope(node.module, TAINT_SCOPE):
+                continue
+            # Direct sources in the orchestrator: HDVB101/102 don't scope
+            # orchestrate/, so the seed itself is this rule's to report.
+            if not in_scope(node.module, DETERMINISM_SCOPE):
+                for fact, seed in sorted(seeds.get(qualname, {}).items()):
+                    yield finding_at(
+                        self, project, node.module, seed.line,
+                        f"`{node.name}` calls nondeterministic `{fact}` "
+                        f"in a deterministic scope",
+                    )
+            # Boundary edges: the call site where taint enters the scope.
+            # In-scope-to-in-scope edges are not repeated — the taint is
+            # already reported where it crossed in (or by HDVB101/102 at
+            # the direct source line).
+            for site in node.calls:
+                if site.target is None:
+                    continue
+                callee = graph.functions[site.target]
+                if in_scope(callee.module, TAINT_SCOPE):
+                    continue
+                callee_facts = facts.get(site.target)
+                if not callee_facts:
+                    continue
+                fact = sorted(callee_facts)[0]
+                chain = witness(graph, facts, site.target, fact)
+                yield finding_at(
+                    self, project, node.module, site.line,
+                    f"`{node.name}` calls `{callee.name}` "
+                    f"({callee.module}) which transitively reaches "
+                    f"nondeterministic `{fact}` "
+                    f"[{' -> '.join(chain)}]",
+                )

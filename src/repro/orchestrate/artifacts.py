@@ -327,7 +327,10 @@ class ArtifactCache:
         if age_limit is None:
             age_limit = self.stale_lock_seconds
         try:
-            age = time.time() - lock.stat().st_mtime
+            # Lock age *must* use the wall clock: st_mtime is epoch time,
+            # and monotonic() is incomparable to it.  Operational lock
+            # hygiene only -- no benchmark result depends on this read.
+            age = time.time() - lock.stat().st_mtime  # hdvb: disable=HDVB200
         except OSError:
             return False    # already released
         if age > age_limit or age_limit <= 0.0:

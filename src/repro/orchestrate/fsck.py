@@ -184,7 +184,10 @@ def fsck_cache(cache: ArtifactCache, repair: bool = False,
                         _delete(temp)
             elif item.suffix == ".lock":
                 try:
-                    age = time.time() - item.stat().st_mtime
+                    # Same mtime-vs-epoch comparison as _break_stale_lock:
+                    # the wall clock is the only clock comparable to
+                    # st_mtime, and lock repair is operational hygiene.
+                    age = time.time() - item.stat().st_mtime  # hdvb: disable=HDVB200
                 except OSError:
                     continue        # released while we looked
                 if age > threshold or threshold <= 0.0:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -152,8 +153,12 @@ def _measure_cell(cell: Cell, cache: ArtifactCache,
 
     def produce():
         if cell.workers > 1:
+            # Backoff jitter seeded from the cell so retry timing is
+            # replayable alongside everything else about the cell.
             stream = parallel_encode(cell.codec, video, workers=cell.workers,
-                                     chunk_timeout=cell.timeout, **fields)
+                                     chunk_timeout=cell.timeout,
+                                     rng=random.Random(cell.seed),
+                                     **fields)
         else:
             stream = get_encoder(cell.codec, **fields).encode_sequence(video)
         decoded = get_decoder(cell.codec).decode(stream)
@@ -439,6 +444,7 @@ def run_cells(
                 _execute_cell_job, jobs, scheduler_workers,
                 job_timeout=max(cell.timeout for cell in wave),
                 serial_worker=_execute_cell_job_inline,
+                rng=random.Random(fingerprint),
                 **pool_kwargs)
             state.pool_stats.append(pool_stats)
             for result in results:

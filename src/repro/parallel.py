@@ -158,6 +158,7 @@ def run_pooled(
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     executor_factory=ProcessPoolExecutor,
     serial_worker=None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List, Dict]:
     """Run ``worker(*job)`` over ``jobs`` with pooled, hardened execution.
 
@@ -176,6 +177,12 @@ def run_pooled(
     fallback), for callers whose pool worker does process-local setup
     that must not happen in the parent.
 
+    ``rng`` supplies the backoff jitter.  It defaults to a fresh
+    ``random.Random()`` — never the module-state RNG, whose hidden
+    global state a draw here would perturb for every other consumer —
+    and callers that need the backoff schedule itself to be replayable
+    (the orchestrator) pass a seeded instance.
+
     Returns ``(results, stats)`` with one result per job in submission
     order and ``stats`` describing the execution::
 
@@ -190,6 +197,8 @@ def run_pooled(
         raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
     if serial_worker is None:
         serial_worker = worker
+    if rng is None:
+        rng = random.Random()
     jobs = list(jobs)
     retries = 0
     fallback = False
@@ -208,7 +217,7 @@ def run_pooled(
                 # immediate re-submit tends to hit the same starved
                 # machine that broke the first pool.
                 pause = (retry_backoff * (2 ** (attempt - 1))
-                         * random.uniform(0.5, 1.5))
+                         * rng.uniform(0.5, 1.5))
                 backoffs.append(pause)
                 if pause > 0:
                     time.sleep(pause)
@@ -253,6 +262,7 @@ def parallel_encode(
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     executor_factory=ProcessPoolExecutor,
     return_stats: bool = False,
+    rng: Optional[random.Random] = None,
     **config_fields,
 ) -> Union[EncodedVideo, Tuple[EncodedVideo, Dict]]:
     """Encode ``video`` with GOP-level parallelism.
@@ -267,7 +277,8 @@ def parallel_encode(
     ``retry_backoff`` is the base of the jittered exponential backoff
     slept between pool retries (``backoff * 2^attempt``, jittered by a
     uniform 0.5-1.5x factor so restarted pools don't stampede a
-    contended machine; 0 disables the sleep).
+    contended machine; 0 disables the sleep).  ``rng`` seeds that
+    jitter — see :func:`run_pooled`.
 
     With ``return_stats=True`` the call returns ``(stream, stats)`` where
     ``stats`` is a dict carrying per-chunk encode wall time (measured
@@ -318,6 +329,7 @@ def parallel_encode(
             retry_backoff=retry_backoff,
             executor_factory=executor_factory,
             serial_worker=_encode_chunk_inline,
+            rng=rng,
         )
     wall_seconds = time.perf_counter() - wall_start
     mode = pool_stats["mode"]

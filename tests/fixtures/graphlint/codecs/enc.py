@@ -1,0 +1,8 @@
+"""Locally innocent codec entry: no RNG call in sight, but two hops
+away ``jitter`` reaches ``random.uniform`` → HDVB200."""
+
+from util.jitter import jitter
+
+
+def encode(frame):
+    return frame * jitter()

@@ -1,0 +1,9 @@
+"""Locally innocent coroutine: it never sleeps itself, but the sync
+helper it calls does → HDVB201 (event-loop stall)."""
+
+from util.throttle import settle
+
+
+async def serve(session):
+    settle()
+    return session

@@ -1,0 +1,9 @@
+"""Unseeded jitter helper — outside the determinism scope, so HDVB101
+never looks at it.  The taint only becomes a defect when a codec calls
+it (see ``codecs/enc.py``)."""
+
+import random
+
+
+def jitter():
+    return random.uniform(0.5, 1.5)

@@ -1,0 +1,9 @@
+"""Sync throttle helper.  ``time.sleep`` is not a wall-clock *read*, so
+HDVB101/102 have no opinion; the defect appears only when a coroutine
+reaches it (see ``origin/server.py``)."""
+
+import time
+
+
+def settle():
+    time.sleep(0.1)
