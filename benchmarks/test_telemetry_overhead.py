@@ -121,3 +121,83 @@ def test_disabled_overhead_under_two_percent(video):
         f"({touch_points} sites x {noop_seconds * 1e9:.0f}ns) exceeds "
         f"{OVERHEAD_GATE:.0%} of the {encode_seconds:.2f}s encode"
     )
+
+
+# ----------------------------------------------------------------------
+# the event log rides the same gate
+# ----------------------------------------------------------------------
+
+
+def _serve_once(events_on: bool):
+    """One tiny seeded serve; (wall seconds, events emitted)."""
+    from repro.origin.bench import run_serve
+    from repro.telemetry import events
+
+    events.reset()
+    if events_on:
+        events.enable()
+    try:
+        reports = run_serve(clients=6, seeds=(3,), frames=8,
+                            chaos_rate=0.5)
+    finally:
+        emitted = len(events.current_log())
+        events.disable()
+        events.reset()
+    return reports[0].wall_seconds, emitted
+
+
+def test_disabled_event_log_under_two_percent(tmp_path):
+    """Disabled emit() cost x sites reached < 2% of the serve wall time."""
+    from repro.telemetry import flightrec
+    from repro.telemetry.events import emit, state as event_state
+
+    flightrec.recorder.configure(dump_dir=str(tmp_path / "flightrec"))
+    serve_seconds, _ = _serve_once(events_on=False)
+    _, emit_count = _serve_once(events_on=True)
+    assert emit_count > 0          # the serve path is instrumented
+
+    probes = 200_000
+    start = time.perf_counter()
+    for _ in range(probes):
+        emit("session.state", state="probe")
+    noop_seconds = (time.perf_counter() - start) / probes
+    assert not event_state.enabled
+
+    projected = emit_count * noop_seconds
+    ratio = projected / serve_seconds
+    assert ratio < OVERHEAD_GATE, (
+        f"projected disabled event-log overhead {ratio:.2%} "
+        f"({emit_count} sites x {noop_seconds * 1e9:.0f}ns) exceeds "
+        f"{OVERHEAD_GATE:.0%} of the {serve_seconds:.2f}s serve"
+    )
+
+
+def test_enabled_event_log_under_five_percent(tmp_path):
+    """Enabled emit+ring cost x sites reached < 5% of the serve wall."""
+    from repro.telemetry import events, flightrec
+    from repro.telemetry.events import correlation_scope, emit
+
+    flightrec.recorder.configure(dump_dir=str(tmp_path / "flightrec"))
+    serve_seconds, _ = _serve_once(events_on=False)
+    _, emit_count = _serve_once(events_on=True)
+
+    events.reset()
+    events.enable()
+    probes = 50_000
+    try:
+        with correlation_scope(session_id="bench"):
+            start = time.perf_counter()
+            for index in range(probes):
+                emit("session.state", state=index, t=0.0)
+            enabled_seconds = (time.perf_counter() - start) / probes
+    finally:
+        events.disable()
+        events.reset()
+
+    projected = emit_count * enabled_seconds
+    ratio = projected / serve_seconds
+    assert ratio < 0.05, (
+        f"projected enabled event-log overhead {ratio:.2%} "
+        f"({emit_count} sites x {enabled_seconds * 1e6:.1f}us) exceeds "
+        f"5% of the {serve_seconds:.2f}s serve"
+    )

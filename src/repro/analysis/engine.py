@@ -26,6 +26,7 @@ from repro.analysis import (  # noqa: F401 -- rule registration
     blocking,
     determinism,
     escapes,
+    eventlog,
     orchestration,
     parity,
     persistence,

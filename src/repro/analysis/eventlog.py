@@ -1,0 +1,215 @@
+"""HDVB210: structured events carry correlation and a registered name.
+
+The timeline reconstruction that ``hdvb-observe timeline`` performs
+depends on two disciplines at every ``emit()`` call site inside the
+correlated planes (``origin/`` and ``orchestrate/``):
+
+* the call happens **inside a** ``correlation_scope(...)`` — either
+  lexically (an enclosing ``with correlation_scope(...)``) or because
+  the enclosing class binds a scope around its lifetime in one of its
+  methods (the session pattern: ``run()`` opens the scope, every other
+  method emits under it).  An uncorrelated event matches no timeline
+  and silently vanishes from every post-mortem;
+* the event **name is a string literal from the frozen registry**
+  :data:`repro.telemetry.events.EVENT_NAMES`.  The runtime raises on
+  unregistered names, but only on the enabled path — a typo in a name
+  ships silently until someone turns telemetry on in production.  The
+  one sanctioned exception is a *forwarding wrapper* whose first
+  argument is a parameter of the enclosing function (the session's
+  ``_emit`` helper); its call sites are checked instead.
+
+``emit`` is recognised whether imported by name (``from
+repro.telemetry.events import emit``), called through a module alias
+(``_events.emit(...)``), or routed through the ``self._emit`` wrapper
+convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleUnit, Rule, dotted_name, in_scope, register
+from repro.telemetry.events import EVENT_NAMES
+
+#: Packages whose emits must be correlated (the timeline planes).
+EVENT_SCOPE_PREFIXES: Tuple[str, ...] = ("origin/", "orchestrate/")
+
+EMIT_ORIGIN = "repro.telemetry.events.emit"
+EVENTS_MODULE = "repro.telemetry.events"
+SCOPE_ORIGIN = "repro.telemetry.events.correlation_scope"
+
+_NAME_SET = frozenset(EVENT_NAMES)
+
+
+def _emit_names(unit: ModuleUnit) -> Set[str]:
+    """Local names bound to ``emit`` by from-imports."""
+    return {name for name, origin in unit.imported_names().items()
+            if origin == EMIT_ORIGIN}
+
+
+def _scope_names(unit: ModuleUnit) -> Set[str]:
+    """Local names bound to ``correlation_scope`` by from-imports."""
+    return {name for name, origin in unit.imported_names().items()
+            if origin == SCOPE_ORIGIN}
+
+
+def _is_scope_call(node: ast.AST, scope_names: Set[str],
+                   aliases: Dict[str, str]) -> bool:
+    """True when a with-item's expression opens a correlation scope."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    if dotted in scope_names:
+        return True
+    if "." in dotted:
+        base, rest = dotted.split(".", 1)
+        if rest == "correlation_scope" and aliases.get(base) == EVENTS_MODULE:
+            return True
+    return False
+
+
+def _is_emit_call(node: ast.AST, emit_names: Set[str],
+                  aliases: Dict[str, str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    if dotted in emit_names:
+        return True
+    if dotted == "self._emit":
+        return True  # the sanctioned wrapper convention
+    if "." in dotted:
+        base, rest = dotted.split(".", 1)
+        if rest == "emit" and aliases.get(base) == EVENTS_MODULE:
+            return True
+    return False
+
+
+def _parents(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _ancestors(node: ast.AST, parents: Dict[int, ast.AST]
+               ) -> Iterator[ast.AST]:
+    current: Optional[ast.AST] = parents.get(id(node))
+    while current is not None:
+        yield current
+        current = parents.get(id(current))
+
+
+def _class_opens_scope(cls: ast.ClassDef, scope_names: Set[str],
+                       aliases: Dict[str, str]) -> bool:
+    """True when any method of ``cls`` opens a correlation scope — the
+    session pattern, where ``run()`` brackets the whole lifetime."""
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _is_scope_call(item.context_expr, scope_names, aliases):
+                    return True
+    return False
+
+
+def _wrapper_params(node: ast.AST, parents: Dict[int, ast.AST]
+                    ) -> Set[str]:
+    """Parameter names of the function lexically enclosing ``node``."""
+    for ancestor in _ancestors(node, parents):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = ancestor.args
+            names = {arg.arg for arg in arguments.args}
+            names.update(arg.arg for arg in arguments.posonlyargs)
+            names.update(arg.arg for arg in arguments.kwonlyargs)
+            return names
+    return set()
+
+
+@register
+class EventDisciplineRule(Rule):
+    """HDVB210: emits are correlated and use registered literal names."""
+
+    rule_id = "HDVB210"
+    name = "event-discipline"
+    rationale = (
+        "an event emitted outside a correlation_scope matches no "
+        "timeline and vanishes from every post-mortem; an event name "
+        "outside the frozen EVENT_NAMES registry only fails at runtime "
+        "on the enabled path, so the typo ships silently"
+    )
+    hint = (
+        "wrap the call site (or the owning lifetime method) in `with "
+        "correlation_scope(...)`, and pass the event name as a string "
+        "literal from repro.telemetry.events.EVENT_NAMES"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if unit.tree is None:
+            return
+        if not in_scope(unit.module, EVENT_SCOPE_PREFIXES):
+            return
+        emit_names = _emit_names(unit)
+        scope_names = _scope_names(unit)
+        aliases = unit.module_aliases()
+        sites = [node for node in ast.walk(unit.tree)
+                 if _is_emit_call(node, emit_names, aliases)]
+        if not sites:
+            return
+        parents = _parents(unit.tree)
+        for call in sites:
+            yield from self._check_correlation(
+                unit, call, parents, scope_names, aliases)
+            yield from self._check_name(unit, call, parents)
+
+    def _check_correlation(self, unit: ModuleUnit, call: ast.Call,
+                           parents: Dict[int, ast.AST],
+                           scope_names: Set[str],
+                           aliases: Dict[str, str]) -> Iterator[Finding]:
+        enclosing_class: Optional[ast.ClassDef] = None
+        for ancestor in _ancestors(call, parents):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if _is_scope_call(item.context_expr, scope_names,
+                                      aliases):
+                        return  # lexically correlated
+            elif isinstance(ancestor, ast.ClassDef):
+                enclosing_class = ancestor
+                break
+        if enclosing_class is not None and _class_opens_scope(
+                enclosing_class, scope_names, aliases):
+            return  # lifetime-correlated via the owning class
+        yield self.finding(
+            unit, call,
+            "emit() outside any correlation_scope -- the event matches "
+            "no timeline and disappears from post-mortems",
+        )
+
+    def _check_name(self, unit: ModuleUnit, call: ast.Call,
+                    parents: Dict[int, ast.AST]) -> Iterator[Finding]:
+        if not call.args:
+            yield self.finding(
+                unit, call, "emit() without an event name argument")
+            return
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in _NAME_SET:
+                yield self.finding(
+                    unit, call,
+                    f"event name {first.value!r} is not in the frozen "
+                    f"repro.telemetry.events.EVENT_NAMES registry",
+                )
+            return
+        if isinstance(first, ast.Name) and first.id in _wrapper_params(
+                call, parents):
+            return  # forwarding wrapper: its call sites are checked
+        yield self.finding(
+            unit, call,
+            "event name must be a string literal from EVENT_NAMES (a "
+            "computed name defeats the static registry check)",
+        )

@@ -248,6 +248,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="upper bound of per-client packet loss rates")
     sv.add_argument("--ramp", type=float, default=2.0,
                     help="arrival ramp window in virtual seconds")
+    sv.add_argument("--events", default="", metavar="PATH",
+                    help="enable the structured event log for the run and "
+                         "write its canonical JSONL here (bit-reproducible "
+                         "per seed); flight dumps land in STORE/flightrec")
+    sv.add_argument("--failure-budget", type=int, default=-1,
+                    dest="failure_budget",
+                    help="transient failures a session tolerates before "
+                         "aborting (default: the SessionConfig default; "
+                         "0 plus --chaos forces SessionAborted dumps)")
 
     orc = sub.add_parser("orchestrate",
                          help="run a declarative spec's benchmark matrix "
@@ -440,18 +449,46 @@ def _dispatch(args) -> int:
                                 "seeds": args.seeds,
                                 "frames": args.frames,
                                 "chaos": args.chaos})
-        reports = run_serve(
-            clients=args.clients,
-            seeds=seeds,
-            codecs=tuple(args.codecs.split(",")),
-            frames=args.frames,
-            max_sessions=args.max_sessions or None,
-            chaos_rate=args.chaos,
-            slow_reader_rate=args.slow_readers,
-            max_loss=args.max_loss,
-            ramp_seconds=args.ramp,
-            progress=_progress,
-        )
+        events_path = getattr(args, "events", "")
+        if events_path:
+            import os as _os
+
+            from repro.telemetry import events as _events
+            from repro.telemetry import flightrec as _flightrec
+
+            _events.reset()
+            _flightrec.recorder.configure(
+                dump_dir=_os.path.join(args.store, "flightrec"))
+            _events.enable()
+        session_config = None
+        if args.failure_budget >= 0:
+            from repro.origin.session import SessionConfig
+            session_config = SessionConfig(failure_budget=args.failure_budget)
+        try:
+            reports = run_serve(
+                clients=args.clients,
+                seeds=seeds,
+                codecs=tuple(args.codecs.split(",")),
+                frames=args.frames,
+                max_sessions=args.max_sessions or None,
+                chaos_rate=args.chaos,
+                slow_reader_rate=args.slow_readers,
+                max_loss=args.max_loss,
+                ramp_seconds=args.ramp,
+                session=session_config,
+                progress=_progress,
+            )
+        finally:
+            if events_path:
+                log = _events.current_log()
+                # An event log is a report, not durable state: the next
+                # run with --events rewrites it whole.
+                with open(events_path, "w",  # hdvb: disable=HDVB160,HDVB190
+                          encoding="utf-8") as handle:
+                    handle.write(log.to_jsonl(canonical=True))
+                print(f"hdvb-bench serve: wrote {len(log)} event(s) to "
+                      f"{events_path}", file=sys.stderr)
+                _events.disable()
         _emit(args, render_serve(reports),
               records_from_serve(reports, info), info)
     elif args.command == "orchestrate":

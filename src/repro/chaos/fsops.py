@@ -108,6 +108,7 @@ class ChaosFS(FileOps):
         if not self.plan.should_crash(name):
             return
         self.crashes_fired.append(name)
+        _flight_dump_crash(name, path)
         if self.hard_crash:
             os._exit(CRASH_EXIT_CODE)
         raise CrashInjected(
@@ -138,6 +139,7 @@ class ChaosFS(FileOps):
             # The torn write: half the payload reaches disk, then death.
             self.crashes_fired.append(tear_point)
             os.write(fd, data[: max(1, len(data) // 2)])
+            _flight_dump_crash(tear_point, path)
             if self.hard_crash:
                 os._exit(CRASH_EXIT_CODE)
             raise CrashInjected(
@@ -184,6 +186,24 @@ class ChaosFS(FileOps):
             raise fault.as_os_error()
         with open(path, "rb") as handle:
             return handle.read()
+
+
+def _flight_dump_crash(name: str, path: str) -> None:
+    """Record the injected death on the flight recorder *before* dying.
+
+    Runs only when the event log is enabled; emits the ``crash.injected``
+    event so the dumped ring's last entry names the crash point, then
+    writes the post-mortem.  Crucially this happens before ``os._exit``
+    in hard-crash mode — exactly like a real black box, the dump is the
+    only survivor of the process.
+    """
+    from repro.telemetry import flightrec
+    from repro.telemetry.events import emit, enabled
+    if not enabled():
+        return
+    emit("crash.injected", crash_point=name, path=path)
+    flightrec.recorder.dump("crash.injected",
+                            extra={"crash_point": name, "path": path})
 
 
 _REAL = FileOps()

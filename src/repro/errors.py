@@ -62,6 +62,19 @@ def _rebuild_error(cls: Type["ReproError"], message: str,
     return error
 
 
+def _active_correlation() -> Dict[str, str]:
+    """The event-log correlation scope, if the telemetry plane is up.
+
+    Imported lazily so :mod:`repro.errors` stays importable first and
+    free of cycles (telemetry never imports this module).
+    """
+    try:
+        from repro.telemetry.events import current_correlation
+    except ImportError:  # pragma: no cover - partial installs only
+        return {}
+    return current_correlation()
+
+
 class ReproError(Exception):
     """Base class for all library errors.
 
@@ -74,9 +87,14 @@ class ReproError(Exception):
     extends it once more to the streaming origin (:mod:`repro.origin`):
     a failure inside a multi-client serve names the session it belongs
     to, so one sick client is attributable among thousands.
-    ``str(error)`` appends the context when present, so existing
-    ``pytest.raises(..., match=...)`` patterns keep matching the message
-    prefix.
+    ``correlation_id``/``cell_id`` extend it to the observability plane
+    (:mod:`repro.telemetry.events`): any error constructed inside an
+    active ``correlation_scope`` automatically inherits the scope's ids,
+    so flight-record dumps and the event log can attribute the failure
+    without per-subsystem plumbing.  ``str(error)`` appends the decode
+    context when present, so existing ``pytest.raises(..., match=...)``
+    patterns keep matching the message prefix (correlation ids are
+    reported via :meth:`to_context_dict`, never in the message).
     """
 
     def __init__(
@@ -89,6 +107,8 @@ class ReproError(Exception):
         bit_position: Optional[int] = None,
         packet_seq: Optional[int] = None,
         session_id: Optional[str] = None,
+        correlation_id: Optional[str] = None,
+        cell_id: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.message = message
@@ -98,6 +118,19 @@ class ReproError(Exception):
         self.bit_position = bit_position
         self.packet_seq = packet_seq
         self.session_id = session_id
+        self.correlation_id = correlation_id
+        self.cell_id = cell_id
+        if session_id is None or correlation_id is None or cell_id is None:
+            scope = _active_correlation()
+            if scope:
+                if self.session_id is None:
+                    self.session_id = scope.get("session_id")
+                if self.cell_id is None:
+                    self.cell_id = scope.get("cell_id")
+                if self.correlation_id is None:
+                    self.correlation_id = (
+                        self.session_id or self.cell_id
+                        or scope.get("run_id"))
 
     @property
     def context(self) -> Dict[str, Any]:
@@ -109,7 +142,22 @@ class ReproError(Exception):
             "bit_position": self.bit_position,
             "packet_seq": self.packet_seq,
             "session_id": self.session_id,
+            "correlation_id": self.correlation_id,
+            "cell_id": self.cell_id,
         }
+
+    def to_context_dict(self) -> Dict[str, Any]:
+        """The complete, compact form shared by the event log and
+        flight-record dumps: error class, message, and every non-``None``
+        context field."""
+        data: Dict[str, Any] = {
+            "error": type(self).__name__,
+            "message": self.message,
+        }
+        for key, value in self.context.items():
+            if value is not None:
+                data[key] = value
+        return data
 
     def has_decode_context(self) -> bool:
         """True when the error locates a failure inside a stream."""

@@ -4,13 +4,16 @@
     hdvb-observe compare [--runs A,B]        # per-axis metric deltas
     hdvb-observe trend --bench performance --metric fps
     hdvb-observe gate [--format human|json]  # regression detector (CI gate)
-    hdvb-observe export [--output FILE]      # OpenMetrics exposition
+    hdvb-observe slo [--spec slo.json]       # SLO burn-rate evaluation
+    hdvb-observe timeline CORRELATION-ID --events events.jsonl
+    hdvb-observe tail [--follow]             # follow history + event log
+    hdvb-observe export [--output FILE] [--listen HOST:PORT]
     hdvb-observe fsck [--repair]             # corruption check + quarantine
 
 Exit codes follow the ``hdvb-lint`` convention: 0 — clean, 1 — at least
-one finding (``gate`` and ``fsck``), 2 — usage or I/O error.  With
-``fsck --repair`` the exit code reflects the *post-repair* state: 0 iff
-the re-check comes back clean.
+one finding (``gate``, ``slo`` and ``fsck``), 2 — usage or I/O error.
+With ``fsck --repair`` the exit code reflects the *post-repair* state:
+0 iff the re-check comes back clean.
 """
 
 from __future__ import annotations
@@ -92,11 +95,59 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 0.02)")
     _add_store_argument(gate)
 
+    slo = sub.add_parser("slo", help="evaluate service-level objectives "
+                                     "with error-budget burn rates")
+    slo.add_argument("--spec", default="", metavar="FILE",
+                     help="repro.observe.slo/1 spec (default: built-in "
+                          "objectives)")
+    slo.add_argument("--bench", default=None, help="restrict to one bench")
+    slo.add_argument("--format", choices=("human", "json"), default="human",
+                     help="report format (default: human)")
+    _add_store_argument(slo)
+
+    timeline = sub.add_parser(
+        "timeline", help="reconstruct one correlation id's ordered event "
+                         "timeline from the event log, flight dumps and "
+                         "trace spans")
+    timeline.add_argument("correlation_id", metavar="CORRELATION-ID",
+                          help="session/cell/run id to reconstruct")
+    timeline.add_argument("--events", default="", metavar="FILE",
+                          help="canonical event-log JSONL "
+                               "(from hdvb-bench serve --events)")
+    timeline.add_argument("--flightrec", default="", metavar="DIR",
+                          help="flight-dump directory "
+                               "(default: STORE/flightrec)")
+    timeline.add_argument("--trace", default="", metavar="FILE",
+                          help="repro.telemetry.trace/1 JSON export")
+    timeline.add_argument("--format", choices=("human", "json"),
+                          default="human",
+                          help="report format (default: human)")
+    _add_store_argument(timeline)
+
+    tail = sub.add_parser("tail", help="render (and optionally follow) the "
+                                       "tails of the history store and an "
+                                       "event log")
+    tail.add_argument("--events", default="", metavar="FILE",
+                      help="event-log JSONL to follow alongside the history")
+    tail.add_argument("--lines", type=int, default=10,
+                      help="initial lines per file (default: %(default)s)")
+    tail.add_argument("--follow", action="store_true",
+                      help="poll for appended lines until --max-seconds")
+    tail.add_argument("--interval", type=float, default=0.2,
+                      help="poll interval in seconds (default: %(default)s)")
+    tail.add_argument("--max-seconds", type=float, default=None,
+                      help="stop following after this long (default: "
+                           "until interrupted)")
+    _add_store_argument(tail)
+
     exp = sub.add_parser("export", help="OpenMetrics text exposition of the "
                                         "newest records plus merged telemetry")
     exp.add_argument("--bench", default=None, help="restrict to one bench")
     exp.add_argument("--output", default="", metavar="FILE",
                      help="write to FILE instead of stdout")
+    exp.add_argument("--listen", default="", metavar="HOST:PORT",
+                     help="serve the exposition over HTTP with on-scrape "
+                          "refresh instead of writing it once")
     _add_store_argument(exp)
 
     compact = sub.add_parser("compact", help="bound the history: keep the "
@@ -226,6 +277,15 @@ def _cmd_gate(options: argparse.Namespace) -> int:
         bitrate_growth=options.bitrate_growth,
     )
     findings = detect_regressions(store, bench=options.bench, config=config)
+    if findings:
+        # A failed gate is a post-mortem moment: snapshot whatever the
+        # flight recorder holds (no-op while the event log is off).
+        from repro.telemetry import flightrec
+
+        flightrec.recorder.dump(
+            "gate.fail",
+            extra={"findings": len(findings),
+                   "rules": sorted({f.rule_id for f in findings})})
     groups = store.history_per_axis(options.bench)
     stats = {"files_scanned": len(groups)}
     if options.format == "json":
@@ -238,11 +298,93 @@ def _cmd_gate(options: argparse.Namespace) -> int:
     return 0 if not findings else 1
 
 
+def _cmd_slo(options: argparse.Namespace) -> int:
+    from repro.observe.slo import (
+        DEFAULT_SLOS, evaluate_slos, load_slo_spec, render_slo_table,
+        slo_document,
+    )
+
+    store = HistoryStore(options.store)
+    _require_history(store)
+    objectives = (load_slo_spec(options.spec) if options.spec
+                  else DEFAULT_SLOS)
+    statuses, findings = evaluate_slos(store, objectives,
+                                       bench=options.bench)
+    if options.format == "json":
+        print(json.dumps(slo_document(statuses, findings), indent=2,
+                         sort_keys=True))
+    else:
+        sys.stdout.write(render_slo_table(statuses))
+        if findings:
+            print()
+            print(render_human(findings))
+    return 0 if not findings else 1
+
+
+def _cmd_timeline(options: argparse.Namespace) -> int:
+    import os
+
+    from repro.observe.timeline import (
+        build_timeline, load_events_jsonl, load_flight_dumps,
+        render_timeline,
+    )
+
+    events = (load_events_jsonl(options.events) if options.events else [])
+    flight_dir = options.flightrec or os.path.join(options.store,
+                                                   "flightrec")
+    dumps = load_flight_dumps(flight_dir)
+    trace = None
+    if options.trace:
+        try:
+            with open(options.trace, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ObserveError(
+                f"cannot read trace {options.trace}: {error}") from error
+    timeline = build_timeline(options.correlation_id, events=events,
+                              dumps=dumps, trace=trace)
+    if options.format == "json":
+        print(json.dumps(timeline, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_timeline(timeline))
+    return 0
+
+
+def _cmd_tail(options: argparse.Namespace) -> int:
+    import os
+
+    from repro.observe.tail import tail_files
+
+    history = os.path.join(options.store, "history.jsonl")
+    tail_files(
+        history_path=history if os.path.exists(history) else None,
+        events_path=options.events or None,
+        lines=options.lines,
+        follow=options.follow,
+        interval=options.interval,
+        max_seconds=options.max_seconds,
+    )
+    return 0
+
+
 def _cmd_export(options: argparse.Namespace) -> int:
     from repro.observe.export import export_store
 
     store = HistoryStore(options.store)
     _require_history(store)
+    if options.listen:
+        from repro.observe.httpd import serve_metrics
+
+        server = serve_metrics(store, options.listen, bench=options.bench)
+        print(f"hdvb-observe: serving OpenMetrics on {server.url} "
+              f"(Ctrl-C to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
     text = export_store(store, bench=options.bench)
     if options.output:
         try:
@@ -297,6 +439,9 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "trend": _cmd_trend,
     "gate": _cmd_gate,
+    "slo": _cmd_slo,
+    "timeline": _cmd_timeline,
+    "tail": _cmd_tail,
     "export": _cmd_export,
     "compact": _cmd_compact,
     "fsck": _cmd_fsck,

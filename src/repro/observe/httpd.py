@@ -1,0 +1,106 @@
+"""A stdlib HTTP endpoint serving the OpenMetrics exposition.
+
+``hdvb-observe export --listen HOST:PORT`` turns the one-shot exporter
+into a scrape target: every ``GET /metrics`` (or ``/``) re-reads the
+history store and renders a fresh ``repro.observe`` exposition, so a
+Prometheus pointed at a live serve/orchestrate run sees the newest
+record of every axis on each scrape — no generation step, no staleness
+window beyond the store itself.
+
+Built on :class:`http.server.ThreadingHTTPServer` only (the repo's
+no-new-dependencies rule); one scrape is one store read, which the
+store's tolerant scan makes safe against concurrent appenders.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import ObserveError
+from repro.observe.export import export_store
+from repro.observe.store import HistoryStore
+
+__all__ = ["CONTENT_TYPE", "parse_listen", "serve_metrics", "MetricsServer"]
+
+#: The OpenMetrics content type Prometheus negotiates.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def parse_listen(listen: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → pair; port 0 asks the OS for a free port."""
+    host, separator, port_text = listen.rpartition(":")
+    if not separator or not host:
+        raise ObserveError(
+            f"--listen needs HOST:PORT, got {listen!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ObserveError(
+            f"--listen port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ObserveError(f"--listen port out of range: {port}")
+    return host, port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET → a freshly rendered exposition; anything else → 404."""
+
+    server: "MetricsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "only / and /metrics are served")
+            return
+        try:
+            body = self.server.render().encode("utf-8")
+        except Exception as error:  # noqa: BLE001 - must answer the scrape
+            self.send_error(500, f"exposition failed: {error}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # scrapes are not stderr's business
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """The scrape target; owns the store handle and bench filter."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], store: HistoryStore,
+                 bench: Optional[str] = None) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+        self.bench = bench
+
+    def render(self) -> str:
+        """On-scrape refresh: re-read the store, render the exposition."""
+        return export_store(self.store, self.bench)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}/metrics"
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="hdvb-observe-httpd", daemon=True)
+        thread.start()
+        return thread
+
+
+def serve_metrics(store: HistoryStore, listen: str,
+                  bench: Optional[str] = None) -> MetricsServer:
+    """Bind a :class:`MetricsServer` on ``listen`` (not yet serving)."""
+    try:
+        return MetricsServer(parse_listen(listen), store, bench)
+    except OSError as error:
+        raise ObserveError(
+            f"cannot bind --listen {listen}: {error}") from None

@@ -1,0 +1,428 @@
+"""Declarative SLOs with error budgets and multi-window burn rates.
+
+Where :mod:`repro.observe.regress` asks *did this run move against its
+own history*, this module asks the service-level question: *is the
+system meeting its stated objectives over time*?  An objective is a
+bound on one observe-store metric over a trailing window of records —
+the reproduction's stand-ins for SRE service-level objectives, e.g. the
+paper's real-time line (decode fps >= 25 at 720p) or the origin's
+deadline discipline (miss rate <= 2%).
+
+Specs are schema-versioned documents (``repro.observe.slo/1``)::
+
+    {"schema": "repro.observe.slo/1",
+     "objectives": [
+       {"name": "serve-deadline-miss", "bench": "serve",
+        "metric": "deadline_miss_rate", "objective": 0.02,
+        "direction": "max", "window": 8, "fast_window": 2,
+        "budget": 0.25, "burn_threshold": 2.0}]}
+
+Evaluation follows the multi-window burn-rate pattern: each window's
+**burn rate** is the fraction of violating records divided by the error
+``budget`` (the tolerated violating fraction).  Burn 1.0 consumes the
+budget exactly; a *fast* window burning at ``burn_threshold`` while the
+*slow* window also burns ≥ 1.0 pages (OBS301) — that combination means
+the breach is both severe and sustained, the standard defence against
+paging on a single bad record.  Exhausting the slow-window budget
+outright is OBS302; the newest record simply violating the bound is
+OBS300 (informational severity ordering: 300 < 301 < 302 numerically,
+reported together).
+
+Findings reuse :class:`repro.analysis.findings.Finding`, so the lint
+reporters and the 0/1/2 exit-code convention apply unchanged, and the
+whole pass is pure arithmetic over stored records — same history, same
+findings, bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.errors import ObserveError
+from repro.observe.record import BenchRecord
+from repro.observe.store import HistoryStore
+
+#: Schema of one SLO spec document.
+SLO_SCHEMA = "repro.observe.slo/1"
+
+#: Trailing records in the slow window by default.
+DEFAULT_WINDOW = 8
+
+#: Trailing records in the fast window by default.
+DEFAULT_FAST_WINDOW = 2
+
+#: Fraction of a window's records allowed to violate the objective.
+DEFAULT_BUDGET = 0.25
+
+#: Fast-window burn rate that, combined with slow burn >= 1, alerts.
+DEFAULT_BURN_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective over an observe-store metric.
+
+    ``direction`` is the side the bound sits on: ``"max"`` means the
+    metric must stay at or below ``objective`` (a miss-rate ceiling),
+    ``"min"`` means at or above (an fps floor).  ``axes`` filters the
+    records the objective applies to (subset match on the record's
+    axes); empty applies to every axis group of ``bench``.
+    """
+
+    name: str
+    bench: str
+    metric: str
+    objective: float
+    direction: str = "max"            # "max" | "min"
+    window: int = DEFAULT_WINDOW
+    fast_window: int = DEFAULT_FAST_WINDOW
+    budget: float = DEFAULT_BUDGET
+    burn_threshold: float = DEFAULT_BURN_THRESHOLD
+    axes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ObserveError("SLO objective needs a non-empty name")
+        if not self.bench or not self.metric:
+            raise ObserveError(
+                f"SLO {self.name!r} needs both a bench and a metric")
+        if self.direction not in ("max", "min"):
+            raise ObserveError(
+                f"SLO {self.name!r} direction must be 'max' or 'min', "
+                f"got {self.direction!r}")
+        if self.window < 1 or self.fast_window < 1:
+            raise ObserveError(
+                f"SLO {self.name!r} windows must be >= 1, got "
+                f"window={self.window} fast_window={self.fast_window}")
+        if self.fast_window > self.window:
+            raise ObserveError(
+                f"SLO {self.name!r} fast_window ({self.fast_window}) "
+                f"cannot exceed window ({self.window})")
+        if not 0.0 < self.budget <= 1.0:
+            raise ObserveError(
+                f"SLO {self.name!r} budget must be in (0, 1], "
+                f"got {self.budget}")
+        if self.burn_threshold < 1.0:
+            raise ObserveError(
+                f"SLO {self.name!r} burn_threshold must be >= 1, "
+                f"got {self.burn_threshold}")
+
+    def violates(self, value: float) -> bool:
+        if self.direction == "max":
+            return value > self.objective
+        return value < self.objective
+
+    @property
+    def bound_text(self) -> str:
+        sign = "<=" if self.direction == "max" else ">="
+        return f"{self.metric} {sign} {self.objective:g}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "bench": self.bench,
+            "metric": self.metric,
+            "objective": self.objective,
+            "direction": self.direction,
+            "window": self.window,
+            "fast_window": self.fast_window,
+            "budget": self.budget,
+            "burn_threshold": self.burn_threshold,
+            "axes": dict(self.axes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloObjective":
+        if not isinstance(data, Mapping):
+            raise ObserveError(
+                f"SLO objective must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "name", "bench", "metric", "objective", "direction", "window",
+            "fast_window", "budget", "burn_threshold", "axes"}
+        if unknown:
+            raise ObserveError(
+                f"SLO objective has unknown keys: {sorted(unknown)}")
+        try:
+            return cls(
+                name=str(data["name"]),
+                bench=str(data["bench"]),
+                metric=str(data["metric"]),
+                objective=float(data["objective"]),
+                direction=str(data.get("direction", "max")),
+                window=int(data.get("window", DEFAULT_WINDOW)),
+                fast_window=int(data.get("fast_window",
+                                         DEFAULT_FAST_WINDOW)),
+                budget=float(data.get("budget", DEFAULT_BUDGET)),
+                burn_threshold=float(data.get("burn_threshold",
+                                              DEFAULT_BURN_THRESHOLD)),
+                axes=dict(data.get("axes", {})),
+            )
+        except KeyError as error:
+            raise ObserveError(
+                f"SLO objective missing required key {error.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as error:
+            raise ObserveError(f"malformed SLO objective: {error}") from None
+
+
+#: The default objectives: the origin's deadline discipline, the paper's
+#: 25 fps real-time line at the 720p tier, and graceful degradation.
+DEFAULT_SLOS: Tuple[SloObjective, ...] = (
+    SloObjective(name="serve-deadline-miss", bench="serve",
+                 metric="deadline_miss_rate", objective=0.02,
+                 direction="max"),
+    SloObjective(name="serve-graceful", bench="serve",
+                 metric="graceful_rate", objective=0.98, direction="min"),
+    SloObjective(name="decode-realtime-720p", bench="performance",
+                 metric="fps", objective=25.0, direction="min",
+                 axes={"operation": "decode", "resolution": "720p25"}),
+)
+
+
+def load_slo_spec(path: str) -> Tuple[SloObjective, ...]:
+    """Parse and validate a ``repro.observe.slo/1`` spec file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ObserveError(f"cannot read SLO spec {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ObserveError(
+            f"SLO spec {path} is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ObserveError(f"SLO spec {path} must be a JSON object")
+    schema = document.get("schema")
+    if schema != SLO_SCHEMA:
+        raise ObserveError(
+            f"SLO spec {path} has schema {schema!r}, expected {SLO_SCHEMA!r}")
+    objectives = document.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        raise ObserveError(
+            f"SLO spec {path} needs a non-empty 'objectives' list")
+    parsed = tuple(SloObjective.from_dict(entry) for entry in objectives)
+    names = [objective.name for objective in parsed]
+    if len(set(names)) != len(names):
+        raise ObserveError(f"SLO spec {path} has duplicate objective names")
+    return parsed
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """The evaluated state of one objective on one axis group."""
+
+    objective: SloObjective
+    axis_key: str
+    records: int                  #: records considered (<= window)
+    violations: int               #: violating records in the slow window
+    fast_violations: int          #: violating records in the fast window
+    slow_burn: float              #: violating fraction / budget, slow
+    fast_burn: float              #: violating fraction / budget, fast
+    latest_value: Optional[float]
+    latest_run: str
+
+    @property
+    def budget_remaining(self) -> float:
+        """Fraction of the slow-window error budget still unspent."""
+        return max(0.0, 1.0 - self.slow_burn)
+
+    @property
+    def breached(self) -> bool:
+        return self.slow_burn > 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "objective": self.objective.name,
+            "bound": self.objective.bound_text,
+            "axis": self.axis_key,
+            "records": self.records,
+            "violations": self.violations,
+            "fast_violations": self.fast_violations,
+            "slow_burn": round(self.slow_burn, 6),
+            "fast_burn": round(self.fast_burn, 6),
+            "budget_remaining": round(self.budget_remaining, 6),
+            "latest_value": self.latest_value,
+            "latest_run": self.latest_run,
+        }
+
+
+def _axes_match(objective: SloObjective, record: BenchRecord) -> bool:
+    return all(str(record.axes.get(key)) == str(value)
+               for key, value in objective.axes.items())
+
+
+def _burn(records: Sequence[BenchRecord], objective: SloObjective,
+          ) -> Tuple[int, float]:
+    values = [record.metrics[objective.metric] for record in records]
+    violations = sum(1 for value in values if objective.violates(value))
+    if not values:
+        return 0, 0.0
+    return violations, (violations / len(values)) / objective.budget
+
+
+def evaluate_slo(history: Sequence[BenchRecord], objective: SloObjective,
+                 axis_key: str) -> Optional[SloStatus]:
+    """Evaluate one objective over one axis group's trailing records."""
+    considered = [record for record in history
+                  if objective.metric in record.metrics]
+    if not considered:
+        return None
+    slow = considered[-objective.window:]
+    fast = considered[-objective.fast_window:]
+    violations, slow_burn = _burn(slow, objective)
+    fast_violations, fast_burn = _burn(fast, objective)
+    newest = considered[-1]
+    return SloStatus(
+        objective=objective,
+        axis_key=axis_key,
+        records=len(slow),
+        violations=violations,
+        fast_violations=fast_violations,
+        slow_burn=slow_burn,
+        fast_burn=fast_burn,
+        latest_value=newest.metrics.get(objective.metric),
+        latest_run=newest.run_id,
+    )
+
+
+def evaluate_slos(store: HistoryStore,
+                  objectives: Sequence[SloObjective] = DEFAULT_SLOS,
+                  bench: Optional[str] = None,
+                  ) -> Tuple[List[SloStatus], List[Finding]]:
+    """Evaluate every objective over the store; statuses plus findings.
+
+    Objectives whose bench has no matching records evaluate to nothing
+    (an empty store is a clean store — there is no budget to burn).
+    """
+    location = str(store.path)
+    grouped = store.history_per_axis()
+    statuses: List[SloStatus] = []
+    findings: List[Finding] = []
+    for objective in objectives:
+        if bench is not None and objective.bench != bench:
+            continue
+        for (group_bench, axis_key), history in sorted(grouped.items()):
+            if group_bench != objective.bench:
+                continue
+            matching = [record for record in history
+                        if _axes_match(objective, record)]
+            status = evaluate_slo(matching, objective, axis_key)
+            if status is None:
+                continue
+            statuses.append(status)
+            findings.extend(_status_findings(status, location))
+    return statuses, sort_findings(findings)
+
+
+def _status_findings(status: SloStatus, location: str) -> List[Finding]:
+    objective = status.objective
+    module = f"{objective.bench}:{status.axis_key}"
+    findings: List[Finding] = []
+    latest = status.latest_value
+    if latest is not None and objective.violates(latest):
+        findings.append(Finding(
+            rule_id="OBS300",
+            path=location,
+            module=module,
+            line=0,
+            message=(
+                f"SLO {objective.name}: latest record violates "
+                f"{objective.bound_text} (value {latest:.4g}, "
+                f"run {status.latest_run})"),
+            hint="a single violation spends budget; watch the burn rate",
+        ))
+    if (status.fast_burn >= objective.burn_threshold
+            and status.slow_burn >= 1.0):
+        findings.append(Finding(
+            rule_id="OBS301",
+            path=location,
+            module=module,
+            line=0,
+            message=(
+                f"SLO {objective.name}: burn-rate alert — fast window "
+                f"burning at {status.fast_burn:.2f}x "
+                f"(threshold {objective.burn_threshold:g}x) while the "
+                f"slow window burns at {status.slow_burn:.2f}x "
+                f"({status.violations}/{status.records} records violate "
+                f"{objective.bound_text})"),
+            hint=(
+                "a severe AND sustained breach: fix the regression or "
+                "re-negotiate the objective"),
+        ))
+    if status.breached:
+        findings.append(Finding(
+            rule_id="OBS302",
+            path=location,
+            module=module,
+            line=0,
+            message=(
+                f"SLO {objective.name}: error budget exhausted — "
+                f"{status.violations}/{status.records} trailing records "
+                f"violate {objective.bound_text} "
+                f"(budget {objective.budget:.0%} of the window, "
+                f"burn {status.slow_burn:.2f}x)"),
+            hint=(
+                "freeze risky changes until the trailing window is back "
+                "inside budget"),
+        ))
+    return findings
+
+
+def render_slo_table(statuses: Sequence[SloStatus]) -> str:
+    """Fixed-width human summary, one row per (objective, axis)."""
+    if not statuses:
+        return "no SLO-relevant records in the store\n"
+    headers = ("objective", "axis", "bound", "n", "viol", "fast",
+               "slow-burn", "budget-left", "latest")
+    rows = []
+    for status in statuses:
+        rows.append((
+            status.objective.name,
+            status.axis_key or "-",
+            status.objective.bound_text,
+            str(status.records),
+            str(status.violations),
+            str(status.fast_violations),
+            f"{status.slow_burn:.2f}x",
+            f"{status.budget_remaining:.0%}",
+            "-" if status.latest_value is None
+            else f"{status.latest_value:.4g}",
+        ))
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+              for i in range(len(headers))]
+    lines = ["  ".join(header.ljust(widths[i])
+                       for i, header in enumerate(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def slo_document(statuses: Sequence[SloStatus],
+                 findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The JSON evaluation report (statuses plus findings)."""
+    return {
+        "schema": SLO_SCHEMA,
+        "statuses": [status.to_dict() for status in statuses],
+        "findings": [finding.to_dict() for finding in findings],
+    }
+
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DEFAULT_BURN_THRESHOLD",
+    "DEFAULT_FAST_WINDOW",
+    "DEFAULT_SLOS",
+    "DEFAULT_WINDOW",
+    "SLO_SCHEMA",
+    "SloObjective",
+    "SloStatus",
+    "evaluate_slo",
+    "evaluate_slos",
+    "load_slo_spec",
+    "render_slo_table",
+    "slo_document",
+]

@@ -1,0 +1,133 @@
+"""``hdvb-observe tail`` — follow the history store and event log.
+
+A deliberately small ``tail -f`` for the observability plane: render
+the last N lines of the benchmark history (``history.jsonl``) and/or a
+structured event log, then optionally poll for appended lines until a
+deadline.  Both files are append-only JSONL, so *following* is just
+remembering the byte offset and parsing whatever appears after it;
+partially-written trailing lines (a writer mid-append) are left in the
+buffer until their newline arrives, mirroring the tolerant scan of
+:class:`repro.observe.store.HistoryStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Iterator, List, Optional, Tuple
+
+__all__ = ["render_history_line", "render_event_line", "tail_files"]
+
+
+def render_history_line(line: str) -> Optional[str]:
+    """One history record as a compact human line (None if unparsable)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict):
+        return None
+    axes = data.get("axes") or {}
+    metrics = data.get("metrics") or {}
+    axis_text = " ".join(f"{key}={axes[key]}" for key in sorted(axes))
+    metric_text = " ".join(
+        f"{key}={metrics[key]:.4g}" if isinstance(metrics[key], float)
+        else f"{key}={metrics[key]}"
+        for key in sorted(metrics))
+    return (f"[{data.get('bench', '?')}] run={data.get('run_id', '?')} "
+            f"{axis_text}  {metric_text}").rstrip()
+
+
+def render_event_line(line: str) -> Optional[str]:
+    """One event-log record as a compact human line (None if unparsable)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict) or "name" not in data:
+        return None
+    correlation = data.get("correlation") or {}
+    fields = data.get("fields") or {}
+    scope = ",".join(f"{key}={correlation[key]}"
+                     for key in sorted(correlation)) or "-"
+    detail = " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+    return f"#{data.get('seq', '?')} [{scope}] {data['name']} {detail}".rstrip()
+
+
+class _FollowedFile:
+    """One appended-to JSONL file plus the render for its lines."""
+
+    def __init__(self, path: str,
+                 render: Callable[[str], Optional[str]]) -> None:
+        self.path = path
+        self.render = render
+        self._offset = 0
+        self._buffer = ""
+
+    def poll(self) -> Iterator[str]:
+        """Rendered lines appended since the last poll."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size <= self._offset:
+            return
+        with open(self.path, "r", encoding="utf-8", errors="replace"
+                  ) as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+            self._offset = handle.tell()
+        self._buffer += chunk
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            rendered = self.render(line)
+            if rendered is not None:
+                yield rendered
+
+
+def tail_files(
+    history_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+    *,
+    lines: int = 10,
+    follow: bool = False,
+    interval: float = 0.2,
+    max_seconds: Optional[float] = None,
+    emit_line: Callable[[str], None] = print,
+) -> int:
+    """Render the tails, then (optionally) follow both files.
+
+    Returns the number of lines emitted.  ``max_seconds`` bounds a
+    follow (required in tests and sensible everywhere — an unbounded
+    follow is Ctrl-C's job to end, and KeyboardInterrupt is allowed to
+    propagate).
+    """
+    followed: List[Tuple[str, _FollowedFile]] = []
+    if history_path is not None:
+        followed.append(("history", _FollowedFile(history_path,
+                                                  render_history_line)))
+    if events_path is not None:
+        followed.append(("events", _FollowedFile(events_path,
+                                                 render_event_line)))
+    emitted = 0
+    # Initial tail: render everything, keep only the last N per file.
+    for label, file in followed:
+        rendered = list(file.poll())
+        for line in rendered[-lines:]:
+            emit_line(f"{label}  {line}")
+            emitted += 1
+    if not follow:
+        return emitted
+    deadline = (time.monotonic() + max_seconds
+                if max_seconds is not None else None)
+    while deadline is None or time.monotonic() < deadline:
+        time.sleep(interval)
+        for label, file in followed:
+            for line in file.poll():
+                emit_line(f"{label}  {line}")
+                emitted += 1
+    return emitted

@@ -57,6 +57,8 @@ from repro.orchestrate.spec import (
 )
 from repro.parallel import parallel_encode, run_pooled
 from repro.sequences import generate_sequence
+from repro.telemetry import flightrec
+from repro.telemetry.events import correlation_scope, emit
 from repro.telemetry.metrics import CELL_BUCKETS, registry as telemetry_registry
 from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
@@ -97,33 +99,42 @@ def execute_cell(cell: Cell, cache: ArtifactCache) -> CellResult:
     Never raises for a cell-level failure: every escape — a
     :class:`~repro.errors.ReproError` from the codec stack or anything
     unexpected — is normalised into an :class:`OrchestrateError` naming
-    the spec and cell, rendered onto a ``failed`` result.
+    the spec and cell, rendered onto a ``failed`` result.  The cell runs
+    inside a ``correlation_scope`` bound to its cell id, so events,
+    errors and flight dumps attribute to the exact cell.
     """
-    start = time.perf_counter()
-    crash_point("scheduler.cell.pre_execute", cell.cell_id)
-    try:
-        with telemetry_span("orchestrate.cell", codec=cell.codec,
-                            sequence=cell.sequence, workers=cell.workers):
-            metrics, hit, fingerprint = _measure_cell(cell, cache)
+    with correlation_scope(cell_id=cell.cell_id):
+        start = time.perf_counter()
+        crash_point("scheduler.cell.pre_execute", cell.cell_id)
+        emit("cell.start", spec=cell.spec_name, codec=cell.codec,
+             sequence=cell.sequence, workers=cell.workers)
+        try:
+            with telemetry_span("orchestrate.cell", codec=cell.codec,
+                                sequence=cell.sequence, workers=cell.workers):
+                metrics, hit, fingerprint = _measure_cell(cell, cache)
+            seconds = time.perf_counter() - start
+            emit("cell.done", spec=cell.spec_name, cache_hit=hit)
+            return CellResult(cell=cell.to_dict(), cell_id=cell.cell_id,
+                              status="ok", metrics=metrics, seconds=seconds,
+                              cache_hit=hit, fingerprint=fingerprint)
+        except CrashInjected:
+            # Simulated process death must propagate like a real kill --
+            # folding it into a ``failed`` record would fake a clean run.
+            raise
+        except ReproError as error:
+            wrapped = _normalize_cell_error(error, cell)
+        except Exception as error:    # noqa: BLE001 -- normalised below
+            wrapped = OrchestrateError(
+                f"unexpected {type(error).__name__} while running cell: "
+                f"{error}",
+                spec=cell.spec_name, cell=cell.cell_id)
+            wrapped.__cause__ = error
         seconds = time.perf_counter() - start
+        emit("cell.fail", spec=cell.spec_name, error=str(wrapped))
+        flightrec.recorder.dump("cell.failed", error=wrapped)
         return CellResult(cell=cell.to_dict(), cell_id=cell.cell_id,
-                          status="ok", metrics=metrics, seconds=seconds,
-                          cache_hit=hit, fingerprint=fingerprint)
-    except CrashInjected:
-        # Simulated process death must propagate like a real kill --
-        # folding it into a ``failed`` record would fake a clean run.
-        raise
-    except ReproError as error:
-        wrapped = _normalize_cell_error(error, cell)
-    except Exception as error:    # noqa: BLE001 -- normalised below
-        wrapped = OrchestrateError(
-            f"unexpected {type(error).__name__} while running cell: {error}",
-            spec=cell.spec_name, cell=cell.cell_id)
-        wrapped.__cause__ = error
-    seconds = time.perf_counter() - start
-    return CellResult(cell=cell.to_dict(), cell_id=cell.cell_id,
-                      status="failed", metrics={}, seconds=seconds,
-                      cache_hit=False, fingerprint="", error=str(wrapped))
+                          status="failed", metrics={}, seconds=seconds,
+                          cache_hit=False, fingerprint="", error=str(wrapped))
 
 
 def _normalize_cell_error(error: ReproError, cell: Cell) -> OrchestrateError:
@@ -427,6 +438,29 @@ def run_cells(
     state = RunState(skipped=skipped)
     wall_start = time.perf_counter()
     wave_size = 1 if scheduler_workers == 1 else scheduler_workers * WAVE_FACTOR
+    with correlation_scope(run_id=info.run_id):
+        _run_waves(spec, store, info, cache, scheduler_workers,
+                   executor_factory, on_cell_complete, progress, pending,
+                   fingerprint, telemetry_on, state, wave_size)
+    state.wall_seconds = time.perf_counter() - wall_start
+    return state
+
+
+def _run_waves(
+    spec: RunSpec,
+    store: HistoryStore,
+    info: RunInfo,
+    cache: ArtifactCache,
+    scheduler_workers: int,
+    executor_factory: Any,
+    on_cell_complete: Optional[Callable[[CellResult], None]],
+    progress: Optional[Callable[[str], None]],
+    pending: Sequence[Cell],
+    fingerprint: str,
+    telemetry_on: bool,
+    state: "RunState",
+    wave_size: int,
+) -> None:
     for offset in range(0, len(pending), wave_size):
         wave = pending[offset:offset + wave_size]
         if progress:
@@ -470,8 +504,6 @@ def run_cells(
                                    buckets=CELL_BUCKETS).observe(result.seconds)
             if on_cell_complete is not None:
                 on_cell_complete(result)
-    state.wall_seconds = time.perf_counter() - wall_start
-    return state
 
 
 __all__ = [

@@ -86,6 +86,18 @@ class SegmentCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def lookup_state(self, key: SegmentKey) -> str:
+        """How a ``get(key)`` issued *now* would resolve: ``"hit"``
+        (cached), ``"wait"`` (follow an in-flight leader) or
+        ``"encode"`` (become the leader).  Synchronous, so callers can
+        classify before awaiting and attribute the outcome to their own
+        correlation scope."""
+        if key in self._entries:
+            return "hit"
+        if key in self._inflight:
+            return "wait"
+        return "encode"
+
     @property
     def encodes(self) -> int:
         """Distinct encode operations performed (the single-flight proof)."""

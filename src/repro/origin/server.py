@@ -50,6 +50,7 @@ from repro.origin.session import (
     StreamSessionRunner,
 )
 from repro.origin.supervise import Supervisor
+from repro.telemetry.events import correlation_scope, emit
 from repro.telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
 
 
@@ -224,7 +225,13 @@ class Origin:
                 f"admission rejected: table full "
                 f"({self.admission.max_sessions} sessions)")
             self.results.append(result)
+            with correlation_scope(session_id=profile.session_id):
+                emit("origin.reject", active=self.admission.active,
+                     limit=self.admission.max_sessions)
             return
+        with correlation_scope(session_id=profile.session_id):
+            emit("origin.admit", active=self.admission.active,
+                 limit=self.admission.max_sessions)
         runner = StreamSessionRunner(
             profile, self.config.session, self.cache, self.supervisor,
             sequence=self.config.sequence, rungs=self.config.rungs,

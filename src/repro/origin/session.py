@@ -54,6 +54,9 @@ from repro.errors import OriginError, ReproError, SessionAborted
 from repro.origin.cache import SegmentCache, SegmentKey
 from repro.origin.supervise import Supervisor
 from repro.robustness.inject import FaultInjector
+from repro.telemetry import events as _events
+from repro.telemetry import flightrec
+from repro.telemetry.events import correlation_scope
 from repro.telemetry.metrics import (
     DEPTH_BUCKETS,
     LATENCY_BUCKETS,
@@ -293,6 +296,18 @@ class StreamSessionRunner:
         self.state = state
         self.result.states.append(state.value)
         self.result.final_state = state.value
+        self._emit("session.state", state=state.value)
+
+    def _emit(self, name: str, **fields: object) -> None:
+        """Emit an event stamped with virtual time (one flag check when
+        the event log is disabled, before any loop access)."""
+        if not _events.state.enabled:
+            return
+        try:
+            t = asyncio.get_running_loop().time()
+        except RuntimeError:
+            t = None
+        _events.emit(name, t=t, **fields)
 
     def _abort(self, reason: str) -> SessionAborted:
         return SessionAborted(
@@ -302,7 +317,17 @@ class StreamSessionRunner:
     # entry point
 
     async def run(self) -> SessionResult:
-        """Run the session to completion; never lets a raw exception out."""
+        """Run the session to completion; never lets a raw exception out.
+
+        The whole lifetime runs inside a ``correlation_scope`` bound to
+        the session id, so every event, span, error and flight-record
+        dump produced here (including by tasks spawned within, like the
+        reader) is attributable to this one client.
+        """
+        with correlation_scope(session_id=self.profile.session_id):
+            return await self._run_supervised()
+
+    async def _run_supervised(self) -> SessionResult:
         try:
             await self._run_pipeline()
         except asyncio.CancelledError:
@@ -313,6 +338,9 @@ class StreamSessionRunner:
         except SessionAborted as error:
             self.result.aborted = True
             self.result.error = str(error)
+            self._emit("session.abort", kind=type(error).__name__,
+                       reason=error.message)
+            flightrec.recorder.dump("session.aborted", error=error)
             await self._teardown()
             self._set_state(SessionState.CLOSED)
         except ReproError as error:
@@ -320,6 +348,9 @@ class StreamSessionRunner:
                 error.session_id = self.profile.session_id
             self.result.aborted = True
             self.result.error = str(error)
+            self._emit("session.abort", kind=type(error).__name__,
+                       reason=error.message)
+            flightrec.recorder.dump("session.aborted", error=error)
             await self._teardown()
             self._set_state(SessionState.CLOSED)
         return self.result
@@ -330,6 +361,7 @@ class StreamSessionRunner:
         if self.profile.corrupt:
             stream, fault = FaultInjector(seed=self.profile.seed).inject(stream)
             self.result.chaos_faults.append(str(fault))
+            self._emit("session.corrupt", fault=str(fault))
         self._set_state(SessionState.STREAMING)
         self._play_start = loop.time()
         queue: "asyncio.Queue[object]" = asyncio.Queue(
@@ -360,13 +392,24 @@ class StreamSessionRunner:
         # FEC blocks never collide across pictures.
         self._parity_seq = manifest.packet_count
         self.result.epochs = len(self._epochs)
+        rung = self.rungs[self._rung_index]
+        self._emit("session.epoch", index=len(self._epochs),
+                   rung=f"{rung.width}x{rung.height}@qp{rung.qp}")
 
     async def _fetch_rung(self, rung_index: int) -> EncodedVideo:
         rung = self.rungs[rung_index]
         key = rung.key(self.sequence, self.profile.codec)
 
         async def fetch() -> EncodedVideo:
-            return await self.cache.get(key)
+            kind = self.cache.lookup_state(key)
+            stream = await self.cache.get(key)
+            if kind == "hit":
+                self._emit("cache.hit", key=str(key))
+            elif kind == "wait":
+                self._emit("cache.wait", key=str(key))
+            else:
+                self._emit("cache.encode", key=str(key))
+            return stream
 
         return await self._with_retries(f"fetch {key}", fetch)
 
@@ -464,10 +507,13 @@ class StreamSessionRunner:
             self.channel.set_loss(float(event[1]), float(event[2]))
             self.result.chaos_faults.append(
                 f"flap loss={event[1]} burst={event[2]}")
+            self._emit("session.chaos", kind="flap", loss=float(event[1]),
+                       burst=float(event[2]))
         elif kind == "heal":
             self.channel.set_loss(self.profile.loss_rate,
                                   self.profile.burst_length)
             self.result.chaos_faults.append("heal")
+            self._emit("session.chaos", kind="heal")
 
     # ------------------------------------------------------------------
     # retry / failure budget
@@ -489,6 +535,8 @@ class StreamSessionRunner:
                 delay = self.next_backoff()
                 self.result.retries += 1
                 self.result.backoff_seconds += delay
+                self._emit("session.retry", label=label,
+                           failures=self._failures, delay=delay)
                 await asyncio.sleep(delay)
 
     def next_backoff(self) -> float:
@@ -536,22 +584,26 @@ class StreamSessionRunner:
                     self._fec_group = 0
                 self.result.degrade_steps.append("fec")
                 self._count("origin.degrade.fec")
+                self._emit("session.degrade", action="fec")
                 return False
             if action == "rung":
                 if self._rung_index + 1 >= len(self.rungs):
                     continue     # already at the bottom rung: next action
                 self.result.degrade_steps.append("rung")
                 self._count("origin.degrade.rung")
+                self._emit("session.degrade", action="rung")
                 self._pending_rung = self._rung_index + 1
                 return True      # caller awaits the actual switch
             if action == "frames":
                 self._drop_non_i = True
                 self.result.degrade_steps.append("frames")
                 self._count("origin.degrade.frames")
+                self._emit("session.degrade", action="frames")
                 return False
             self.result.degrade_steps.append("shed")
             self.result.shed = True
             self._count("origin.degrade.shed")
+            self._emit("session.degrade", action="shed")
             raise self._abort(
                 "degradation ladder exhausted under sustained pressure: "
                 "session shed")
@@ -585,6 +637,8 @@ class StreamSessionRunner:
                     self.result.deadline_misses += 1
                     self.result.miss_seconds.append(now - deadline)
                     self._count("origin.deadline.missed")
+                    self._emit("session.deadline_miss", display=display,
+                               lateness=now - deadline)
                 if self.metrics is not None:
                     self.metrics.histogram(
                         "origin.deadline.lateness", LATENCY_BUCKETS,

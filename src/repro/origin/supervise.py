@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Coroutine, Dict, List, Optional, Set
 
 from repro.errors import ReproError
+from repro.telemetry import flightrec
+from repro.telemetry.events import correlation_scope, emit, enabled
 
 
 @dataclass
@@ -65,6 +67,15 @@ class Supervisor:
             self.failed[task.get_name()] = error
         else:
             self.unhandled.append(TaskFailure(task.get_name(), error))
+            if enabled():
+                # An escape is exactly what the flight recorder exists
+                # for: dump the ring before anything else runs.
+                with correlation_scope(task=task.get_name()):
+                    emit("origin.escape", task=task.get_name(),
+                         error=repr(error))
+                    flightrec.recorder.dump(
+                        "supervisor.escape", error=error,
+                        extra={"task": task.get_name()})
 
     @property
     def active(self) -> int:

@@ -38,6 +38,8 @@ from repro.codecs import get_encoder
 from repro.codecs.base import EncodedPicture, EncodedVideo
 from repro.common.yuv import YuvSequence
 from repro.errors import ConfigError, ReproError
+from repro.telemetry import flightrec
+from repro.telemetry.events import emit
 from repro.telemetry.metrics import registry as telemetry_registry
 from repro.telemetry.trace import span as telemetry_span, state as telemetry_state
 
@@ -231,6 +233,8 @@ def run_pooled(
                 failure = error
                 failures.append(repr(error))
                 retries += 1
+                emit("chunk.retry", attempt=attempt, error=repr(error),
+                     jobs=len(jobs))
         if results is None:
             warnings.warn(
                 f"pooled execution failed twice ({failure!r}); "
@@ -240,6 +244,10 @@ def run_pooled(
             )
             mode = "pool-fallback-serial"
             fallback = True
+            emit("chunk.fallback", failures=failures, jobs=len(jobs))
+            flightrec.recorder.dump(
+                "pool.fallback", error=failure,
+                extra={"failures": failures, "jobs": len(jobs)})
             results = _run_serial(serial_worker, jobs)
     stats = {
         "mode": mode,

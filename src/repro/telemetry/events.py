@@ -1,0 +1,341 @@
+"""Correlated structured event log (``repro.telemetry.event/1``).
+
+Where :mod:`repro.telemetry.trace` answers *where did the time go*, this
+module answers *what happened, in what order, to which session*.  Events
+are discrete, schema-versioned records emitted at state transitions —
+a session degrading a rung, a cell failing, a chunk falling back to the
+serial path — and every event carries the **correlation ids** of the
+scope it happened in::
+
+    from repro.telemetry.events import correlation_scope, emit, enable
+
+    enable()
+    with correlation_scope(session_id="s0042"):
+        emit("session.state", state="streaming")
+
+Like tracing, the event log is **off by default**: :func:`emit` costs a
+single flag check when disabled (no allocation, no contextvar read), so
+instrumented seams stay inside the telemetry overhead gate.  When
+enabled, events are buffered process-globally (thread-safe, bounded) and
+mirrored into the :mod:`repro.telemetry.flightrec` ring buffers.
+
+Determinism: the canonical export (:meth:`Event.canonical_dict`,
+:meth:`EventLog.to_jsonl`) deliberately excludes wall-clock time, pid
+and tid so a seeded run produces a **bit-identical** event log; virtual
+time from the deterministic origin loop travels as an ordinary ``t``
+field supplied by the emitter.
+
+Event names come from the frozen :data:`EVENT_NAMES` registry (enforced
+here at runtime and by lint rule HDVB210 statically); correlation scopes
+nest and merge via a :mod:`contextvars` variable, so they propagate
+through ``asyncio`` task creation and ``with`` blocks alike.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "EVENT_NAMES",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventLog",
+    "correlation_id",
+    "correlation_scope",
+    "current_correlation",
+    "current_log",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "reset",
+]
+
+#: Schema identifier stamped on every exported event.
+EVENT_SCHEMA = "repro.telemetry.event/1"
+
+#: Default cap on buffered events; beyond it events are counted, dropped
+#: from the log, but still fed to the flight-recorder rings.
+DEFAULT_MAX_EVENTS = 200_000
+
+#: The frozen event-name registry.  ``emit()`` rejects names outside it
+#: and lint rule HDVB210 enforces the same set statically, so the
+#: timeline vocabulary cannot drift per call site.
+EVENT_NAMES: Tuple[str, ...] = (
+    # origin session lifecycle
+    "session.state",
+    "session.epoch",
+    "session.retry",
+    "session.degrade",
+    "session.abort",
+    "session.chaos",
+    "session.corrupt",
+    "session.deadline_miss",
+    # origin server / admission
+    "origin.admit",
+    "origin.reject",
+    "origin.escape",
+    # segment cache
+    "cache.hit",
+    "cache.wait",
+    "cache.encode",
+    # orchestrate cells
+    "cell.start",
+    "cell.done",
+    "cell.fail",
+    # parallel encode chunks
+    "chunk.retry",
+    "chunk.fallback",
+    # chaos / gates / SLO plane
+    "crash.injected",
+    "gate.fail",
+    "slo.breach",
+    "flight.dump",
+)
+
+_EVENT_NAME_SET = frozenset(EVENT_NAMES)
+
+#: Correlation-id keys ordered most-specific first; :func:`correlation_id`
+#: picks the first one present in the active scope.
+_ID_PRECEDENCE = ("session_id", "cell_id", "run_id")
+
+
+class Event:
+    """One emitted event, as stored in the process-global buffer."""
+
+    __slots__ = ("seq", "name", "wall", "pid", "tid", "correlation",
+                 "fields")
+
+    def __init__(self, seq: int, name: str, wall: float, pid: int,
+                 tid: int, correlation: Dict[str, str],
+                 fields: Dict[str, Any]) -> None:
+        self.seq = seq
+        self.name = name
+        self.wall = wall
+        self.pid = pid
+        self.tid = tid
+        self.correlation = correlation
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full record, including the non-reproducible wall/pid/tid."""
+        data = self.canonical_dict()
+        data["wall"] = self.wall
+        data["pid"] = self.pid
+        data["tid"] = self.tid
+        return data
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic export: no wall clock, pid or tid, fields in
+        sorted key order — bit-identical across seeded runs."""
+        return {
+            "schema": EVENT_SCHEMA,
+            "seq": self.seq,
+            "name": self.name,
+            "correlation": {key: self.correlation[key]
+                            for key in sorted(self.correlation)},
+            "fields": {key: _jsonable(self.fields[key])
+                       for key in sorted(self.fields)},
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event({self.seq}, {self.name!r}, "
+                f"correlation={self.correlation}, fields={self.fields})")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+class EventLog:
+    """Bounded, thread-safe buffer of :class:`Event` records."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Event] = []
+        self._next_seq = 1
+        self.max_events = max_events
+        self.dropped = 0
+
+    def allocate_seq(self) -> int:
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def record(self, event: Event) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_events:
+                self.dropped += 1
+                return
+            self._records.append(event)
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        with self._lock:
+            records = list(self._records)
+        if name is None:
+            return records
+        return [event for event in records if event.name == name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._next_seq = 1
+            self.dropped = 0
+
+    def to_jsonl(self, canonical: bool = True) -> str:
+        """One canonical JSON document per line (the reproducible export)."""
+        if canonical:
+            lines = [event.canonical_json() for event in self.events()]
+        else:
+            lines = [json.dumps(event.to_dict(), sort_keys=True,
+                                separators=(",", ":"), default=str)
+                     for event in self.events()]
+        return "".join(line + "\n" for line in lines)
+
+
+class EventState:
+    """Process-global switch plus the active event buffer."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.log = EventLog()
+
+
+#: The process-global state.  Hot seams read ``state.enabled`` directly.
+state = EventState()
+
+#: Sink wired by :mod:`repro.telemetry.flightrec` at import; receives
+#: every enabled-path event so the ring buffers stay current.
+_ring_sink: Optional[Callable[[Event], None]] = None
+
+#: Active correlation ids, as an immutable sorted tuple of pairs so
+#: nested scopes copy cheaply and compare deterministically.
+_scope_var: ContextVar[Tuple[Tuple[str, str], ...]] = ContextVar(
+    "hdvb_correlation", default=())
+
+
+@contextmanager
+def correlation_scope(**ids: Any) -> Iterator[Dict[str, str]]:
+    """Bind correlation ids for the dynamic extent of the ``with`` block.
+
+    Scopes nest and merge — an inner ``correlation_scope(cell_id=...)``
+    inherits the outer ``run_id`` and overrides any clashing key.  The
+    binding lives in a :class:`~contextvars.ContextVar`, so tasks created
+    inside the scope inherit it (``asyncio`` copies the context at
+    ``create_task`` time).
+    """
+    merged = dict(_scope_var.get())
+    for key, value in ids.items():
+        if value is None:
+            continue
+        merged[key] = str(value)
+    token = _scope_var.set(tuple(sorted(merged.items())))
+    try:
+        yield merged
+    finally:
+        _scope_var.reset(token)
+
+
+def current_correlation() -> Dict[str, str]:
+    """The active correlation ids (empty outside any scope)."""
+    return dict(_scope_var.get())
+
+
+def correlation_id() -> Optional[str]:
+    """The most specific active id (session > cell > run), else any."""
+    scope = _scope_var.get()
+    if not scope:
+        return None
+    ids = dict(scope)
+    for key in _ID_PRECEDENCE:
+        value = ids.get(key)
+        if value is not None:
+            return value
+    return scope[0][1]
+
+
+def emit(name: str, **fields: Any) -> Optional[Event]:
+    """Record event ``name``; a single flag check when disabled."""
+    if not state.enabled:
+        return None
+    return _emit(name, fields)
+
+
+def _emit(name: str, fields: Dict[str, Any]) -> Event:
+    if name not in _EVENT_NAME_SET:
+        # Lazy import: telemetry stays dependency-free on the fast path
+        # and repro.errors itself lazily reads the correlation scope.
+        from repro.errors import ConfigError
+        raise ConfigError(
+            f"unregistered event name {name!r}; add it to "
+            f"repro.telemetry.events.EVENT_NAMES (HDVB210)")
+    import os
+    import time
+    log = state.log
+    event = Event(
+        seq=log.allocate_seq(),
+        name=name,
+        wall=time.time(),
+        pid=os.getpid(),
+        tid=threading.get_ident(),
+        correlation=current_correlation(),
+        fields=fields,
+    )
+    log.record(event)
+    sink = _ring_sink
+    if sink is not None:
+        sink(event)
+    return event
+
+
+def enable(max_events: Optional[int] = None) -> None:
+    """Turn the event log on (and arm the flight-recorder rings)."""
+    if max_events is not None:
+        state.log.max_events = max_events
+    # Importing flightrec installs the ring sink and the span hook; the
+    # import is deferred so the disabled path never pays for it.
+    from repro.telemetry import flightrec
+    flightrec.arm()
+    state.enabled = True
+
+
+def disable() -> None:
+    """Turn the event log off; buffered events kept until :func:`reset`."""
+    state.enabled = False
+    from repro.telemetry import flightrec
+    flightrec.disarm()
+
+
+def enabled() -> bool:
+    return state.enabled
+
+
+def current_log() -> EventLog:
+    """The process-global event buffer."""
+    return state.log
+
+
+def reset() -> None:
+    """Discard buffered events, restart seq, and clear the flight rings."""
+    state.log = EventLog(max_events=state.log.max_events)
+    from repro.telemetry import flightrec
+    flightrec.reset()

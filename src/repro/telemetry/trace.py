@@ -218,6 +218,10 @@ class TelemetryState:
         self.enabled = False
         self.trace = Trace()
         self._local = threading.local()
+        #: Optional open-span observer (the flight recorder); ``None``
+        #: unless the event log armed it, so plain tracing pays one
+        #: attribute check per span, and disabled tracing pays nothing.
+        self.span_hook: Optional[Any] = None
 
     def stack(self) -> List[int]:
         stack = getattr(self._local, "stack", None)
@@ -270,6 +274,9 @@ class Span:
         self._span_id = trace.allocate_id()
         self._parent_id = stack[-1] if stack else None
         stack.append(self._span_id)
+        hook = self._state.span_hook
+        if hook is not None:
+            hook.span_opened(self._span_id, self.name, self.attrs)
         self._start = time.perf_counter()
         return self
 
@@ -293,6 +300,9 @@ class Span:
                 attrs=self.attrs,
             )
         )
+        hook = self._state.span_hook
+        if hook is not None:
+            hook.span_closed(self._span_id)
         return False
 
 

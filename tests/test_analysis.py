@@ -53,7 +53,7 @@ class TestEngineBasics:
         assert {"HDVB101", "HDVB102", "HDVB110", "HDVB111", "HDVB120",
                 "HDVB130", "HDVB140", "HDVB150", "HDVB160", "HDVB170",
                 "HDVB180", "HDVB190", "HDVB200", "HDVB201", "HDVB202",
-                "HDVB203"} <= set(ids)
+                "HDVB203", "HDVB210"} <= set(ids)
         for rule in all_rules():
             assert rule.name and rule.rationale, rule.rule_id
 
@@ -518,6 +518,86 @@ class TestResultSinkRule:
         """})
         assert result.clean
         assert result.suppressed == 1
+
+
+class TestEventDisciplineRule:
+    def test_emit_outside_scope_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/feeder.py": """
+            from repro.telemetry.events import emit
+
+            def feed():
+                emit("session.state", state="streaming")
+        """})
+        assert rule_ids(result) == ["HDVB210"]
+        assert "correlation_scope" in result.findings[0].message
+
+    def test_unregistered_name_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"orchestrate/steps.py": """
+            from repro.telemetry.events import correlation_scope, emit
+
+            def step(cell):
+                with correlation_scope(cell_id=cell):
+                    emit("my.custom.event", cell=cell)
+        """})
+        assert rule_ids(result) == ["HDVB210"]
+        assert "EVENT_NAMES" in result.findings[0].message
+
+    def test_computed_name_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/feeder.py": """
+            from repro.telemetry.events import correlation_scope, emit
+
+            def feed(kind):
+                with correlation_scope(session_id="s0"):
+                    emit("cache." + kind)
+        """})
+        assert rule_ids(result) == ["HDVB210"]
+        assert "literal" in result.findings[0].message
+
+    def test_clean_twin_scoped_literal_emit(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/feeder.py": """
+            from repro.telemetry.events import correlation_scope, emit
+
+            def feed(session_id):
+                with correlation_scope(session_id=session_id):
+                    emit("session.state", state="streaming")
+        """})
+        assert result.clean
+
+    def test_class_lifetime_scope_covers_methods(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/runner.py": """
+            from repro.telemetry import events as _events
+            from repro.telemetry.events import correlation_scope
+
+            class Runner:
+                def run(self):
+                    with correlation_scope(session_id="s0"):
+                        self._step()
+
+                def _step(self):
+                    _events.emit("session.state", state="live")
+
+                def _emit(self, name, **fields):
+                    _events.emit(name, **fields)
+        """})
+        assert result.clean
+
+    def test_module_alias_emit_outside_scope_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {"origin/loose.py": """
+            from repro.telemetry import events as _events
+
+            def fire():
+                _events.emit("session.state", state="live")
+        """})
+        assert rule_ids(result) == ["HDVB210"]
+
+    def test_outside_event_scope_ignored(self, tmp_path):
+        result = lint_tree(tmp_path, {"bench/helper.py": """
+            from repro.telemetry.events import emit
+
+            def fire():
+                emit("anything.goes")
+        """})
+        assert result.clean
 
 
 class TestSuppressionsAndBaseline:

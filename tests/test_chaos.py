@@ -465,3 +465,85 @@ class TestCrashRecovery:
     def test_fault_kinds_catalogue_is_frozen(self):
         assert FAULT_KINDS == ("oserror", "enospc", "short_write",
                                "fsync_lie", "lock_busy")
+
+
+# ----------------------------------------------------------------------
+# crash points leave a flight-record post-mortem behind
+# ----------------------------------------------------------------------
+
+
+class TestCrashFlightDumps:
+    """An injected crash, with telemetry on, dumps the flight ring
+    before dying — and the dump reconstructs the same timeline twice."""
+
+    @pytest.fixture(autouse=True)
+    def _telemetry(self, tmp_path):
+        from repro.telemetry import events, flightrec
+
+        events.disable()
+        events.reset()
+        original = flightrec.recorder.dump_dir
+        flightrec.recorder.configure(dump_dir=str(tmp_path / "flightrec"))
+        yield
+        events.disable()
+        events.reset()
+        flightrec.recorder.configure(dump_dir=original)
+
+    def _crash_once(self, tmp_path, point, tag):
+        """Arm `point`, crash a store write, return the dump document."""
+        from repro.observe.timeline import load_flight_dumps
+        from repro.telemetry import events, flightrec
+        from repro.telemetry.events import correlation_scope, emit
+
+        dump_dir = tmp_path / f"flightrec-{tag}"
+        events.reset()
+        flightrec.recorder.configure(dump_dir=str(dump_dir))
+        events.enable()
+        # The store path is part of the crash event, so both runs use
+        # the same one; only the dump directories are distinct.
+        store = HistoryStore(str(tmp_path / "hist"))
+        if point == "store.compact.pre_replace":
+            store.append_many([record(run=f"r{i}") for i in range(3)])
+        plan = FaultPlan().crash_at(point)
+        with correlation_scope(run_id="crash-run"):
+            emit("session.state", state="writing", t=0.0)
+            with activate(ChaosFS(plan)):
+                with pytest.raises(CrashInjected):
+                    if point == "store.compact.pre_replace":
+                        store.compact(keep_last=1)
+                    else:
+                        store.append(record())
+        events.disable()
+        dumps = load_flight_dumps(str(dump_dir))
+        assert len(dumps) == 1
+        return dumps[0]
+
+    @pytest.mark.parametrize("point", ["store.append.pre_write",
+                                       "store.compact.pre_replace"])
+    def test_crash_point_dumps_wellformed_postmortem(self, tmp_path, point):
+        dump = self._crash_once(tmp_path, point, "a")
+        assert dump["schema"] == "repro.telemetry.flightdump/1"
+        assert dump["trigger"] == "crash.injected"
+        assert dump["correlation_id"] == "crash-run"
+        assert dump["extra"]["crash_point"] == point
+        names = [event["name"] for event in dump["events"]]
+        assert "session.state" in names
+        assert "crash.injected" in names
+        for event in dump["events"]:
+            assert event["schema"] == "repro.telemetry.event/1"
+            assert {"wall", "pid", "tid"}.isdisjoint(event)
+
+    def test_crash_timeline_reconstructs_identically(self, tmp_path):
+        from repro.observe.timeline import build_timeline
+
+        point = "store.append.pre_write"
+        first = self._crash_once(tmp_path, point, "a")
+        second = self._crash_once(tmp_path, point, "b")
+        timelines = [
+            json.dumps(build_timeline("crash-run", dumps=[dump]),
+                       sort_keys=True)
+            for dump in (first, second)]
+        assert timelines[0] == timelines[1]
+        reconstructed = json.loads(timelines[0])
+        assert [event["name"] for event in reconstructed["events"]] == [
+            "session.state", "crash.injected"]
